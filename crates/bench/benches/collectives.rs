@@ -1,0 +1,68 @@
+//! Harness-throughput benchmarks of the collective layer: wall-clock cost
+//! of running collectives through the simulator at increasing rank counts
+//! (the simulator must scale to the multi-rank §4.7 experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonctg_core::{ReduceOp, Universe};
+use nonctg_simnet::Platform;
+
+fn quiet() -> Platform {
+    let mut p = Platform::skx_impi();
+    p.jitter_sigma = 0.0;
+    p
+}
+
+fn bench_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_bcast");
+    g.sample_size(10);
+    for &ranks in &[2usize, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &n| {
+            b.iter(|| {
+                Universe::run(quiet(), n, |comm| {
+                    let mut buf = vec![1.0f64; 1024];
+                    comm.bcast(&mut buf, 0).unwrap();
+                    buf[0]
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_allreduce");
+    g.sample_size(10);
+    for &ranks in &[2usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &n| {
+            b.iter(|| {
+                Universe::run(quiet(), n, |comm| {
+                    let mut v = vec![comm.rank() as f64; 4096];
+                    comm.allreduce(&mut v, ReduceOp::Sum).unwrap();
+                    v[0]
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_alltoall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_alltoall");
+    g.sample_size(10);
+    for &ranks in &[4usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &n| {
+            b.iter(|| {
+                Universe::run(quiet(), n, move |comm| {
+                    let send = vec![comm.rank() as u64; 256 * n];
+                    let mut recv = vec![0u64; 256 * n];
+                    comm.alltoall(&send, &mut recv, 256).unwrap();
+                    recv[0]
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bcast, bench_allreduce, bench_alltoall);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end harness benchmarks: wall-clock cost of running one measured
+//! ping-pong point through the whole stack (universe spawn, real data
+//! movement, virtual-time accounting) for each scheme at a fixed size.
+//!
+//! This guards the *simulator's* throughput — the figures sweep hundreds
+//! of points, so a point must stay cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonctg_schemes::{run_scheme, PingPongConfig, Scheme, Workload};
+use nonctg_simnet::Platform;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("harness_point");
+    g.sample_size(10);
+    let platform = Platform::skx_impi();
+    let cfg = PingPongConfig { reps: 5, flush: true, flush_bytes: 1 << 20, verify: false };
+    let w = Workload::every_other((256 << 10) / Workload::ELEM); // 256 KiB
+    for scheme in Scheme::ALL {
+        g.bench_with_input(BenchmarkId::new("scheme", scheme.key()), &scheme, |b, &s| {
+            b.iter(|| run_scheme(&platform, s, &w, &cfg));
+        });
+    }
+    g.finish();
+}
+
+fn bench_universe_spawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("universe");
+    g.sample_size(20);
+    g.bench_function("spawn_pair_and_barrier", |b| {
+        b.iter(|| {
+            nonctg_core::Universe::run_pair(Platform::skx_impi(), |comm| {
+                comm.barrier().unwrap();
+                comm.wtime()
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_universe_spawn);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Runs the entire experiment suite: figures 1-4 plus every side
+//! experiment (§4.5 eager limit, §4.6 cache flush, §4.7 spacing, block
+//! size, and processes-per-node, and the §2 cost table), writing all
+//! artifacts to the output directory.
+//!
+//! ```text
+//! cargo run --release -p nonctg-bench --bin all -- --quick
+//! cargo run --release -p nonctg-bench --bin all            # full sweeps
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Validate the options once up front for a clean error message.
+    if let Err(e) = nonctg_bench::Options::parse(args.clone()) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    let me = std::env::current_exe().expect("current exe");
+    let bin_dir = me.parent().expect("bin dir");
+    let bins = [
+        "figures",
+        "eager_limit",
+        "cache_flush",
+        "spacing",
+        "blocksize",
+        "procs_per_node",
+        "cost_table",
+        "site",
+    ];
+    for bin in bins {
+        let path = bin_dir.join(bin);
+        eprintln!("\n################ {bin} ################");
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("\nall experiments complete");
+}

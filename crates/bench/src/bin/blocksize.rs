@@ -1,0 +1,65 @@
+//! §4.7(2) — block size.
+//!
+//! "Types with larger block sizes may perform better due to higher cache
+//! line utilization in the read." Sweeps the vector blocklength at fixed
+//! payload (stride = 2x blocklength throughout, so density is constant)
+//! and reports the vector-type send time.
+
+use nonctg_bench::Options;
+use nonctg_report::{fmt_bytes, fmt_time, Table};
+use nonctg_schemes::{run_scheme, PingPongConfig, Scheme, Workload};
+
+fn main() {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    std::fs::create_dir_all(&opts.out_dir).expect("out dir");
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    let blocklens = [1usize, 2, 4, 8, 16, 32, 64, 256];
+    let payload = 1usize << 22; // 4 MiB
+
+    for platform in opts.platforms() {
+        println!(
+            "== block size sweep on {} ({} payload, stride = 2 x blocklen) ==",
+            platform.id,
+            fmt_bytes(payload)
+        );
+        let mut t = Table::new(["blocklen (f64)", "time", "vs blocklen 1"]);
+        let cfg = PingPongConfig { reps: opts.reps.min(10), ..PingPongConfig::default() }
+            .adaptive(payload);
+        let mut base = f64::NAN;
+        for &bl in &blocklens {
+            let w = Workload::blocked(payload / Workload::ELEM, bl);
+            let time = run_scheme(&platform, Scheme::VectorType, &w, &cfg).time();
+            if bl == 1 {
+                base = time;
+            }
+            t.row([
+                bl.to_string(),
+                fmt_time(time),
+                format!("{:.2}x", time / base),
+            ]);
+            csv_rows.push(vec![
+                platform.id.name().into(),
+                bl.to_string(),
+                w.msg_bytes().to_string(),
+                format!("{:.9e}", time),
+                format!("{:.4}", time / base),
+            ]);
+        }
+        println!("{}", t.render());
+        println!("  (paper: larger blocks perform better — higher cache line utilization)\n");
+    }
+
+    let csv = nonctg_report::csv::to_csv(
+        &["platform", "blocklen", "payload_bytes", "time_s", "vs_blocklen1"],
+        &csv_rows,
+    );
+    let path = opts.out_dir.join("blocksize.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,124 @@
+//! Compare two figure-sweep CSVs (e.g. from different commits or model
+//! calibrations) and report per-scheme drift — the regression-tracking
+//! companion of the figure harness.
+//!
+//! ```text
+//! cargo run --release -p nonctg-bench --bin compare -- old/fig1.csv new/fig1.csv
+//! cargo run --release -p nonctg-bench --bin compare -- a.csv b.csv --tolerance 0.1
+//! ```
+//!
+//! Exits nonzero if any (scheme, size) time ratio leaves
+//! `[1-tolerance, 1+tolerance]`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use nonctg_report::csv::parse_csv;
+use nonctg_report::{fmt_bytes, Table};
+
+type Key = (String, usize); // (scheme, msg_bytes)
+
+fn load(path: &str) -> Result<BTreeMap<Key, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut rows = parse_csv(&text);
+    if rows.is_empty() {
+        return Err(format!("{path}: empty"));
+    }
+    let header = rows.remove(0);
+    let col = |name: &str| {
+        header
+            .iter()
+            .position(|h| h == name)
+            .ok_or_else(|| format!("{path}: missing column '{name}'"))
+    };
+    let (c_scheme, c_bytes, c_time) = (col("scheme")?, col("msg_bytes")?, col("time_s")?);
+    let mut out = BTreeMap::new();
+    for r in rows {
+        let scheme = r[c_scheme].clone();
+        let bytes: usize = r[c_bytes].parse().map_err(|e| format!("{path}: {e}"))?;
+        let time: f64 = r[c_time].parse().map_err(|e| format!("{path}: {e}"))?;
+        out.insert((scheme, bytes), time);
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut tolerance = 0.05f64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" | "-t" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--tolerance needs a number");
+                        std::process::exit(2);
+                    })
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: compare <old.csv> <new.csv> [--tolerance F]");
+                return ExitCode::from(2);
+            }
+            f => files.push(f.to_string()),
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("usage: compare <old.csv> <new.csv> [--tolerance F]");
+        return ExitCode::from(2);
+    }
+    let (old, new) = match (load(&files[0]), load(&files[1])) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut t = Table::new(["scheme", "size", "old", "new", "ratio", ""]);
+    let mut worst: f64 = 1.0;
+    let mut drifted = 0usize;
+    let mut missing = 0usize;
+    for (key, &t_old) in &old {
+        match new.get(key) {
+            None => missing += 1,
+            Some(&t_new) => {
+                let ratio = t_new / t_old;
+                let flag = if (ratio - 1.0).abs() > tolerance { "DRIFT" } else { "" };
+                if !flag.is_empty() {
+                    drifted += 1;
+                    if (ratio - 1.0).abs() > (worst - 1.0).abs() {
+                        worst = ratio;
+                    }
+                    t.row([
+                        key.0.clone(),
+                        fmt_bytes(key.1),
+                        format!("{t_old:.3e}"),
+                        format!("{t_new:.3e}"),
+                        format!("{ratio:.3}"),
+                        flag.into(),
+                    ]);
+                }
+            }
+        }
+    }
+    let only_new = new.keys().filter(|k| !old.contains_key(*k)).count();
+
+    println!(
+        "compared {} points (tolerance ±{:.0}%): {} drifted, {} missing from new, {} new-only",
+        old.len(),
+        tolerance * 100.0,
+        drifted,
+        missing,
+        only_new
+    );
+    if drifted > 0 {
+        println!("{}", t.render());
+        println!("worst ratio: {worst:.3}");
+        return ExitCode::from(1);
+    }
+    println!("no drift beyond tolerance");
+    ExitCode::SUCCESS
+}

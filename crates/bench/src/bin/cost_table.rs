@@ -1,0 +1,73 @@
+//! §2 — the cost analysis table.
+//!
+//! The paper's analytical model assigns proportionality constants to each
+//! scheme: 1 for the contiguous reference, ~3 for copy-then-send (2N
+//! reads + N writes, no overlap; ~2 with NIC offload of the send). This
+//! binary measures each scheme's mid-size slowdown against the reference
+//! and prints measured-vs-predicted, the quantitative core of §5's
+//! "slowdown of at least a factor of three" conclusion.
+
+use nonctg_bench::Options;
+use nonctg_report::{fmt_bytes, Table};
+use nonctg_schemes::{run_scheme, PingPongConfig, Scheme, Workload};
+
+fn predicted(scheme: Scheme) -> &'static str {
+    match scheme {
+        Scheme::Reference => "1",
+        Scheme::Copying | Scheme::PackingVector => "2-3",
+        Scheme::VectorType | Scheme::Subarray => "2-3 (tracks copying)",
+        Scheme::Buffered => "> vector type",
+        Scheme::OneSided => "size-dependent",
+        Scheme::PackingElement => ">> all others",
+    }
+}
+
+fn main() {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    std::fs::create_dir_all(&opts.out_dir).expect("out dir");
+    let bytes = 1usize << 22; // 4 MiB: mid-size, past eager, before the internal buffer
+    let w = Workload::every_other(bytes / Workload::ELEM);
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+
+    for platform in opts.platforms() {
+        println!(
+            "== §2 cost model vs measurement on {} ({} messages) ==",
+            platform.id,
+            fmt_bytes(bytes)
+        );
+        let cfg = PingPongConfig { reps: opts.reps.min(10), ..PingPongConfig::default() }
+            .adaptive(bytes);
+        let reference = run_scheme(&platform, Scheme::Reference, &w, &cfg).time();
+        let mut t = Table::new(["scheme", "measured slowdown", "paper predicts"]);
+        for scheme in Scheme::ALL {
+            let time = run_scheme(&platform, scheme, &w, &cfg).time();
+            let slowdown = time / reference;
+            t.row([
+                scheme.label().to_string(),
+                format!("{slowdown:.2}"),
+                predicted(scheme).to_string(),
+            ]);
+            csv_rows.push(vec![
+                platform.id.name().into(),
+                scheme.key().into(),
+                format!("{slowdown:.4}"),
+                predicted(scheme).into(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    let csv = nonctg_report::csv::to_csv(
+        &["platform", "scheme", "measured_slowdown", "predicted"],
+        &csv_rows,
+    );
+    let path = opts.out_dir.join("cost_table.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,94 @@
+//! §4.5 — the eager limit.
+//!
+//! Two experiments per platform:
+//!
+//! 1. **The blip**: per-byte ping-pong time on a fine-grained size grid
+//!    bracketing the eager limit, for the reference, vector-type, and
+//!    packing(v) schemes. Expect a per-byte jump just past the limit; on
+//!    Cray the packing scheme's jump sits at twice the size.
+//! 2. **Raising the limit**: set the eager limit above the largest message
+//!    and confirm large-message times barely change (the paper's finding).
+
+use nonctg_bench::Options;
+use nonctg_report::{fmt_bytes, fmt_time, Table};
+use nonctg_schemes::{run_scheme, PingPongConfig, Scheme, Workload};
+
+fn main() {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = PingPongConfig { reps: opts.reps.min(10), ..PingPongConfig::default() };
+    let schemes = [Scheme::Reference, Scheme::VectorType, Scheme::PackingVector];
+
+    std::fs::create_dir_all(&opts.out_dir).expect("out dir");
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+
+    for platform in opts.platforms() {
+        let limit = platform.proto.eager_limit as usize;
+        println!(
+            "== eager limit on {} (limit = {}) ==",
+            platform.id,
+            fmt_bytes(limit)
+        );
+
+        // Sizes at 1/4x, 1/2x, ~1x, just over, 2x, just over 2x, 4x.
+        let sizes: Vec<usize> = vec![
+            limit / 4,
+            limit / 2,
+            limit,
+            limit + Workload::ELEM,
+            2 * limit,
+            2 * limit + Workload::ELEM,
+            4 * limit,
+        ];
+        let mut t = Table::new(["size", "scheme", "time", "ns/byte"]);
+        for &bytes in &sizes {
+            let w = Workload::every_other(bytes / Workload::ELEM);
+            for scheme in schemes {
+                let r = run_scheme(&platform, scheme, &w, &cfg.clone().adaptive(bytes));
+                let per_byte = r.time() / w.msg_bytes() as f64 * 1e9;
+                t.row([
+                    fmt_bytes(w.msg_bytes()),
+                    scheme.label().to_string(),
+                    fmt_time(r.time()),
+                    format!("{per_byte:.3}"),
+                ]);
+                csv_rows.push(vec![
+                    platform.id.name().into(),
+                    scheme.key().into(),
+                    w.msg_bytes().to_string(),
+                    format!("{:.9e}", r.time()),
+                    format!("{per_byte:.4}"),
+                ]);
+            }
+        }
+        println!("{}", t.render());
+
+        // Experiment 2: eager limit above the maximum message size.
+        let mut raised = platform.clone();
+        raised.proto.eager_limit = u64::MAX / 4;
+        let big = Workload::every_other((8 << 20) / Workload::ELEM);
+        let normal = run_scheme(&platform, Scheme::VectorType, &big, &cfg.clone().adaptive(big.msg_bytes()));
+        let lifted = run_scheme(&raised, Scheme::VectorType, &big, &cfg.clone().adaptive(big.msg_bytes()));
+        let delta = (lifted.time() - normal.time()) / normal.time() * 100.0;
+        println!(
+            "  raising the eager limit above {}: vector-type time {} -> {} ({delta:+.1}%)",
+            fmt_bytes(big.msg_bytes()),
+            fmt_time(normal.time()),
+            fmt_time(lifted.time()),
+        );
+        println!("  (paper: no appreciable change for large messages)\n");
+    }
+
+    let csv = nonctg_report::csv::to_csv(
+        &["platform", "scheme", "msg_bytes", "time_s", "ns_per_byte"],
+        &csv_rows,
+    );
+    let path = opts.out_dir.join("eager_limit.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

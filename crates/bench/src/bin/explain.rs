@@ -1,0 +1,55 @@
+//! Print the cost-model decomposition (§2 of the paper) of a send at a
+//! few sizes on each platform — where the time goes for each path.
+//!
+//! ```text
+//! cargo run --release -p nonctg-bench --bin explain -- --platform skx-impi
+//! ```
+
+use nonctg_bench::Options;
+use nonctg_report::{fmt_bytes, Table};
+use nonctg_simnet::{Access, SendPath};
+
+fn main() {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let access = Access::Strided { blocklen: 8, stride: 16 };
+    let sizes = [4usize << 10, 1 << 20, 64 << 20, 256 << 20];
+    let paths = [
+        SendPath::Contiguous,
+        SendPath::DerivedType,
+        SendPath::Buffered,
+        SendPath::OneSidedPut,
+    ];
+
+    for platform in opts.platforms() {
+        println!("== cost decomposition on {} (stride-2 f64 gather) ==", platform.id);
+        let mut t = Table::new([
+            "size", "path", "total", "overhead", "staging", "extra", "latency", "wire", "x wire",
+        ]);
+        for &bytes in &sizes {
+            for path in paths {
+                let b = platform.explain_send(path, bytes as u64, &access, false);
+                let us = |x: f64| format!("{:.1}", x * 1e6);
+                t.row([
+                    fmt_bytes(bytes),
+                    format!("{path:?}"),
+                    us(b.total()),
+                    us(b.overhead),
+                    us(b.staging),
+                    us(b.extra),
+                    us(b.latency),
+                    us(b.wire),
+                    format!("{:.2}", b.slowdown_vs_wire()),
+                ]);
+            }
+        }
+        println!("{}", t.render());
+        println!("  (all columns in microseconds; 'x wire' = total over latency+wire,");
+        println!("   the paper's proportionality constant)\n");
+    }
+}

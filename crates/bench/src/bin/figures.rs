@@ -1,0 +1,78 @@
+//! Regenerates the paper's figures 1–4: for each modeled installation, a
+//! three-panel figure (time, bandwidth, slowdown) over the eight send
+//! schemes and a sweep of message sizes.
+//!
+//! ```text
+//! cargo run --release -p nonctg-bench --bin figures -- --platform skx-impi
+//! cargo run --release -p nonctg-bench --bin figures -- --quick   # all four, small sweep
+//! ```
+
+use std::time::Instant;
+
+use nonctg_bench::{ascii_figure, write_figure, Options};
+use nonctg_report::{fmt_bytes, fmt_time, Table};
+use nonctg_schemes::{run_sweep_parallel, run_sweep_with, Scheme};
+
+fn main() {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = opts.sweep_config();
+    for platform in opts.platforms() {
+        let fig = platform.id.paper_figure();
+        let title = format!("Packing on {} (paper figure {fig})", platform.id);
+        eprintln!("== {title} ==");
+        let wall = Instant::now();
+        let sweep = if opts.jobs > 1 {
+            run_sweep_parallel(&platform, &cfg, opts.jobs)
+        } else {
+            run_sweep_with(&platform, &cfg, |p| {
+                eprintln!(
+                    "  {:>10}  {:<12} {:>12}  slowdown {:>6.2}",
+                    fmt_bytes(p.msg_bytes),
+                    p.scheme.key(),
+                    fmt_time(p.time),
+                    p.slowdown
+                );
+            })
+        };
+        let stem = format!("fig{fig}_{}", platform.id);
+        let svg = write_figure(&opts.out_dir, &stem, &title, &sweep);
+        eprintln!(
+            "  wrote {} (+ .csv) in {:.1}s wall",
+            svg.display(),
+            wall.elapsed().as_secs_f64()
+        );
+
+        // Terminal summary table: slowdown per scheme at three sizes.
+        let sizes = sweep.sizes();
+        let picks: Vec<usize> = [0usize, sizes.len() / 2, sizes.len().saturating_sub(1)]
+            .iter()
+            .map(|&i| sizes[i.min(sizes.len() - 1)])
+            .collect();
+        let mut t = Table::new(
+            std::iter::once("scheme".to_string())
+                .chain(picks.iter().map(|&b| format!("slowdown @{}", fmt_bytes(b)))),
+        );
+        for scheme in Scheme::ALL {
+            let mut row = vec![scheme.label().to_string()];
+            for &b in &picks {
+                row.push(
+                    sweep
+                        .get(scheme, b)
+                        .map(|p| format!("{:.2}", p.slowdown))
+                        .unwrap_or_default(),
+                );
+            }
+            t.row(row);
+        }
+        println!("{}", t.render());
+        if opts.ascii {
+            println!("{}", ascii_figure(&sweep));
+        }
+    }
+}

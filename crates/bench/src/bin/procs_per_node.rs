@@ -1,0 +1,67 @@
+//! §4.7 — all processes per node communicating.
+//!
+//! The figures use exactly one communicating process per node; the paper's
+//! unreported check found no degradation when every process on a node
+//! communicates (sometimes slightly higher aggregate bandwidth). This
+//! binary runs 1, 4, and 8 simultaneous ping-pong pairs and compares pair
+//! 0's time (the model has no NIC-contention term, matching the paper's
+//! "no degradation" observation — see DESIGN.md).
+
+use nonctg_bench::Options;
+use nonctg_report::{fmt_bytes, fmt_time, Table};
+use nonctg_schemes::{run_scheme_pairs, PingPongConfig, Scheme, Workload};
+
+fn main() {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    std::fs::create_dir_all(&opts.out_dir).expect("out dir");
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    let sizes = [1usize << 14, 1 << 20];
+    let pair_counts = [1usize, 4, 8];
+
+    for platform in opts.platforms() {
+        println!("== processes per node on {} ==", platform.id);
+        let mut t = Table::new(["size", "pairs", "time (pair 0)", "vs 1 pair"]);
+        for &bytes in &sizes {
+            let w = Workload::every_other(bytes / Workload::ELEM);
+            let cfg = PingPongConfig { reps: opts.reps.min(10), ..PingPongConfig::default() }
+                .adaptive(bytes);
+            let mut base = f64::NAN;
+            for &pairs in &pair_counts {
+                let time =
+                    run_scheme_pairs(&platform, Scheme::VectorType, &w, &cfg, pairs).time();
+                if pairs == 1 {
+                    base = time;
+                }
+                t.row([
+                    fmt_bytes(bytes),
+                    pairs.to_string(),
+                    fmt_time(time),
+                    format!("{:.3}x", time / base),
+                ]);
+                csv_rows.push(vec![
+                    platform.id.name().into(),
+                    bytes.to_string(),
+                    pairs.to_string(),
+                    format!("{:.9e}", time),
+                    format!("{:.4}", time / base),
+                ]);
+            }
+        }
+        println!("{}", t.render());
+        println!("  (paper: no degradation from all processes communicating)\n");
+    }
+
+    let csv = nonctg_report::csv::to_csv(
+        &["platform", "msg_bytes", "pairs", "time_s", "vs_one_pair"],
+        &csv_rows,
+    );
+    let path = opts.out_dir.join("procs_per_node.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

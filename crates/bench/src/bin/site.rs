@@ -1,0 +1,185 @@
+//! Assemble all artifacts in the output directory into one standalone
+//! HTML report (`index.html`): the four figures with per-scheme summary
+//! tables plus every side-experiment CSV.
+//!
+//! ```text
+//! cargo run --release -p nonctg-bench --bin site -- --out bench_out
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use nonctg_bench::Options;
+use nonctg_report::csv::parse_csv;
+use nonctg_report::heatmap::{render_heatmap, HeatmapData};
+use nonctg_report::html::{render_page, Section};
+use nonctg_simnet::PlatformId;
+
+fn load_csv_table(path: &Path, max_rows: usize) -> Option<(Vec<String>, Vec<Vec<String>>)> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut rows = parse_csv(&text);
+    if rows.is_empty() {
+        return None;
+    }
+    let header = rows.remove(0);
+    rows.truncate(max_rows);
+    Some((header, rows))
+}
+
+/// Full scheme x size slowdown heatmap from a figure CSV.
+fn figure_heatmap(path: &Path, title: &str) -> Option<String> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut rows = parse_csv(&text);
+    if rows.len() < 2 {
+        return None;
+    }
+    rows.remove(0);
+    let mut sizes: Vec<usize> = rows.iter().filter_map(|r| r[2].parse().ok()).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    // Cap columns so cells stay readable: take every other size if wide.
+    let cols: Vec<usize> = if sizes.len() > 12 {
+        sizes.iter().copied().step_by(2).collect()
+    } else {
+        sizes
+    };
+    let mut schemes: Vec<String> = Vec::new();
+    for r in &rows {
+        if !schemes.contains(&r[1]) {
+            schemes.push(r[1].clone());
+        }
+    }
+    let rows = &rows;
+    let values: Vec<Option<f64>> = schemes
+        .iter()
+        .flat_map(|s| {
+            cols.iter().map(move |b| {
+                rows.iter()
+                    .find(|r| &r[1] == s && r[2] == b.to_string())
+                    .and_then(|r| r[5].parse().ok())
+            })
+        })
+        .collect();
+    let data = HeatmapData {
+        rows: schemes,
+        cols: cols.iter().map(|b| nonctg_report::fmt_bytes(*b)).collect(),
+        values,
+    };
+    Some(render_heatmap(title, &data))
+}
+
+/// Per-scheme slowdown summary at three sizes, derived from a figure CSV.
+fn figure_summary(path: &Path) -> Option<(Vec<String>, Vec<Vec<String>>)> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut rows = parse_csv(&text);
+    if rows.len() < 2 {
+        return None;
+    }
+    rows.remove(0); // header
+    let mut sizes: Vec<usize> = rows.iter().filter_map(|r| r[2].parse().ok()).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let picks = [
+        sizes.first().copied()?,
+        sizes.get(sizes.len() / 2).copied()?,
+        sizes.last().copied()?,
+    ];
+    let mut schemes: Vec<String> = Vec::new();
+    for r in &rows {
+        if !schemes.contains(&r[1]) {
+            schemes.push(r[1].clone());
+        }
+    }
+    let header: Vec<String> = std::iter::once("scheme".to_string())
+        .chain(picks.iter().map(|b| format!("slowdown @{b} B")))
+        .collect();
+    let body: Vec<Vec<String>> = schemes
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.clone()];
+            for b in picks {
+                let v = rows
+                    .iter()
+                    .find(|r| &r[1] == s && r[2] == b.to_string())
+                    .map(|r| r[5].clone())
+                    .unwrap_or_default();
+                row.push(v);
+            }
+            row
+        })
+        .collect();
+    Some((header, body))
+}
+
+fn main() {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let dir = &opts.out_dir;
+    let mut sections = Vec::new();
+
+    for id in PlatformId::ALL {
+        let fig = id.paper_figure();
+        let stem = format!("fig{fig}_{}", id.name());
+        let svg_path = dir.join(format!("{stem}.svg"));
+        let csv_path = dir.join(format!("{stem}.csv"));
+        if !svg_path.exists() {
+            eprintln!("skipping {stem}: no {}", svg_path.display());
+            continue;
+        }
+        let mut s = Section::new(
+            format!("Figure {fig} — {}", id.name()),
+            "Time, bandwidth, and slowdown vs message size for the eight send schemes \
+             (paper layout); the table shows slowdown vs the contiguous reference.",
+        );
+        if let Ok(svg) = fs::read_to_string(&svg_path) {
+            s.svgs.push(svg);
+        }
+        if let Some(hm) = figure_heatmap(&csv_path, &format!("slowdown vs reference — {}", id.name())) {
+            s.svgs.push(hm);
+        }
+        if let Some(table) = figure_summary(&csv_path) {
+            s.tables.push(table);
+        }
+        sections.push(s);
+    }
+
+    for (file, heading, intro) in [
+        ("eager_limit.csv", "§4.5 Eager limit", "Per-byte times bracketing each platform's eager limit."),
+        ("cache_flush.csv", "§4.6 Cache flushing", "Flushed vs warm ping-pong times at intermediate sizes."),
+        ("spacing.csv", "§4.7 Irregular spacing", "Regular stride-2 vs randomly-spaced indexed types."),
+        ("blocksize.csv", "§4.7 Block size", "Vector blocklength sweep at fixed payload."),
+        ("procs_per_node.csv", "§4.7 Processes per node", "Simultaneous ping-pong pairs."),
+        ("cost_table.csv", "§2 Cost model", "Measured slowdowns vs the paper's analytical constants."),
+    ] {
+        let path = dir.join(file);
+        if let Some(table) = load_csv_table(&path, 400) {
+            let mut s = Section::new(heading, intro);
+            s.tables.push(table);
+            sections.push(s);
+        }
+    }
+
+    if sections.is_empty() {
+        eprintln!(
+            "no artifacts in {} — run the `all` binary first",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+
+    let html = render_page(
+        "Performance of MPI Sends of Non-Contiguous Data — reproduction",
+        "Every figure and side experiment of Eijkhout's study, regenerated on the \
+         nonctg simulated platforms. See EXPERIMENTS.md for the paper-vs-measured \
+         discussion.",
+        &sections,
+    );
+    let out = dir.join("index.html");
+    fs::write(&out, html).expect("write index.html");
+    println!("wrote {}", out.display());
+}

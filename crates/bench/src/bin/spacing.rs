@@ -1,0 +1,85 @@
+//! §4.7(1) — irregular spacing.
+//!
+//! "Types with less regular spacing may give worse performance due to
+//! decreased use of prefetch streams in reading data." Compares a direct
+//! send of the regular stride-2 vector against indexed types with random
+//! displacements of the same payload and mean density.
+
+use nonctg_bench::Options;
+use nonctg_report::{fmt_bytes, fmt_time, Table};
+use nonctg_schemes::{run_datatype_send, PingPongConfig, IrregularWorkload, Workload};
+
+fn main() {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    std::fs::create_dir_all(&opts.out_dir).expect("out dir");
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    let sizes: Vec<usize> = [1usize << 14, 1 << 18, 1 << 22].to_vec();
+
+    for platform in opts.platforms() {
+        println!("== irregular spacing on {} ==", platform.id);
+        let mut t = Table::new(["payload", "layout", "time", "vs regular"]);
+        for &bytes in &sizes {
+            let elems = bytes / Workload::ELEM;
+            let cfg = PingPongConfig { reps: opts.reps.min(10), ..PingPongConfig::default() }
+                .adaptive(bytes);
+
+            // Regular stride-2 vector baseline.
+            let w = Workload::every_other(elems);
+            let regular = run_datatype_send(
+                &platform,
+                &w.vector_type().expect("type"),
+                w.make_source(),
+                w.expected(),
+                &cfg,
+            )
+            .time();
+
+            let mut row = |label: String, time: f64| {
+                t.row([
+                    fmt_bytes(bytes),
+                    label.clone(),
+                    fmt_time(time),
+                    format!("{:.2}x", time / regular),
+                ]);
+                csv_rows.push(vec![
+                    platform.id.name().into(),
+                    label,
+                    bytes.to_string(),
+                    format!("{:.9e}", time),
+                    format!("{:.4}", time / regular),
+                ]);
+            };
+            row("regular stride-2".into(), regular);
+
+            // Irregular layouts at the same payload and mean spacing.
+            for (label, blocklen) in [("random, blocks of 1", 1usize), ("random, blocks of 8", 8)] {
+                let iw = IrregularWorkload::random(elems / blocklen, blocklen, 2 * blocklen, 42);
+                let time = run_datatype_send(
+                    &platform,
+                    &iw.indexed_type().expect("type"),
+                    iw.make_source(),
+                    iw.expected(),
+                    &cfg,
+                )
+                .time();
+                row(label.into(), time);
+            }
+        }
+        println!("{}", t.render());
+        println!("  (paper: less regular spacing degrades the gather; larger blocks recover)\n");
+    }
+
+    let csv = nonctg_report::csv::to_csv(
+        &["platform", "layout", "payload_bytes", "time_s", "vs_regular"],
+        &csv_rows,
+    );
+    let path = opts.out_dir.join("spacing.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}

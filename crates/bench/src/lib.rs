@@ -1,0 +1,338 @@
+//! # nonctg-bench — harness utilities behind the figure binaries
+//!
+//! Maps sweeps onto the report crate's plotting structures with the fixed
+//! scheme→palette assignment, renders the paper's three-panel figures
+//! (time / bandwidth / slowdown), and provides the tiny CLI option parser
+//! the binaries share.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use nonctg_report::{render_figure, PanelGeom, PlotSpec, Series};
+use nonctg_schemes::{Scheme, Sweep, SweepPoint};
+
+pub use cli::Options;
+
+/// Palette slot of a scheme (fixed: color follows the scheme identity).
+pub fn palette_slot(scheme: Scheme) -> usize {
+    match scheme {
+        Scheme::Reference => 0,
+        Scheme::Copying => 1,
+        Scheme::Buffered => 2,
+        Scheme::VectorType => 3,
+        Scheme::Subarray => 4,
+        Scheme::OneSided => 5,
+        Scheme::PackingElement => 6,
+        Scheme::PackingVector => 7,
+    }
+}
+
+/// Convert one sweep metric into plot series (legend order).
+pub fn sweep_series(sweep: &Sweep, metric: impl Fn(&SweepPoint) -> f64) -> Vec<Series> {
+    let mut out = Vec::new();
+    for scheme in Scheme::ALL {
+        let pts: Vec<(f64, f64)> = sweep
+            .series(scheme)
+            .iter()
+            .map(|p| (p.msg_bytes as f64, metric(p)))
+            .collect();
+        if pts.is_empty() {
+            continue;
+        }
+        out.push(Series::new(scheme.label(), palette_slot(scheme), pts));
+    }
+    out
+}
+
+/// The paper's three panels for a sweep: time (log-log), bandwidth in Gb/s
+/// (semilog-x), slowdown clamped at 10 (semilog-x).
+pub fn paper_panels(sweep: &Sweep) -> Vec<(PlotSpec, Vec<Series>)> {
+    vec![
+        (
+            PlotSpec::loglog("Time (sec)", "message size (bytes)", "seconds"),
+            sweep_series(sweep, |p| p.time),
+        ),
+        (
+            // The paper labels this axis Gb/s but plots gigaBYTES/s (its
+            // Omni-Path peak reads 12.5); we match the plotted values.
+            PlotSpec::semilogx("bwidth (GB/s)", "message size (bytes)", "GB/s", f64::INFINITY),
+            sweep_series(sweep, |p| p.bandwidth / 1e9),
+        ),
+        (
+            PlotSpec::semilogx("slowdown", "message size (bytes)", "vs reference", 10.0),
+            sweep_series(sweep, |p| p.slowdown),
+        ),
+    ]
+}
+
+/// Long-format CSV of a sweep (the figures' table view).
+pub fn sweep_csv(sweep: &Sweep) -> String {
+    let rows: Vec<Vec<String>> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                sweep.platform.name().to_string(),
+                p.scheme.key().to_string(),
+                p.msg_bytes.to_string(),
+                format!("{:.9e}", p.time),
+                format!("{:.6e}", p.bandwidth),
+                format!("{:.4}", p.slowdown),
+            ]
+        })
+        .collect();
+    nonctg_report::csv::to_csv(
+        &["platform", "scheme", "msg_bytes", "time_s", "bandwidth_Bps", "slowdown"],
+        &rows,
+    )
+}
+
+/// Render and write `<out>/<stem>.svg` and `<out>/<stem>.csv`; returns the
+/// SVG path.
+pub fn write_figure(out_dir: &Path, stem: &str, title: &str, sweep: &Sweep) -> PathBuf {
+    fs::create_dir_all(out_dir).expect("create output dir");
+    let svg = render_figure(title, &paper_panels(sweep), PanelGeom::default());
+    let svg_path = out_dir.join(format!("{stem}.svg"));
+    fs::write(&svg_path, svg).expect("write svg");
+    fs::write(out_dir.join(format!("{stem}.csv")), sweep_csv(sweep)).expect("write csv");
+    svg_path
+}
+
+/// ASCII rendering of a sweep's three panels for the terminal.
+pub fn ascii_figure(sweep: &Sweep) -> String {
+    let mut out = String::new();
+    for (spec, series) in paper_panels(sweep) {
+        out.push_str(&nonctg_report::asciiplot::render(&spec, &series, 72, 18));
+        out.push('\n');
+    }
+    out
+}
+
+mod cli {
+    use nonctg_schemes::{PingPongConfig, SweepConfig};
+    use nonctg_simnet::{Platform, PlatformId};
+
+    /// Shared CLI options of the figure binaries.
+    #[derive(Debug, Clone)]
+    pub struct Options {
+        /// Platforms to run (default: all four).
+        pub platforms: Vec<PlatformId>,
+        /// Smallest message in bytes.
+        pub min_bytes: usize,
+        /// Largest message in bytes.
+        pub max_bytes: usize,
+        /// Geometric size step.
+        pub step: usize,
+        /// Ping-pongs per point.
+        pub reps: usize,
+        /// Output directory.
+        pub out_dir: std::path::PathBuf,
+        /// Skip payload verification (faster).
+        pub no_verify: bool,
+        /// Print ASCII plots.
+        pub ascii: bool,
+        /// Concurrently-measured sweep points (1 = sequential).
+        pub jobs: usize,
+    }
+
+    impl Default for Options {
+        fn default() -> Self {
+            Options {
+                platforms: PlatformId::ALL.to_vec(),
+                min_bytes: 1 << 10,
+                max_bytes: 1 << 28,
+                step: 2,
+                reps: 20,
+                out_dir: "bench_out".into(),
+                no_verify: false,
+                ascii: true,
+                jobs: 1,
+            }
+        }
+    }
+
+    impl Options {
+        /// Parse `args` (without the program name). Understands
+        /// `--platform`, `--min-bytes`, `--max-bytes`, `--step`, `--reps`,
+        /// `--out`, `--quick`, `--full`, `--no-verify`, `--no-ascii`.
+        pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
+            let mut o = Options::default();
+            let mut it = args.into_iter();
+            while let Some(a) = it.next() {
+                let mut val = |name: &str| {
+                    it.next().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match a.as_str() {
+                    "--platform" | "-p" => {
+                        let v = val("--platform")?;
+                        if v == "all" {
+                            o.platforms = PlatformId::ALL.to_vec();
+                        } else {
+                            o.platforms = vec![v.parse()?];
+                        }
+                    }
+                    "--min-bytes" => o.min_bytes = parse_size(&val("--min-bytes")?)?,
+                    "--max-bytes" => o.max_bytes = parse_size(&val("--max-bytes")?)?,
+                    "--step" => {
+                        o.step = val("--step")?.parse().map_err(|e| format!("--step: {e}"))?
+                    }
+                    "--reps" => {
+                        o.reps = val("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?
+                    }
+                    "--out" => o.out_dir = val("--out")?.into(),
+                    "--jobs" | "-j" => {
+                        o.jobs = val("--jobs")?
+                            .parse()
+                            .map_err(|e| format!("--jobs: {e}"))?
+                    }
+                    "--quick" => {
+                        o.max_bytes = 1 << 22;
+                        o.step = 4;
+                        o.reps = 5;
+                    }
+                    "--full" => {
+                        o.max_bytes = 1 << 30;
+                    }
+                    "--no-verify" => o.no_verify = true,
+                    "--no-ascii" => o.ascii = false,
+                    "--help" | "-h" => return Err(Self::usage().into()),
+                    other => return Err(format!("unknown option '{other}'\n{}", Self::usage())),
+                }
+            }
+            if o.min_bytes > o.max_bytes {
+                return Err("--min-bytes exceeds --max-bytes".into());
+            }
+            Ok(o)
+        }
+
+        /// Usage text.
+        pub fn usage() -> &'static str {
+            "options: --platform <skx-impi|skx-mvapich2|ls5-craympich|knl-impi|all> \
+             --min-bytes N --max-bytes N --step K --reps N --out DIR --jobs J --quick \
+             --full --no-verify --no-ascii"
+        }
+
+        /// The sweep configuration these options describe.
+        pub fn sweep_config(&self) -> SweepConfig {
+            SweepConfig {
+                schemes: nonctg_schemes::Scheme::ALL.to_vec(),
+                min_bytes: self.min_bytes,
+                max_bytes: self.max_bytes,
+                step: self.step,
+                base: PingPongConfig {
+                    reps: self.reps,
+                    verify: !self.no_verify,
+                    ..PingPongConfig::default()
+                },
+            }
+        }
+
+        /// Resolve the platform presets.
+        pub fn platforms(&self) -> Vec<Platform> {
+            self.platforms.iter().map(|&id| Platform::get(id)).collect()
+        }
+    }
+
+    /// Parse sizes like `1048576`, `64k`, `32m`, `1g`.
+    pub fn parse_size(s: &str) -> Result<usize, String> {
+        let (num, mult) = match s.chars().last() {
+            Some('k') | Some('K') => (&s[..s.len() - 1], 1usize << 10),
+            Some('m') | Some('M') => (&s[..s.len() - 1], 1 << 20),
+            Some('g') | Some('G') => (&s[..s.len() - 1], 1 << 30),
+            _ => (s, 1),
+        };
+        num.parse::<usize>()
+            .map(|n| n * mult)
+            .map_err(|e| format!("bad size '{s}': {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonctg_simnet::PlatformId;
+
+    #[test]
+    fn palette_slots_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in Scheme::ALL {
+            assert!(seen.insert(palette_slot(s)));
+        }
+    }
+
+    #[test]
+    fn options_defaults_and_flags() {
+        let o = Options::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(o.platforms.len(), 4);
+        let o = Options::parse(
+            ["--platform", "cray", "--quick", "--out", "/tmp/x"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(o.platforms, vec![PlatformId::Ls5CrayMpich]);
+        assert_eq!(o.max_bytes, 1 << 22);
+        assert_eq!(o.out_dir, std::path::PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(cli::parse_size("64k").unwrap(), 64 << 10);
+        assert_eq!(cli::parse_size("32M").unwrap(), 32 << 20);
+        assert_eq!(cli::parse_size("1g").unwrap(), 1 << 30);
+        assert_eq!(cli::parse_size("123").unwrap(), 123);
+        assert!(cli::parse_size("abc").is_err());
+    }
+
+    #[test]
+    fn bad_option_rejected() {
+        assert!(Options::parse(["--bogus".to_string()]).is_err());
+        assert!(Options::parse(
+            ["--min-bytes".to_string(), "8m".into(), "--max-bytes".into(), "1k".into()]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_csv_has_header_and_rows() {
+        use nonctg_schemes::{run_sweep, PingPongConfig, SweepConfig};
+        let mut p = nonctg_simnet::Platform::skx_impi();
+        p.jitter_sigma = 0.0;
+        let cfg = SweepConfig {
+            schemes: vec![Scheme::Reference, Scheme::VectorType],
+            min_bytes: 1024,
+            max_bytes: 4096,
+            step: 4,
+            base: PingPongConfig { reps: 2, flush: false, flush_bytes: 0, verify: true },
+        };
+        let sweep = run_sweep(&p, &cfg);
+        let csv = sweep_csv(&sweep);
+        let rows = nonctg_report::csv::parse_csv(&csv);
+        assert_eq!(rows.len(), 1 + 4);
+        assert_eq!(rows[0][1], "scheme");
+    }
+
+    #[test]
+    fn figure_writes_svg_and_csv() {
+        use nonctg_schemes::{run_sweep, PingPongConfig, SweepConfig};
+        let mut p = nonctg_simnet::Platform::skx_impi();
+        p.jitter_sigma = 0.0;
+        let cfg = SweepConfig {
+            schemes: Scheme::ALL.to_vec(),
+            min_bytes: 1024,
+            max_bytes: 2048,
+            step: 2,
+            base: PingPongConfig { reps: 2, flush: false, flush_bytes: 0, verify: true },
+        };
+        let sweep = run_sweep(&p, &cfg);
+        let dir = std::env::temp_dir().join("nonctg_fig_test");
+        let svg = write_figure(&dir, "figtest", "Packing on skx-i3", &sweep);
+        assert!(svg.exists());
+        assert!(dir.join("figtest.csv").exists());
+        let content = std::fs::read_to_string(svg).unwrap();
+        assert!(content.contains("slowdown"));
+        assert_eq!(content.matches("<path").count(), 24, "8 schemes x 3 panels");
+    }
+}

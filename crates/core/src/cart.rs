@@ -1,0 +1,241 @@
+//! Cartesian process topologies (`MPI_Cart_create` and friends).
+//!
+//! A [`CartTopology`] wraps a communicator with an n-dimensional grid
+//! structure: rank ↔ coordinate conversion, neighbor shifts (with or
+//! without periodic wraparound), and convenience halo-exchange addressing.
+//! Row-major rank ordering, as MPI specifies.
+
+use crate::comm::Comm;
+use crate::error::{CoreError, Result};
+
+/// A Cartesian view over the ranks of a communicator.
+///
+/// Pure addressing: it borrows no state from the `Comm` and is `Copy`-ish
+/// cheap to clone; communication still goes through the `Comm` itself.
+#[derive(Debug, Clone)]
+pub struct CartTopology {
+    dims: Vec<usize>,
+    periodic: Vec<bool>,
+    size: usize,
+}
+
+impl CartTopology {
+    /// Build a topology over `dims` with per-dimension periodicity. The
+    /// grid must exactly cover the communicator (`MPI_Cart_create` with
+    /// `reorder = false` and no leftover ranks).
+    pub fn new(comm: &Comm, dims: &[usize], periodic: &[bool]) -> Result<CartTopology> {
+        if dims.is_empty() || dims.len() != periodic.len() {
+            return Err(CoreError::Rma("cart: dims/periodic length mismatch"));
+        }
+        let cells: usize = dims.iter().product();
+        if cells != comm.size() {
+            return Err(CoreError::InvalidRank { rank: cells, size: comm.size() });
+        }
+        Ok(CartTopology { dims: dims.to_vec(), periodic: periodic.to_vec(), size: cells })
+    }
+
+    /// Suggest a near-square factorization of `nranks` over `ndims`
+    /// dimensions (`MPI_Dims_create`).
+    pub fn dims_create(nranks: usize, ndims: usize) -> Vec<usize> {
+        assert!(ndims >= 1);
+        let mut dims = vec![1usize; ndims];
+        let mut n = nranks;
+        // Repeatedly peel the smallest prime factor onto the smallest dim.
+        let mut factor = 2;
+        let mut factors = Vec::new();
+        while n > 1 {
+            while n.is_multiple_of(factor) {
+                factors.push(factor);
+                n /= factor;
+            }
+            factor += 1;
+            if factor * factor > n && n > 1 {
+                factors.push(n);
+                break;
+            }
+        }
+        // Assign largest factors first to the currently-smallest dimension.
+        factors.sort_unstable_by(|a, b| b.cmp(a));
+        for f in factors {
+            let i = (0..ndims).min_by_key(|&i| dims[i]).unwrap();
+            dims[i] *= f;
+        }
+        dims.sort_unstable_by(|a, b| b.cmp(a));
+        dims
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Grid extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Coordinates of `rank` (`MPI_Cart_coords`).
+    pub fn coords(&self, rank: usize) -> Result<Vec<usize>> {
+        if rank >= self.size {
+            return Err(CoreError::InvalidRank { rank, size: self.size });
+        }
+        let mut c = vec![0usize; self.dims.len()];
+        let mut rem = rank;
+        for d in (0..self.dims.len()).rev() {
+            c[d] = rem % self.dims[d];
+            rem /= self.dims[d];
+        }
+        Ok(c)
+    }
+
+    /// Rank at `coords` (`MPI_Cart_rank`), with periodic wrapping where
+    /// enabled. Out-of-range coordinates in non-periodic dimensions error.
+    pub fn rank_of(&self, coords: &[i64]) -> Result<usize> {
+        if coords.len() != self.dims.len() {
+            return Err(CoreError::Rma("cart: coordinate dimension mismatch"));
+        }
+        let mut rank = 0usize;
+        for ((&dim, &periodic), &coord) in
+            self.dims.iter().zip(self.periodic.iter()).zip(coords.iter())
+        {
+            let extent = dim as i64;
+            let c = if periodic {
+                coord.rem_euclid(extent)
+            } else if (0..extent).contains(&coord) {
+                coord
+            } else {
+                return Err(CoreError::InvalidRank {
+                    rank: coord.unsigned_abs() as usize,
+                    size: dim,
+                });
+            };
+            rank = rank * dim + c as usize;
+        }
+        Ok(rank)
+    }
+
+    /// Source and destination for a shift of `disp` along `dim`
+    /// (`MPI_Cart_shift`): `(recv_from, send_to)`, `None` at a
+    /// non-periodic edge.
+    pub fn shift(&self, rank: usize, dim: usize, disp: i64) -> Result<(Option<usize>, Option<usize>)> {
+        if dim >= self.dims.len() {
+            return Err(CoreError::Rma("cart: shift dimension out of range"));
+        }
+        let c = self.coords(rank)?;
+        let mut up = c.iter().map(|&x| x as i64).collect::<Vec<_>>();
+        let mut down = up.clone();
+        up[dim] += disp;
+        down[dim] -= disp;
+        let send_to = self.rank_of(&up).ok();
+        let recv_from = self.rank_of(&down).ok();
+        Ok((recv_from, send_to))
+    }
+}
+
+impl Comm {
+    /// Attach a Cartesian topology to this communicator
+    /// (`MPI_Cart_create` with `reorder = false`).
+    pub fn cart_create(&self, dims: &[usize], periodic: &[bool]) -> Result<CartTopology> {
+        CartTopology::new(self, dims, periodic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+    use nonctg_simnet::Platform;
+
+    fn quiet() -> Platform {
+        let mut p = Platform::skx_impi();
+        p.jitter_sigma = 0.0;
+        p
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        Universe::run(quiet(), 6, |comm| {
+            let cart = comm.cart_create(&[2, 3], &[false, false]).unwrap();
+            let c = cart.coords(comm.rank()).unwrap();
+            assert_eq!(c, vec![comm.rank() / 3, comm.rank() % 3]);
+            let back = cart.rank_of(&[c[0] as i64, c[1] as i64]).unwrap();
+            assert_eq!(back, comm.rank());
+        });
+    }
+
+    #[test]
+    fn shift_non_periodic_edges() {
+        Universe::run(quiet(), 4, |comm| {
+            let cart = comm.cart_create(&[2, 2], &[false, false]).unwrap();
+            let (from, to) = cart.shift(comm.rank(), 0, 1).unwrap();
+            let r = comm.rank();
+            // dim 0 extent 2: row 0 has no source above, row 1 no dest below
+            if r / 2 == 0 {
+                assert_eq!(from, None);
+                assert_eq!(to, Some(r + 2));
+            } else {
+                assert_eq!(from, Some(r - 2));
+                assert_eq!(to, None);
+            }
+        });
+    }
+
+    #[test]
+    fn shift_periodic_wraps() {
+        Universe::run(quiet(), 4, |comm| {
+            let cart = comm.cart_create(&[4], &[true]).unwrap();
+            let (from, to) = cart.shift(comm.rank(), 0, 1).unwrap();
+            assert_eq!(to, Some((comm.rank() + 1) % 4));
+            assert_eq!(from, Some((comm.rank() + 3) % 4));
+        });
+    }
+
+    #[test]
+    fn grid_must_cover_comm() {
+        Universe::run(quiet(), 4, |comm| {
+            assert!(comm.cart_create(&[3], &[false]).is_err());
+            assert!(comm.cart_create(&[2, 2], &[false, false]).is_ok());
+            assert!(comm.cart_create(&[2], &[false, false]).is_err());
+        });
+    }
+
+    #[test]
+    fn dims_create_near_square() {
+        assert_eq!(CartTopology::dims_create(4, 2), vec![2, 2]);
+        assert_eq!(CartTopology::dims_create(12, 2), vec![4, 3]);
+        assert_eq!(CartTopology::dims_create(7, 2), vec![7, 1]);
+        assert_eq!(CartTopology::dims_create(8, 3), vec![2, 2, 2]);
+        assert_eq!(CartTopology::dims_create(1, 2), vec![1, 1]);
+        let d = CartTopology::dims_create(36, 2);
+        assert_eq!(d.iter().product::<usize>(), 36);
+        assert_eq!(d, vec![6, 6]);
+    }
+
+    #[test]
+    fn ring_pass_with_periodic_shift() {
+        // Token passes around a periodic ring using cart_shift addressing.
+        Universe::run(quiet(), 5, |comm| {
+            let cart = comm.cart_create(&[5], &[true]).unwrap();
+            let (from, to) = cart.shift(comm.rank(), 0, 1).unwrap();
+            let (from, to) = (from.unwrap(), to.unwrap());
+            let send = [comm.rank() as f64];
+            let mut recv = [0.0f64];
+            comm.sendrecv(
+                nonctg_datatype::as_bytes(&send),
+                0,
+                &nonctg_datatype::Datatype::f64(),
+                1,
+                to,
+                0,
+                nonctg_datatype::as_bytes_mut(&mut recv),
+                0,
+                &nonctg_datatype::Datatype::f64(),
+                1,
+                Some(from),
+                Some(0),
+            )
+            .unwrap();
+            assert_eq!(recv[0], ((comm.rank() + 4) % 5) as f64);
+        });
+    }
+}

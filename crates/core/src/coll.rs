@@ -1,0 +1,642 @@
+//! Collective operations over the whole universe: broadcast, gather,
+//! scatter, reduce/allreduce, and all-to-all.
+//!
+//! Implemented *on top of* the point-to-point layer (like any MPI's
+//! fallback collectives), so every virtual-time property of the p2p cost
+//! model — eager limits, rendezvous, staging — carries over. Tree-shaped
+//! algorithms give the expected `O(log P)` latency scaling:
+//!
+//! * `bcast`: binomial tree;
+//! * `gather`/`scatter`: flat to/from the root (bandwidth-bound);
+//! * `reduce`: binomial tree with per-hop combine cost;
+//! * `allreduce`: reduce + bcast;
+//! * `alltoall`: pairwise exchange rounds.
+//!
+//! All collectives accept a tag space of their own so they never match
+//! user point-to-point traffic.
+
+use nonctg_datatype::{as_bytes_mut, Scalar};
+
+use crate::comm::Comm;
+use crate::error::Result;
+
+/// Tag base reserved for collectives (outside the typical user range).
+const COLL_TAG: i32 = i32::MAX - 1024;
+
+/// A binary combining operation for reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise product.
+    Prod,
+}
+
+impl ReduceOp {
+    fn combine_f64(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Prod => a * b,
+        }
+    }
+}
+
+/// Trait for element types usable in reductions.
+pub trait Reducible: Scalar {
+    /// Combine two values under `op`.
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+impl Reducible for f64 {
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+        op.combine_f64(a, b)
+    }
+}
+
+impl Reducible for f32 {
+    fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+        op.combine_f64(a as f64, b as f64) as f32
+    }
+}
+
+macro_rules! impl_reducible_int {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            fn combine(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                }
+            }
+        }
+    )*};
+}
+
+impl_reducible_int!(i8, u8, i16, u16, i32, u32, i64, u64);
+
+/// A zero-initialized scalar (all supported scalars accept the all-zero
+/// byte pattern).
+fn send_default<T: Scalar>() -> T {
+    // SAFETY: Scalar is a sealed set of plain integer/float types for
+    // which the all-zeros bit pattern is a valid value.
+    unsafe { std::mem::zeroed() }
+}
+
+impl Comm {
+    /// Broadcast `buf` from `root` to every rank (binomial tree).
+    pub fn bcast<T: Scalar>(&mut self, buf: &mut [T], root: usize) -> Result<()> {
+        self.check_rank(root)?;
+        let size = self.size();
+        if size == 1 {
+            return Ok(());
+        }
+        // Virtual rank with the root rotated to 0.
+        let vrank = (self.rank() + size - root) % size;
+        let tag = COLL_TAG;
+
+        // Receive from the parent: vrank minus its lowest set bit.
+        let mut mask = 1usize;
+        while mask < size {
+            if vrank & mask != 0 {
+                let parent = (vrank - mask + root) % size;
+                self.recv_slice(buf, Some(parent), Some(tag))?;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children at descending offsets below that bit.
+        mask >>= 1;
+        while mask > 0 {
+            if vrank + mask < size {
+                let child = (vrank + mask + root) % size;
+                self.send_slice(buf, child, tag)?;
+            }
+            mask >>= 1;
+        }
+        Ok(())
+    }
+
+    /// Gather equal-size contributions to `root`. On the root, `recv` must
+    /// hold `size() * send.len()` elements (rank-major); on other ranks it
+    /// is ignored and may be empty.
+    pub fn gather<T: Scalar>(&mut self, send: &[T], recv: &mut [T], root: usize) -> Result<()> {
+        self.check_rank(root)?;
+        let n = send.len();
+        let tag = COLL_TAG + 1;
+        if self.rank() == root {
+            assert!(
+                recv.len() >= n * self.size(),
+                "gather: root buffer too small ({} < {})",
+                recv.len(),
+                n * self.size()
+            );
+            recv[root * n..(root + 1) * n].copy_from_slice(send);
+            for _ in 0..self.size() - 1 {
+                let bytes = as_bytes_mut(recv);
+                self.recv_probe_into::<T>(bytes, n, tag)?;
+            }
+            Ok(())
+        } else {
+            self.send_slice(send, root, tag)
+        }
+    }
+
+    /// Internal helper: receive `n` elements from any source and place
+    /// them at `source * n` within `bytes`.
+    fn recv_probe_into<T: Scalar>(
+        &mut self,
+        bytes: &mut [u8],
+        n: usize,
+        tag: i32,
+    ) -> Result<usize> {
+        // Two-phase: match any source, then place by the status source.
+        let mut staging = vec![0u8; n * std::mem::size_of::<T>()];
+        let st = self.recv_bytes_as::<T>(&mut staging, None, Some(tag))?;
+        let off = st.source * n * std::mem::size_of::<T>();
+        bytes[off..off + staging.len()].copy_from_slice(&staging);
+        Ok(st.source)
+    }
+
+    /// Typed receive into a raw byte buffer (signature checked as `T`).
+    fn recv_bytes_as<T: Scalar>(
+        &mut self,
+        buf: &mut [u8],
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> Result<crate::RecvStatus> {
+        let t = nonctg_datatype::Datatype::of::<T>();
+        let n = buf.len() / std::mem::size_of::<T>();
+        self.recv(buf, 0, &t, n, src, tag)
+    }
+
+    /// Variable-count gather (`MPI_Gatherv`): rank `r`'s `send` (of length
+    /// `counts[r]`) lands at `displs[r]` in the root's `recv`.
+    pub fn gatherv<T: Scalar>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        counts: &[usize],
+        displs: &[usize],
+        root: usize,
+    ) -> Result<()> {
+        self.check_rank(root)?;
+        let size = self.size();
+        assert!(counts.len() >= size && displs.len() >= size, "gatherv: counts/displs too short");
+        assert_eq!(send.len(), counts[self.rank()], "gatherv: send length != counts[rank]");
+        let tag = COLL_TAG + 5;
+        if self.rank() == root {
+            recv[displs[root]..displs[root] + counts[root]].copy_from_slice(send);
+            for _ in 0..size - 1 {
+                // Stage by source, then place at that source's displacement.
+                let probe_all = self.recv_any_staged::<T>(counts, tag)?;
+                let (src, data) = probe_all;
+                recv[displs[src]..displs[src] + counts[src]].copy_from_slice(&data);
+            }
+            Ok(())
+        } else {
+            self.send_slice(send, root, tag)
+        }
+    }
+
+    /// Receive one contribution from any source into a staging vector.
+    fn recv_any_staged<T: Scalar>(
+        &mut self,
+        counts: &[usize],
+        tag: i32,
+    ) -> Result<(usize, Vec<T>)> {
+        // Match any source; the payload length tells us nothing we don't
+        // already know from counts, but the source drives placement.
+        let max_count = counts.iter().copied().max().unwrap_or(0);
+        let mut staging = vec![send_default::<T>(); max_count];
+        let st = {
+            let bytes = nonctg_datatype::as_bytes_mut(&mut staging);
+            let t = nonctg_datatype::Datatype::of::<T>();
+            let n = max_count;
+            self.recv(bytes, 0, &t, n, None, Some(tag))?
+        };
+        let n = st.bytes / std::mem::size_of::<T>();
+        staging.truncate(n);
+        assert_eq!(n, counts[st.source], "gatherv: count mismatch from {}", st.source);
+        Ok((st.source, staging))
+    }
+
+    /// Variable-count scatter (`MPI_Scatterv`): rank `r` receives
+    /// `counts[r]` elements from `displs[r]` of the root's `send`.
+    pub fn scatterv<T: Scalar>(
+        &mut self,
+        send: &[T],
+        counts: &[usize],
+        displs: &[usize],
+        recv: &mut [T],
+        root: usize,
+    ) -> Result<()> {
+        self.check_rank(root)?;
+        let size = self.size();
+        assert!(counts.len() >= size && displs.len() >= size, "scatterv: counts/displs too short");
+        assert_eq!(recv.len(), counts[self.rank()], "scatterv: recv length != counts[rank]");
+        let tag = COLL_TAG + 6;
+        if self.rank() == root {
+            for r in 0..size {
+                let part = &send[displs[r]..displs[r] + counts[r]];
+                if r == root {
+                    recv.copy_from_slice(part);
+                } else {
+                    self.send_slice(part, r, tag)?;
+                }
+            }
+            Ok(())
+        } else {
+            self.recv_slice(recv, Some(root), Some(tag))?;
+            Ok(())
+        }
+    }
+
+    /// Scatter equal-size slices from `root`: rank `r` receives elements
+    /// `r*n..(r+1)*n` of the root's `send` into its `recv` (length `n`).
+    pub fn scatter<T: Scalar>(&mut self, send: &[T], recv: &mut [T], root: usize) -> Result<()> {
+        self.check_rank(root)?;
+        let n = recv.len();
+        let tag = COLL_TAG + 2;
+        if self.rank() == root {
+            assert!(
+                send.len() >= n * self.size(),
+                "scatter: root buffer too small"
+            );
+            for r in 0..self.size() {
+                if r == root {
+                    recv.copy_from_slice(&send[r * n..(r + 1) * n]);
+                } else {
+                    self.send_slice(&send[r * n..(r + 1) * n], r, tag)?;
+                }
+            }
+            Ok(())
+        } else {
+            self.recv_slice(recv, Some(root), Some(tag))?;
+            Ok(())
+        }
+    }
+
+    /// Reduce elementwise onto `root` (binomial tree). `inout` holds this
+    /// rank's contribution on entry and, on the root, the result on exit.
+    pub fn reduce<T: Reducible>(
+        &mut self,
+        inout: &mut [T],
+        op: ReduceOp,
+        root: usize,
+    ) -> Result<()> {
+        self.check_rank(root)?;
+        let size = self.size();
+        if size == 1 {
+            return Ok(());
+        }
+        let vrank = (self.rank() + size - root) % size;
+        let tag = COLL_TAG + 3;
+        let mut recvbuf = vec![inout[0]; inout.len()];
+        let mut mask = 1usize;
+        // Binomial reduction: at round k, ranks with bit k set send to
+        // their partner and retire.
+        while mask < size {
+            if vrank & mask != 0 {
+                let vdst = vrank & !mask;
+                let dst = (vdst + root) % size;
+                self.send_slice(inout, dst, tag)?;
+                return Ok(()); // retired; only root holds the result
+            } else if vrank + mask < size {
+                let vsrc = vrank | mask;
+                let src = (vsrc + root) % size;
+                self.recv_slice(&mut recvbuf, Some(src), Some(tag))?;
+                // Combine cost: one pass over the data.
+                let bytes = std::mem::size_of_val(inout) as u64;
+                let t = self.platform().gather_time(
+                    bytes,
+                    &nonctg_simnet::Access::Contiguous,
+                    self.is_warm(),
+                );
+                self.charge(t);
+                for (a, b) in inout.iter_mut().zip(recvbuf.iter()) {
+                    *a = T::combine(op, *a, *b);
+                }
+            }
+            mask <<= 1;
+        }
+        Ok(())
+    }
+
+    /// Allreduce: reduce to rank 0 then broadcast.
+    pub fn allreduce<T: Reducible>(&mut self, inout: &mut [T], op: ReduceOp) -> Result<()> {
+        self.reduce(inout, op, 0)?;
+        self.bcast(inout, 0)
+    }
+
+    /// Allgather: every rank contributes `send` and receives every rank's
+    /// contribution rank-major in `recv` (gather to 0 + bcast).
+    pub fn allgather<T: Scalar>(&mut self, send: &[T], recv: &mut [T]) -> Result<()> {
+        self.gather(send, recv, 0)?;
+        let n = send.len() * self.size();
+        self.bcast(&mut recv[..n], 0)
+    }
+
+    /// Reduce-scatter with equal blocks (`MPI_Reduce_scatter_block`): the
+    /// elementwise reduction of every rank's `send` (length
+    /// `size() * recv.len()`) is computed and block `r` lands on rank `r`.
+    pub fn reduce_scatter_block<T: Reducible>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        op: ReduceOp,
+    ) -> Result<()> {
+        let n = recv.len();
+        assert!(send.len() >= n * self.size(), "reduce_scatter_block: send too short");
+        // Reduce the full vector onto rank 0, then scatter the blocks.
+        let mut work = send[..n * self.size()].to_vec();
+        self.reduce(&mut work, op, 0)?;
+        self.scatter(&work, recv, 0)
+    }
+
+    /// Inclusive prefix reduction (`MPI_Scan`): rank `r` ends with the
+    /// combination of ranks `0..=r`'s contributions.
+    pub fn scan<T: Reducible>(&mut self, inout: &mut [T], op: ReduceOp) -> Result<()> {
+        let tag = COLL_TAG + 7;
+        let me = self.rank();
+        if me > 0 {
+            let mut prefix = vec![send_default::<T>(); inout.len()];
+            self.recv_slice(&mut prefix, Some(me - 1), Some(tag))?;
+            for (a, b) in inout.iter_mut().zip(prefix.iter()) {
+                *a = T::combine(op, *b, *a);
+            }
+        }
+        if me + 1 < self.size() {
+            self.send_slice(inout, me + 1, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Exclusive prefix reduction (`MPI_Exscan`): rank `r` ends with the
+    /// combination of ranks `0..r` (rank 0's buffer is left untouched).
+    pub fn exscan<T: Reducible>(&mut self, inout: &mut [T], op: ReduceOp) -> Result<()> {
+        let tag = COLL_TAG + 8;
+        let me = self.rank();
+        let mine = inout.to_vec();
+        if me > 0 {
+            let mut prefix = vec![send_default::<T>(); inout.len()];
+            self.recv_slice(&mut prefix, Some(me - 1), Some(tag))?;
+            inout.copy_from_slice(&prefix);
+        }
+        if me + 1 < self.size() {
+            // Forward inclusive prefix = exclusive prefix (+) own value.
+            let fwd: Vec<T> = if me == 0 {
+                mine
+            } else {
+                inout.iter().zip(mine.iter()).map(|(&p, &m)| T::combine(op, p, m)).collect()
+            };
+            self.send_slice(&fwd, me + 1, tag)?;
+        }
+        Ok(())
+    }
+
+    /// All-to-all personalized exchange of equal `n`-element slices:
+    /// `send[r*n..]` goes to rank `r`; `recv[r*n..]` arrives from rank `r`.
+    /// Pairwise-exchange algorithm (`size()` rounds, no hot spots).
+    pub fn alltoall<T: Scalar>(&mut self, send: &[T], recv: &mut [T], n: usize) -> Result<()> {
+        let size = self.size();
+        assert!(send.len() >= n * size && recv.len() >= n * size, "alltoall buffers too small");
+        let me = self.rank();
+        let tag = COLL_TAG + 4;
+        recv[me * n..(me + 1) * n].copy_from_slice(&send[me * n..(me + 1) * n]);
+        // One consistent pairing per universe size: XOR exchange when the
+        // size is a power of two, shifted ring otherwise.
+        let pot = size.is_power_of_two();
+        for round in 1..size {
+            let (to, from) = if pot {
+                let p = me ^ round;
+                (p, p)
+            } else {
+                ((me + round) % size, (me + size - round) % size)
+            };
+            let req = self.isend_slice(&send[to * n..(to + 1) * n], to, tag)?;
+            self.recv_slice(&mut recv[from * n..(from + 1) * n], Some(from), Some(tag))?;
+            req.wait(self)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+    use nonctg_simnet::Platform;
+
+    fn quiet() -> Platform {
+        let mut p = Platform::skx_impi();
+        p.jitter_sigma = 0.0;
+        p
+    }
+
+    #[test]
+    fn bcast_reaches_all_ranks() {
+        for nranks in [1usize, 2, 3, 4, 7, 8] {
+            for root in [0, nranks - 1] {
+                Universe::run(quiet(), nranks, move |comm| {
+                    let mut buf = if comm.rank() == root {
+                        vec![42.0f64, 7.0, root as f64]
+                    } else {
+                        vec![0.0; 3]
+                    };
+                    comm.bcast(&mut buf, root).unwrap();
+                    assert_eq!(buf, vec![42.0, 7.0, root as f64], "rank {}", comm.rank());
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_latency_scales_logarithmically() {
+        let time_for = |nranks: usize| {
+            let times = Universe::run(quiet(), nranks, move |comm| {
+                let mut buf = vec![1.0f64; 16];
+                comm.barrier().unwrap();
+                let t0 = comm.wtime();
+                comm.bcast(&mut buf, 0).unwrap();
+                comm.barrier().unwrap();
+                comm.wtime() - t0
+            });
+            times[0]
+        };
+        let t2 = time_for(2);
+        let t16 = time_for(16);
+        assert!(t16 < t2 * 6.0, "binomial bcast should be ~log2: {t2} vs {t16}");
+        assert!(t16 > t2, "more ranks must cost more: {t2} vs {t16}");
+    }
+
+    #[test]
+    fn gather_collects_rank_major() {
+        Universe::run(quiet(), 4, |comm| {
+            let me = comm.rank() as f64;
+            let send = [me, me + 0.5];
+            let mut recv = vec![0.0f64; 8];
+            comm.gather(&send, &mut recv, 2).unwrap();
+            if comm.rank() == 2 {
+                assert_eq!(recv, vec![0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5]);
+            }
+        });
+    }
+
+    #[test]
+    fn scatter_distributes_slices() {
+        Universe::run(quiet(), 3, |comm| {
+            let send: Vec<f64> = if comm.rank() == 0 {
+                (0..6).map(|i| i as f64).collect()
+            } else {
+                Vec::new()
+            };
+            let mut recv = vec![0.0f64; 2];
+            comm.scatter(&send, &mut recv, 0).unwrap();
+            let r = comm.rank() as f64;
+            assert_eq!(recv, vec![2.0 * r, 2.0 * r + 1.0]);
+        });
+    }
+
+    #[test]
+    fn reduce_sums_on_root() {
+        for nranks in [2usize, 3, 5, 8] {
+            Universe::run(quiet(), nranks, move |comm| {
+                let mut v = vec![comm.rank() as f64 + 1.0, 1.0];
+                comm.reduce(&mut v, ReduceOp::Sum, 0).unwrap();
+                if comm.rank() == 0 {
+                    let expect: f64 = (1..=nranks).map(|r| r as f64).sum();
+                    assert_eq!(v, vec![expect, nranks as f64]);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_min_max_prod() {
+        Universe::run(quiet(), 4, |comm| {
+            let r = comm.rank() as i64;
+            let mut mn = [r + 10];
+            comm.reduce(&mut mn, ReduceOp::Min, 0).unwrap();
+            let mut mx = [r];
+            comm.reduce(&mut mx, ReduceOp::Max, 0).unwrap();
+            let mut pr = [r + 1];
+            comm.reduce(&mut pr, ReduceOp::Prod, 0).unwrap();
+            if comm.rank() == 0 {
+                assert_eq!(mn[0], 10);
+                assert_eq!(mx[0], 3);
+                assert_eq!(pr[0], 24);
+            }
+        });
+    }
+
+    #[test]
+    fn allreduce_agrees_everywhere() {
+        Universe::run(quiet(), 6, |comm| {
+            let mut v = [comm.rank() as u64, 1];
+            comm.allreduce(&mut v, ReduceOp::Sum).unwrap();
+            assert_eq!(v, [15, 6]);
+        });
+    }
+
+    #[test]
+    fn alltoall_power_of_two_and_odd() {
+        for nranks in [2usize, 4, 3, 5] {
+            Universe::run(quiet(), nranks, move |comm| {
+                let me = comm.rank();
+                let n = 2usize;
+                // send[r] = [me*100 + r, ...]
+                let send: Vec<u64> = (0..nranks)
+                    .flat_map(|r| [(me * 100 + r) as u64, 7])
+                    .collect();
+                let mut recv = vec![0u64; n * nranks];
+                comm.alltoall(&send, &mut recv, n).unwrap();
+                for r in 0..nranks {
+                    assert_eq!(
+                        recv[r * n],
+                        (r * 100 + me) as u64,
+                        "rank {me} from {r} ({nranks} ranks)"
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn allgather_everyone_sees_everything() {
+        for nranks in [2usize, 5] {
+            Universe::run(quiet(), nranks, move |comm| {
+                let send = [comm.rank() as f64, -1.0];
+                let mut recv = vec![0.0f64; 2 * nranks];
+                comm.allgather(&send, &mut recv).unwrap();
+                for r in 0..nranks {
+                    assert_eq!(recv[2 * r], r as f64);
+                    assert_eq!(recv[2 * r + 1], -1.0);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_block_distributes_sums() {
+        Universe::run(quiet(), 3, |comm| {
+            // send[r*2..] from every rank: value rank+block
+            let send: Vec<u64> = (0..6).map(|i| (comm.rank() * 100 + i) as u64).collect();
+            let mut recv = vec![0u64; 2];
+            comm.reduce_scatter_block(&send, &mut recv, ReduceOp::Sum).unwrap();
+            let r = comm.rank() as u64;
+            // sum over ranks of (rank*100 + block index)
+            let expect = |i: u64| 300 + 3 * i;
+            assert_eq!(recv, vec![expect(2 * r), expect(2 * r + 1)]);
+        });
+    }
+
+    #[test]
+    fn scan_computes_inclusive_prefixes() {
+        Universe::run(quiet(), 5, |comm| {
+            let mut v = [comm.rank() as u64 + 1];
+            comm.scan(&mut v, ReduceOp::Sum).unwrap();
+            let r = comm.rank() as u64;
+            assert_eq!(v[0], (r + 1) * (r + 2) / 2);
+        });
+    }
+
+    #[test]
+    fn exscan_computes_exclusive_prefixes() {
+        Universe::run(quiet(), 4, |comm| {
+            let mut v = [2u64];
+            comm.exscan(&mut v, ReduceOp::Prod).unwrap();
+            match comm.rank() {
+                0 => assert_eq!(v[0], 2, "rank 0 buffer untouched"),
+                r => assert_eq!(v[0], 1 << r),
+            }
+        });
+    }
+
+    #[test]
+    fn collectives_do_not_cross_match_user_tags() {
+        Universe::run(quiet(), 2, |comm| {
+            if comm.rank() == 0 {
+                // A user message posted *before* the collective must not be
+                // stolen by it.
+                comm.send_slice(&[9.0f64], 1, 5).unwrap();
+                let mut b = vec![0.0f64; 1];
+                comm.bcast(&mut b, 1).unwrap();
+                assert_eq!(b[0], 3.0);
+            } else {
+                let mut b = vec![3.0f64; 1];
+                comm.bcast(&mut b, 1).unwrap();
+                let mut user = [0.0f64; 1];
+                comm.recv_slice(&mut user, Some(0), Some(5)).unwrap();
+                assert_eq!(user[0], 9.0);
+            }
+        });
+    }
+}

@@ -1,0 +1,309 @@
+//! The shared fabric: mailboxes, message envelopes, protocol metadata, and
+//! the clock-combining barrier.
+//!
+//! Payload bytes always move for real (senders pack, receivers unpack and
+//! can verify byte-for-byte); *time* is carried alongside as virtual-clock
+//! stamps computed from the platform cost model. Rendezvous sends block the
+//! sender on a real back-channel until the receiver matches, which keeps
+//! virtual time causal without a global event queue.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use nonctg_datatype::Signature;
+use nonctg_simnet::Platform;
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{CoreError, Result};
+use crate::rma::WindowState;
+
+/// How long a blocking operation may wait on real time before the runtime
+/// declares a deadlock. Generous: virtual time is unrelated to wall time.
+pub(crate) const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Timing metadata of a message, interpreted by the receiver.
+#[derive(Debug)]
+pub(crate) enum Protocol {
+    /// Eager: the sender fully determined availability.
+    Eager {
+        /// Virtual time the payload is available at the receiver.
+        avail: f64,
+    },
+    /// Rendezvous: transfer starts once both sides are ready; the sender
+    /// blocks until the receiver reports the completion time back.
+    Rendezvous {
+        /// Virtual time the sender had the data staged and the RTS posted.
+        sender_ready: f64,
+        /// Pure wire time of the payload, precomputed by the sender.
+        wire: f64,
+        /// Back-channel for the sender's completion time.
+        reply: Sender<f64>,
+    },
+    /// Asynchronous rendezvous (buffered sends): same timing rule as
+    /// rendezvous but the sender has already returned.
+    AsyncRendezvous {
+        /// Virtual time the buffered data was ready to transfer.
+        sender_ready: f64,
+        /// Pure wire time of the payload.
+        wire: f64,
+    },
+}
+
+/// A message in flight or queued at the receiver.
+#[derive(Debug)]
+pub(crate) struct Envelope {
+    /// Communicator context the message belongs to.
+    pub context: u64,
+    /// Sender's rank *within that context*.
+    pub src: usize,
+    pub tag: i32,
+    /// Packed (contiguous) payload bytes.
+    pub payload: Bytes,
+    /// Total signature (already scaled by the send count).
+    pub sig: Signature,
+    pub protocol: Protocol,
+    /// Released back to an attached bsend buffer when matched.
+    pub bsend_release: Option<(Arc<AtomicU64>, u64)>,
+}
+
+#[derive(Default)]
+struct MailboxInner {
+    queue: Vec<Envelope>,
+}
+
+/// Per-rank incoming message queue.
+pub(crate) struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox { inner: Mutex::new(MailboxInner::default()), cond: Condvar::new() }
+    }
+
+    /// Deposit an envelope and wake any waiting receiver.
+    pub fn push(&self, env: Envelope) {
+        let mut inner = self.inner.lock();
+        inner.queue.push(env);
+        self.cond.notify_all();
+    }
+
+    /// Blocking match: remove and return the first envelope in `context`
+    /// matching `src`/`tag` (None = wildcard), preserving per-source order.
+    pub fn match_recv(
+        &self,
+        context: u64,
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> Result<Envelope> {
+        let mut inner = self.inner.lock();
+        loop {
+            let pos = inner.queue.iter().position(|e| {
+                e.context == context
+                    && src.is_none_or(|s| s == e.src)
+                    && tag.is_none_or(|t| t == e.tag)
+            });
+            if let Some(i) = pos {
+                return Ok(inner.queue.remove(i));
+            }
+            if self.cond.wait_for(&mut inner, DEADLOCK_TIMEOUT).timed_out() {
+                return Err(CoreError::Deadlock("a matching message"));
+            }
+        }
+    }
+
+    /// Non-blocking probe: does a matching envelope exist in `context`?
+    pub fn probe(&self, context: u64, src: Option<usize>, tag: Option<i32>) -> bool {
+        let inner = self.inner.lock();
+        inner.queue.iter().any(|e| {
+            e.context == context
+                && src.is_none_or(|s| s == e.src)
+                && tag.is_none_or(|t| t == e.tag)
+        })
+    }
+}
+
+struct BarrierState {
+    generation: u64,
+    arrived: usize,
+    tmax: f64,
+    result: f64,
+}
+
+/// A barrier that also max-combines the participants' virtual clocks.
+pub(crate) struct SimBarrier {
+    state: Mutex<BarrierState>,
+    cond: Condvar,
+    nranks: usize,
+}
+
+impl SimBarrier {
+    pub(crate) fn new(nranks: usize) -> Self {
+        SimBarrier {
+            state: Mutex::new(BarrierState { generation: 0, arrived: 0, tmax: 0.0, result: 0.0 }),
+            cond: Condvar::new(),
+            nranks,
+        }
+    }
+
+    /// Enter with the local virtual time; returns the maximum across all
+    /// participants once everyone has arrived.
+    pub fn wait(&self, t_local: f64) -> Result<f64> {
+        let mut st = self.state.lock();
+        let my_gen = st.generation;
+        st.tmax = st.tmax.max(t_local);
+        st.arrived += 1;
+        if st.arrived == self.nranks {
+            st.result = st.tmax;
+            st.tmax = 0.0;
+            st.arrived = 0;
+            st.generation += 1;
+            self.cond.notify_all();
+            return Ok(st.result);
+        }
+        while st.generation == my_gen {
+            if self.cond.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out() {
+                return Err(CoreError::Deadlock("barrier participants"));
+            }
+        }
+        Ok(st.result)
+    }
+}
+
+/// The world context id.
+pub(crate) const WORLD_CONTEXT: u64 = 0;
+
+/// A pending `split` exchange: each participant's `(color, key)`.
+#[derive(Default)]
+pub(crate) struct SplitSlot {
+    pub entries: Vec<Option<(i64, i64)>>,
+    pub filled: usize,
+}
+
+/// All state shared between the ranks of one [`crate::Universe`] run.
+pub(crate) struct Fabric {
+    pub nranks: usize,
+    pub platform: Platform,
+    pub mailboxes: Vec<Mailbox>,
+    /// Per-context barriers; context 0 is the world.
+    pub barriers: Mutex<HashMap<u64, Arc<SimBarrier>>>,
+    /// Registered one-sided windows, keyed by `(context, sequence)`.
+    pub windows: Mutex<HashMap<(u64, usize), Arc<WindowState>>>,
+    /// In-progress split exchanges, keyed by `(parent context, sequence)`.
+    pub splits: Mutex<HashMap<(u64, u64), SplitSlot>>,
+}
+
+impl Fabric {
+    pub fn new(platform: Platform, nranks: usize) -> Arc<Fabric> {
+        let mut barriers = HashMap::new();
+        barriers.insert(WORLD_CONTEXT, Arc::new(SimBarrier::new(nranks)));
+        Arc::new(Fabric {
+            nranks,
+            mailboxes: (0..nranks).map(|_| Mailbox::new()).collect(),
+            barriers: Mutex::new(barriers),
+            windows: Mutex::new(HashMap::new()),
+            splits: Mutex::new(HashMap::new()),
+            platform,
+        })
+    }
+
+    /// The barrier of a context (must exist).
+    pub fn barrier_of(&self, context: u64) -> Arc<SimBarrier> {
+        Arc::clone(self.barriers.lock().get(&context).expect("context barrier"))
+    }
+}
+
+/// Create the rendezvous back-channel.
+pub(crate) fn reply_channel() -> (Sender<f64>, Receiver<f64>) {
+    bounded(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: usize, tag: i32) -> Envelope {
+        Envelope {
+            context: WORLD_CONTEXT,
+            src,
+            tag,
+            payload: Bytes::new(),
+            sig: Signature::empty(),
+            protocol: Protocol::Eager { avail: 0.0 },
+            bsend_release: None,
+        }
+    }
+
+    #[test]
+    fn mailbox_matches_by_source_and_tag() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 1));
+        mb.push(env(1, 2));
+        let got = mb.match_recv(WORLD_CONTEXT, Some(1), Some(2)).unwrap();
+        assert_eq!((got.src, got.tag), (1, 2));
+        let got = mb.match_recv(WORLD_CONTEXT, None, None).unwrap();
+        assert_eq!((got.src, got.tag), (0, 1));
+    }
+
+    #[test]
+    fn mailbox_preserves_order_per_source() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 7));
+        mb.push(env(0, 7));
+        // Same source and tag: FIFO
+        let _ = mb.match_recv(WORLD_CONTEXT, Some(0), Some(7)).unwrap();
+        assert!(mb.probe(WORLD_CONTEXT, Some(0), Some(7)));
+    }
+
+    #[test]
+    fn mailbox_wakes_blocked_receiver() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let h = std::thread::spawn(move || mb2.match_recv(WORLD_CONTEXT, Some(3), None).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(env(3, 0));
+        let got = h.join().unwrap();
+        assert_eq!(got.src, 3);
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let mb = Mailbox::new();
+        mb.push(env(2, 9));
+        assert!(mb.probe(WORLD_CONTEXT, Some(2), Some(9)));
+        assert!(mb.probe(WORLD_CONTEXT, Some(2), Some(9)));
+        assert!(!mb.probe(WORLD_CONTEXT, Some(2), Some(8)));
+    }
+
+    #[test]
+    fn barrier_combines_clocks() {
+        let b = Arc::new(SimBarrier::new(3));
+        let mut handles = Vec::new();
+        for t in [1.0, 5.0, 3.0] {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || b.wait(t).unwrap()));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 5.0);
+        }
+    }
+
+    #[test]
+    fn barrier_reusable_across_generations() {
+        let b = Arc::new(SimBarrier::new(2));
+        for round in 0..5 {
+            let b1 = Arc::clone(&b);
+            let b2 = Arc::clone(&b);
+            let base = round as f64 * 10.0;
+            let h1 = std::thread::spawn(move || b1.wait(base + 1.0).unwrap());
+            let h2 = std::thread::spawn(move || b2.wait(base + 2.0).unwrap());
+            assert_eq!(h1.join().unwrap(), base + 2.0);
+            assert_eq!(h2.join().unwrap(), base + 2.0);
+        }
+    }
+}

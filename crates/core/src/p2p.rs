@@ -1,0 +1,503 @@
+//! Two-sided point-to-point communication: `send`, `bsend`, `recv`.
+//!
+//! Control flow mirrors a real MPI implementation:
+//!
+//! * messages at or below the eager threshold are deposited without a
+//!   handshake (sender-determined availability);
+//! * larger messages rendezvous — the sender blocks on a real back-channel
+//!   until the receiver matches and reports the transfer completion time;
+//! * non-contiguous datatypes are staged through an internal buffer whose
+//!   cost degrades beyond a few tens of MB (the paper's §4.1 observation);
+//! * `bsend` stages through the user-attached buffer, completes locally,
+//!   and the transfer proceeds asynchronously — at a measurable extra cost
+//!   (§4.2).
+//!
+//! Payload bytes genuinely move; receivers can verify every byte.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use nonctg_datatype::{self as dt, Datatype, Primitive, Scalar};
+use nonctg_simnet::Access;
+
+use crate::comm::{CacheState, Comm};
+use crate::error::{CoreError, Result};
+use crate::fabric::{reply_channel, Envelope, Protocol};
+use crate::nonblocking::{SendRequest, SendState};
+
+/// Bytes of bookkeeping the attached buffer pays per buffered message
+/// (`MPI_BSEND_OVERHEAD`).
+pub const BSEND_OVERHEAD_BYTES: u64 = 64;
+
+/// Completion information of a receive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecvStatus {
+    /// Rank the message came from.
+    pub source: usize,
+    /// Its tag.
+    pub tag: i32,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+impl RecvStatus {
+    /// Number of whole instances of `dtype` received (`MPI_Get_count`);
+    /// `None` if the payload is not a whole multiple (MPI_UNDEFINED).
+    pub fn count(&self, dtype: &Datatype) -> Option<usize> {
+        let sz = dtype.size() as usize;
+        if sz == 0 {
+            return Some(0);
+        }
+        self.bytes.is_multiple_of(sz).then_some(self.bytes / sz)
+    }
+
+    /// Number of primitive elements received, counting elements of a
+    /// trailing partial instance (`MPI_Get_elements`). `None` only when
+    /// the payload does not align with the type's primitive boundaries.
+    pub fn element_count(&self, dtype: &Datatype) -> Option<usize> {
+        let sz = dtype.size() as usize;
+        if sz == 0 {
+            return Some(0);
+        }
+        let whole = self.bytes / sz;
+        let mut elements = whole * dtype.signature().total_elements() as usize;
+        let mut rem = self.bytes % sz;
+        if rem > 0 {
+            for e in dtype.type_map_preview(usize::MAX) {
+                if rem == 0 {
+                    break;
+                }
+                let psz = e.primitive.size();
+                if rem < psz {
+                    return None; // mid-primitive cut
+                }
+                rem -= psz;
+                elements += 1;
+            }
+        }
+        Some(elements)
+    }
+}
+
+/// The user buffer attached with [`Comm::buffer_attach`].
+#[derive(Debug)]
+pub(crate) struct BsendBuffer {
+    pub capacity: u64,
+    pub in_use: Arc<AtomicU64>,
+}
+
+pub(crate) enum SendMode {
+    Standard,
+    /// Completes only once the receive is matched (`MPI_Ssend`): the
+    /// rendezvous path regardless of message size.
+    Synchronous,
+    Buffered,
+}
+
+impl Comm {
+    // ------------------------------------------------------------------
+    // sends
+    // ------------------------------------------------------------------
+
+    /// Standard send of `count` instances of `dtype` read from `buf`
+    /// starting at byte `origin` (`MPI_Send`).
+    pub fn send(
+        &mut self,
+        buf: &[u8],
+        origin: usize,
+        dtype: &Datatype,
+        count: usize,
+        dst: usize,
+        tag: i32,
+    ) -> Result<()> {
+        let t0 = self.clock.now();
+        let bytes = dt::pack_size(dtype, count)?;
+        let req = self.send_impl(buf, origin, dtype, count, dst, tag, SendMode::Standard)?;
+        req.wait(self)?;
+        self.trace(crate::trace::EventKind::Send, t0, Some(dst), bytes, Some(tag));
+        Ok(())
+    }
+
+    /// Synchronous send (`MPI_Ssend`): local completion implies the
+    /// matching receive has started — the handshake happens at every size.
+    pub fn ssend(
+        &mut self,
+        buf: &[u8],
+        origin: usize,
+        dtype: &Datatype,
+        count: usize,
+        dst: usize,
+        tag: i32,
+    ) -> Result<()> {
+        let t0 = self.clock.now();
+        let bytes = dt::pack_size(dtype, count)?;
+        let req = self.send_impl(buf, origin, dtype, count, dst, tag, SendMode::Synchronous)?;
+        req.wait(self)?;
+        self.trace(crate::trace::EventKind::Send, t0, Some(dst), bytes, Some(tag));
+        Ok(())
+    }
+
+    /// Synchronous send of a contiguous scalar slice.
+    pub fn ssend_slice<T: Scalar>(&mut self, data: &[T], dst: usize, tag: i32) -> Result<()> {
+        let t = Datatype::of::<T>();
+        self.ssend(dt::as_bytes(data), 0, &t, data.len(), dst, tag)
+    }
+
+    /// Buffered send through the attached buffer (`MPI_Bsend`).
+    pub fn bsend(
+        &mut self,
+        buf: &[u8],
+        origin: usize,
+        dtype: &Datatype,
+        count: usize,
+        dst: usize,
+        tag: i32,
+    ) -> Result<()> {
+        let t0 = self.clock.now();
+        let bytes = dt::pack_size(dtype, count)?;
+        let req = self.send_impl(buf, origin, dtype, count, dst, tag, SendMode::Buffered)?;
+        req.wait(self)?;
+        self.trace(crate::trace::EventKind::Bsend, t0, Some(dst), bytes, Some(tag));
+        Ok(())
+    }
+
+    /// Send a contiguous byte buffer (`MPI_Send` of `MPI_BYTE`s).
+    pub fn send_bytes(&mut self, data: &[u8], dst: usize, tag: i32) -> Result<()> {
+        let t = Datatype::byte();
+        self.send(data, 0, &t, data.len(), dst, tag)
+    }
+
+    /// Send a contiguous buffer previously filled by [`Comm::pack`]
+    /// (`MPI_Send` of `MPI_PACKED` — protocol quirks of packed sends
+    /// apply, see the Cray model).
+    pub fn send_packed(&mut self, data: &[u8], dst: usize, tag: i32) -> Result<()> {
+        let t = Datatype::packed();
+        self.send(data, 0, &t, data.len(), dst, tag)
+    }
+
+    /// Send a contiguous scalar slice.
+    pub fn send_slice<T: Scalar>(&mut self, data: &[T], dst: usize, tag: i32) -> Result<()> {
+        let t = Datatype::of::<T>();
+        self.send(dt::as_bytes(data), 0, &t, data.len(), dst, tag)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn send_impl(
+        &mut self,
+        buf: &[u8],
+        origin: usize,
+        dtype: &Datatype,
+        count: usize,
+        dst: usize,
+        tag: i32,
+        mode: SendMode,
+    ) -> Result<SendRequest> {
+        self.check_rank(dst)?;
+        dtype.require_committed()?;
+        let bytes = dt::pack_size(dtype, count)? as u64;
+        let access = Access::classify(dtype);
+        let warm = self.is_warm();
+        let p = self.platform().clone();
+
+        // Real data movement: stage the payload contiguously.
+        let payload = Bytes::from(dt::pack(buf, origin, dtype, count)?);
+        let sig = dtype.signature().scaled(count as u64)?;
+
+        let is_packed = dtype.signature().count(Primitive::Packed) > 0;
+        let eager =
+            !matches!(mode, SendMode::Synchronous) && bytes <= p.eager_threshold(is_packed);
+        let contiguous = matches!(access, Access::Contiguous);
+
+        let mut bsend_release = None;
+        let protocol = match mode {
+            SendMode::Standard | SendMode::Synchronous if contiguous => {
+                // Reference path: NIC streams the buffer, reads overlap the
+                // wire (paper §2.1, proportionality ~1).
+                let inject = p.contiguous_injection(bytes) * self.jitter.factor();
+                self.charge_exact(p.send_overhead(eager));
+                self.cache = CacheState::Warm;
+                if eager {
+                    self.clock.advance(inject);
+                    Protocol::Eager { avail: self.clock.now() + p.net.latency }
+                } else {
+                    let (tx, rx) = reply_channel();
+                    let proto = Protocol::Rendezvous {
+                        sender_ready: self.clock.now(),
+                        // The pipelined injection *is* the transfer.
+                        wire: inject,
+                        reply: tx,
+                    };
+                    self.post(dst, tag, payload, sig, proto, None);
+                    return Ok(SendRequest::new(SendState::Pending(rx)));
+                }
+            }
+            SendMode::Standard | SendMode::Synchronous => {
+                // Derived-type path: MPI gathers into its internal buffer
+                // (no overlap with the wire), then sends contiguously.
+                self.charge(p.staging_time(bytes, &access, warm));
+                self.charge_exact(p.send_overhead(eager));
+                self.cache = CacheState::Warm;
+                let wire = p.wire_time(bytes, 1.0) * self.jitter.factor();
+                if eager {
+                    Protocol::Eager { avail: self.clock.now() + p.net.latency + wire }
+                } else {
+                    let (tx, rx) = reply_channel();
+                    let proto = Protocol::Rendezvous {
+                        sender_ready: self.clock.now(),
+                        wire,
+                        reply: tx,
+                    };
+                    self.post(dst, tag, payload, sig, proto, None);
+                    return Ok(SendRequest::new(SendState::Pending(rx)));
+                }
+            }
+            SendMode::Buffered => {
+                // Reserve attached-buffer space first (MPI_ERR_BUFFER).
+                let needed = bytes + BSEND_OVERHEAD_BYTES;
+                let release = self.reserve_bsend(needed)?;
+                bsend_release = Some(release);
+                // Stage through the attached buffer: same gather arithmetic
+                // as the internal path (the user buffer does not avoid the
+                // large-message bookkeeping, §4.2)...
+                let stage = p.staging_time(bytes, &access, warm);
+                self.charge(stage);
+                // ...plus Bsend's own accounting and extra internal copy.
+                self.charge(p.bsend_extra(bytes));
+                self.charge_exact(p.send_overhead(true));
+                self.cache = CacheState::Warm;
+                let wire = p.wire_time(bytes, 1.0) * self.jitter.factor();
+                if eager {
+                    Protocol::Eager { avail: self.clock.now() + p.net.latency + wire }
+                } else {
+                    // Local completion now; transfer rendezvouses on its own.
+                    Protocol::AsyncRendezvous { sender_ready: self.clock.now(), wire }
+                }
+            }
+        };
+
+        self.post(dst, tag, payload, sig, protocol, bsend_release);
+        Ok(SendRequest::new(SendState::Done(self.clock.now())))
+    }
+
+    fn post(
+        &self,
+        dst: usize,
+        tag: i32,
+        payload: Bytes,
+        sig: nonctg_datatype::Signature,
+        protocol: Protocol,
+        bsend_release: Option<(Arc<AtomicU64>, u64)>,
+    ) {
+        let global_dst = self.global_rank(dst);
+        self.fabric().mailboxes[global_dst].push(Envelope {
+            context: self.context(),
+            src: self.rank(),
+            tag,
+            payload,
+            sig,
+            protocol,
+            bsend_release,
+        });
+    }
+
+    fn reserve_bsend(&mut self, needed: u64) -> Result<(Arc<AtomicU64>, u64)> {
+        let b = self
+            .bsend
+            .as_ref()
+            .ok_or(CoreError::BufferAttachState("bsend without an attached buffer"))?;
+        let in_use = b.in_use.load(Ordering::Acquire);
+        let available = b.capacity.saturating_sub(in_use);
+        if needed > available {
+            return Err(CoreError::BsendBufferOverflow {
+                needed: needed as usize,
+                available: available as usize,
+            });
+        }
+        b.in_use.fetch_add(needed, Ordering::AcqRel);
+        Ok((Arc::clone(&b.in_use), needed))
+    }
+
+    // ------------------------------------------------------------------
+    // buffer attach / detach
+    // ------------------------------------------------------------------
+
+    /// Attach `capacity` bytes of buffer space for buffered sends
+    /// (`MPI_Buffer_attach`).
+    pub fn buffer_attach(&mut self, capacity: usize) -> Result<()> {
+        if self.bsend.is_some() {
+            return Err(CoreError::BufferAttachState("a buffer is already attached"));
+        }
+        self.bsend = Some(BsendBuffer {
+            capacity: capacity as u64,
+            in_use: Arc::new(AtomicU64::new(0)),
+        });
+        Ok(())
+    }
+
+    /// Detach the buffered-send buffer (`MPI_Buffer_detach`). Returns its
+    /// capacity.
+    pub fn buffer_detach(&mut self) -> Result<usize> {
+        match self.bsend.take() {
+            Some(b) => Ok(b.capacity as usize),
+            None => Err(CoreError::BufferAttachState("no buffer attached")),
+        }
+    }
+
+    /// Space needed in the attached buffer for one buffered send.
+    pub fn bsend_size(dtype: &Datatype, count: usize) -> Result<usize> {
+        Ok(dt::pack_size(dtype, count)? + BSEND_OVERHEAD_BYTES as usize)
+    }
+
+    // ------------------------------------------------------------------
+    // receives
+    // ------------------------------------------------------------------
+
+    /// Receive `count` instances of `dtype` into `buf` at byte `origin`
+    /// (`MPI_Recv`). `src`/`tag` of `None` are the wildcards.
+    pub fn recv(
+        &mut self,
+        buf: &mut [u8],
+        origin: usize,
+        dtype: &Datatype,
+        count: usize,
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> Result<RecvStatus> {
+        let t_post = self.clock.now();
+        self.recv_with_post_time(buf, origin, dtype, count, src, tag, t_post)
+    }
+
+    /// Receive whose matching receive was *posted* at virtual time
+    /// `t_post` (used by `irecv`/`wait` to model communication overlap:
+    /// the transfer may complete between posting and waiting).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn recv_with_post_time(
+        &mut self,
+        buf: &mut [u8],
+        origin: usize,
+        dtype: &Datatype,
+        count: usize,
+        src: Option<usize>,
+        tag: Option<i32>,
+        t_post: f64,
+    ) -> Result<RecvStatus> {
+        dtype.require_committed()?;
+        if let Some(s) = src {
+            self.check_rank(s)?;
+        }
+        let capacity = dt::pack_size(dtype, count)?;
+        let p = self.platform().clone();
+
+        let me = self.global_rank(self.rank());
+        let env = self.fabric().mailboxes[me].match_recv(self.context(), src, tag)?;
+
+        if env.payload.len() > capacity {
+            return Err(CoreError::Truncate { incoming: env.payload.len(), capacity });
+        }
+        // Signature check: MPI_PACKED/MPI_BYTE match anything of the right
+        // size; otherwise the primitive multisets must agree.
+        let recv_sig = dtype.signature().scaled(count as u64)?;
+        let relaxed = env.sig.is_bytes_only() || recv_sig.is_bytes_only();
+        if relaxed {
+            if env.sig.total_bytes() > recv_sig.total_bytes() {
+                return Err(CoreError::Truncate {
+                    incoming: env.payload.len(),
+                    capacity,
+                });
+            }
+        } else {
+            // Allow a shorter matching prefix: count how many whole send
+            // elements arrived; exact multiset match required at equal size.
+            if env.payload.len() == capacity && !env.sig.matches(1, &recv_sig, 1) {
+                return Err(CoreError::SignatureMismatch);
+            }
+            if env.payload.len() < capacity {
+                // Partial receive: only the byte check applies (MPI permits
+                // receiving fewer elements than posted).
+                let ok = env.sig.total_bytes() <= recv_sig.total_bytes();
+                if !ok {
+                    return Err(CoreError::SignatureMismatch);
+                }
+            }
+        }
+
+        // Timing.
+        match &env.protocol {
+            Protocol::Eager { avail } => {
+                self.clock.sync_to(*avail);
+            }
+            Protocol::Rendezvous { sender_ready, wire, reply } => {
+                let start = t_post.max(*sender_ready) + p.proto.rndv_extra;
+                let done = start + p.net.latency + *wire;
+                // Sender unblocks when the transfer completes.
+                let _ = reply.send(done);
+                self.clock.sync_to(done);
+            }
+            Protocol::AsyncRendezvous { sender_ready, wire } => {
+                let start = t_post.max(*sender_ready) + p.proto.rndv_extra;
+                self.clock.sync_to(start + p.net.latency + *wire);
+            }
+        }
+        self.charge_exact(p.proto.eager_overhead);
+
+        // Real delivery: unpack the payload into the user layout. Derived
+        // receive types pay the scatter; contiguous receives are the NIC's
+        // direct deposit and cost nothing extra.
+        let incoming_count = if dtype.size() == 0 {
+            0
+        } else {
+            env.payload.len() / dtype.size() as usize
+        };
+        dt::unpack_from(&env.payload, dtype, incoming_count, buf, origin)?;
+        if !dtype.is_contiguous_run(incoming_count as u64) {
+            let access = Access::classify(dtype);
+            let t = p.scatter_time(env.payload.len() as u64, &access, self.is_warm());
+            self.charge(t);
+        }
+        self.cache = CacheState::Warm;
+
+        if let Some((in_use, amount)) = &env.bsend_release {
+            in_use.fetch_sub(*amount, Ordering::AcqRel);
+        }
+
+        self.trace(
+            crate::trace::EventKind::Recv,
+            t_post,
+            Some(env.src),
+            env.payload.len(),
+            Some(env.tag),
+        );
+        Ok(RecvStatus { source: env.src, tag: env.tag, bytes: env.payload.len() })
+    }
+
+    /// Receive into a contiguous byte buffer.
+    pub fn recv_bytes(
+        &mut self,
+        buf: &mut [u8],
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> Result<RecvStatus> {
+        let t = Datatype::byte();
+        let n = buf.len();
+        self.recv(buf, 0, &t, n, src, tag)
+    }
+
+    /// Receive into a contiguous scalar slice.
+    pub fn recv_slice<T: Scalar>(
+        &mut self,
+        buf: &mut [T],
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> Result<RecvStatus> {
+        let t = Datatype::of::<T>();
+        let n = buf.len();
+        self.recv(dt::as_bytes_mut(buf), 0, &t, n, src, tag)
+    }
+
+    /// Non-blocking probe for a matching message.
+    pub fn probe(&self, src: Option<usize>, tag: Option<i32>) -> bool {
+        let me = self.global_rank(self.rank());
+        self.fabric().mailboxes[me].probe(self.context(), src, tag)
+    }
+}

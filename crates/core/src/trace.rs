@@ -1,0 +1,270 @@
+//! Per-rank event tracing.
+//!
+//! When enabled on a [`crate::Comm`], every communication and memory operation
+//! records a [`TraceEvent`] with its virtual start/end times — enough to
+//! reconstruct a timeline of a run, attribute time to protocol phases,
+//! and debug cost-model questions ("where did those 40 µs go?").
+//!
+//! Tracing is off by default and costs one branch per operation when off.
+
+use std::fmt;
+
+/// What kind of operation an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Blocking standard send (full duration including rendezvous wait).
+    Send,
+    /// Buffered send (local completion).
+    Bsend,
+    /// Nonblocking send initiation (local staging only).
+    Isend,
+    /// Receive (from posting to delivery).
+    Recv,
+    /// One-sided put (origin-side work).
+    Put,
+    /// One-sided get (origin-side work).
+    Get,
+    /// Window fence.
+    Fence,
+    /// Barrier.
+    Barrier,
+    /// `pack` / `pack_elementwise` call.
+    Pack,
+    /// `unpack` call.
+    Unpack,
+    /// User-space copy charged via `charge_copy`/`charge_scatter`.
+    Copy,
+    /// Cache flush between measurements.
+    Flush,
+}
+
+impl EventKind {
+    /// Short fixed-width label for timeline rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Send => "send",
+            EventKind::Bsend => "bsend",
+            EventKind::Isend => "isend",
+            EventKind::Recv => "recv",
+            EventKind::Put => "put",
+            EventKind::Get => "get",
+            EventKind::Fence => "fence",
+            EventKind::Barrier => "barrier",
+            EventKind::Pack => "pack",
+            EventKind::Unpack => "unpack",
+            EventKind::Copy => "copy",
+            EventKind::Flush => "flush",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One traced operation on one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Operation kind.
+    pub kind: EventKind,
+    /// Virtual time the operation began.
+    pub t_start: f64,
+    /// Virtual time the operation completed on this rank.
+    pub t_end: f64,
+    /// Peer rank, when the operation has one.
+    pub peer: Option<usize>,
+    /// Payload bytes moved (0 for pure synchronization).
+    pub bytes: usize,
+    /// Message tag, when applicable.
+    pub tag: Option<i32>,
+}
+
+impl TraceEvent {
+    /// Duration in virtual seconds.
+    pub fn duration(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+}
+
+/// The (optional) per-rank event recorder.
+#[derive(Debug, Default)]
+pub(crate) struct Tracer {
+    events: Option<Vec<TraceEvent>>,
+}
+
+impl Tracer {
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.events.is_some()
+    }
+
+    pub fn enable(&mut self) {
+        if self.events.is_none() {
+            self.events = Some(Vec::new());
+        }
+    }
+
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        self.events.take().unwrap_or_default()
+    }
+
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if let Some(v) = &mut self.events {
+            v.push(ev);
+        }
+    }
+}
+
+/// Summarize a trace: total and per-kind busy time.
+pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    for e in events {
+        s.total += e.duration();
+        s.count += 1;
+        s.bytes += e.bytes;
+        let idx = e.kind as usize;
+        if idx < s.per_kind.len() {
+            s.per_kind[idx].0 += e.duration();
+            s.per_kind[idx].1 += 1;
+        }
+    }
+    s
+}
+
+/// Aggregate of a rank's trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Sum of event durations (operations may not tile the timeline).
+    pub total: f64,
+    /// Number of events.
+    pub count: usize,
+    /// Total payload bytes across events.
+    pub bytes: usize,
+    /// `(busy seconds, count)` per [`EventKind`] discriminant.
+    pub per_kind: [(f64, usize); 12],
+}
+
+impl TraceSummary {
+    /// Busy time of one kind.
+    pub fn time_of(&self, kind: EventKind) -> f64 {
+        self.per_kind[kind as usize].0
+    }
+
+    /// Event count of one kind.
+    pub fn count_of(&self, kind: EventKind) -> usize {
+        self.per_kind[kind as usize].1
+    }
+}
+
+/// Render traces (one per rank) as an ASCII timeline: `width` columns
+/// spanning `[0, t_max]`, one row per rank, the densest kind per column.
+pub fn ascii_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
+    let width = width.max(10);
+    let t_max = traces
+        .iter()
+        .flatten()
+        .map(|e| e.t_end)
+        .fold(0.0f64, f64::max);
+    if t_max <= 0.0 {
+        return "empty trace\n".into();
+    }
+    let glyph = |k: EventKind| match k {
+        EventKind::Send | EventKind::Isend => 'S',
+        EventKind::Bsend => 'B',
+        EventKind::Recv => 'R',
+        EventKind::Put => 'P',
+        EventKind::Get => 'G',
+        EventKind::Fence => 'F',
+        EventKind::Barrier => '|',
+        EventKind::Pack | EventKind::Copy => 'c',
+        EventKind::Unpack => 'u',
+        EventKind::Flush => '.',
+    };
+    let mut out = String::new();
+    for (rank, events) in traces.iter().enumerate() {
+        let mut row = vec![' '; width];
+        for e in events {
+            let a = ((e.t_start / t_max) * (width - 1) as f64).floor() as usize;
+            let b = ((e.t_end / t_max) * (width - 1) as f64).ceil() as usize;
+            for cell in row.iter_mut().take(b.min(width - 1) + 1).skip(a) {
+                *cell = glyph(e.kind);
+            }
+        }
+        out.push_str(&format!("rank {rank:>2} |"));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "         0{:>width$}\n",
+        format!("{:.1} us", t_max * 1e6),
+        width = width - 1
+    ));
+    out.push_str("         S=send B=bsend R=recv P=put G=get F=fence |=barrier c=copy/pack u=unpack .=flush\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, a: f64, b: f64) -> TraceEvent {
+        TraceEvent { kind, t_start: a, t_end: b, peer: None, bytes: 100, tag: None }
+    }
+
+    #[test]
+    fn tracer_off_by_default() {
+        let mut t = Tracer::default();
+        assert!(!t.enabled());
+        t.record(ev(EventKind::Send, 0.0, 1.0));
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn tracer_records_when_enabled() {
+        let mut t = Tracer::default();
+        t.enable();
+        t.record(ev(EventKind::Send, 0.0, 1.0));
+        t.record(ev(EventKind::Recv, 1.0, 3.0));
+        let evs = t.take();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[1].duration(), 2.0);
+        // take() disables
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn summary_accumulates_per_kind() {
+        let evs = vec![
+            ev(EventKind::Send, 0.0, 1.0),
+            ev(EventKind::Send, 2.0, 2.5),
+            ev(EventKind::Recv, 1.0, 2.0),
+        ];
+        let s = summarize(&evs);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.bytes, 300);
+        assert!((s.time_of(EventKind::Send) - 1.5).abs() < 1e-12);
+        assert_eq!(s.count_of(EventKind::Send), 2);
+        assert_eq!(s.count_of(EventKind::Fence), 0);
+    }
+
+    #[test]
+    fn timeline_renders_rows() {
+        let traces = vec![
+            vec![ev(EventKind::Send, 0.0, 0.5)],
+            vec![ev(EventKind::Recv, 0.3, 1.0)],
+        ];
+        let s = ascii_timeline(&traces, 40);
+        assert!(s.contains("rank  0"));
+        assert!(s.contains("rank  1"));
+        assert!(s.contains('S'));
+        assert!(s.contains('R'));
+    }
+
+    #[test]
+    fn empty_timeline_graceful() {
+        assert_eq!(ascii_timeline(&[], 40), "empty trace\n");
+    }
+}

@@ -1,0 +1,59 @@
+//! Launching a simulated MPI universe.
+//!
+//! Ranks run as real OS threads over a shared [`crate::fabric::Fabric`];
+//! each gets a [`Comm`] with its own virtual clock. `Universe::run` blocks
+//! until every rank's closure returns and hands back the per-rank results
+//! in rank order, so harness code reads like an SPMD `main`.
+
+use nonctg_simnet::Platform;
+
+use crate::comm::Comm;
+use crate::fabric::Fabric;
+
+/// Entry point for running SPMD closures over simulated ranks.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `nranks` ranks of `platform`; returns each rank's result
+    /// in rank order.
+    ///
+    /// # Panics
+    /// Panics if `nranks == 0` or if any rank's closure panics (the panic
+    /// is propagated).
+    pub fn run<T, F>(platform: Platform, nranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        assert!(nranks > 0, "universe needs at least one rank");
+        let fabric = Fabric::new(platform, nranks);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nranks)
+                .map(|rank| {
+                    let fabric = std::sync::Arc::clone(&fabric);
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut comm = Comm::new(fabric, rank);
+                        f(&mut comm)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+
+    /// [`Universe::run`] on the paper's standard two ranks.
+    pub fn run_pair<T, F>(platform: Platform, f: F) -> (T, T)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let mut v = Self::run(platform, 2, f);
+        let b = v.pop().expect("two results");
+        let a = v.pop().expect("two results");
+        (a, b)
+    }
+}

@@ -1,0 +1,260 @@
+//! Public constructors for [`Datatype`], mirroring the `MPI_Type_*` family.
+//!
+//! All constructors validate their arguments and compute derived properties
+//! eagerly; they return uncommitted types (except primitives, which are born
+//! committed). Call [`Datatype::commit`] before using a type in
+//! communication, exactly as in MPI.
+
+use std::sync::Arc;
+
+use crate::error::{DatatypeError, Result};
+use crate::node::{ArrayOrder, Datatype, Kind, StructField, TypeNode};
+use crate::primitive::{Primitive, Scalar};
+
+impl Datatype {
+    /// A predefined leaf type.
+    pub fn primitive(p: Primitive) -> Datatype {
+        TypeNode::build(Kind::Primitive(p)).expect("primitive construction cannot fail")
+    }
+
+    /// The primitive matching a Rust scalar type.
+    pub fn of<T: Scalar>() -> Datatype {
+        Self::primitive(T::PRIMITIVE)
+    }
+
+    /// `MPI_BYTE`.
+    pub fn byte() -> Datatype {
+        Self::primitive(Primitive::Byte)
+    }
+
+    /// `MPI_PACKED` — the type of a buffer filled by `pack`; matches any
+    /// signature of equal byte count.
+    pub fn packed() -> Datatype {
+        Self::primitive(Primitive::Packed)
+    }
+
+    /// `MPI_DOUBLE`.
+    pub fn f64() -> Datatype {
+        Self::primitive(Primitive::Float64)
+    }
+
+    /// `MPI_FLOAT`.
+    pub fn f32() -> Datatype {
+        Self::primitive(Primitive::Float32)
+    }
+
+    /// `MPI_INT`.
+    pub fn i32() -> Datatype {
+        Self::primitive(Primitive::Int32)
+    }
+
+    /// `MPI_INT64_T`.
+    pub fn i64() -> Datatype {
+        Self::primitive(Primitive::Int64)
+    }
+
+    /// `MPI_C_DOUBLE_COMPLEX`.
+    pub fn complex128() -> Datatype {
+        Self::primitive(Primitive::Complex128)
+    }
+
+    /// `MPI_Type_contiguous`: `count` consecutive instances of `child`.
+    pub fn contiguous(count: usize, child: &Datatype) -> Result<Datatype> {
+        TypeNode::build(Kind::Contiguous { count: count as u64, child: child.clone() })
+    }
+
+    /// `MPI_Type_vector`: `count` blocks of `blocklen` elements, block
+    /// starts `stride` child-extents apart. `stride` may be negative.
+    pub fn vector(count: usize, blocklen: usize, stride: i64, child: &Datatype) -> Result<Datatype> {
+        TypeNode::build(Kind::Vector {
+            count: count as u64,
+            blocklen: blocklen as u64,
+            stride,
+            child: child.clone(),
+        })
+    }
+
+    /// `MPI_Type_create_hvector`: like [`Self::vector`] but `stride_bytes`
+    /// is in bytes.
+    pub fn hvector(
+        count: usize,
+        blocklen: usize,
+        stride_bytes: i64,
+        child: &Datatype,
+    ) -> Result<Datatype> {
+        TypeNode::build(Kind::Hvector {
+            count: count as u64,
+            blocklen: blocklen as u64,
+            stride_bytes,
+            child: child.clone(),
+        })
+    }
+
+    /// `MPI_Type_indexed`: blocks of `blocklens[i]` elements at
+    /// `displacements[i]` child-extents.
+    pub fn indexed_from(
+        blocklens: &[usize],
+        displacements: &[i64],
+        child: &Datatype,
+    ) -> Result<Datatype> {
+        if blocklens.len() != displacements.len() {
+            return Err(DatatypeError::MismatchedLengths {
+                blocklens: blocklens.len(),
+                displacements: displacements.len(),
+            });
+        }
+        let blocks: Arc<[(u64, i64)]> = blocklens
+            .iter()
+            .zip(displacements)
+            .map(|(&b, &d)| (b as u64, d))
+            .collect();
+        TypeNode::build(Kind::Indexed { blocks, child: child.clone() })
+    }
+
+    /// [`Self::indexed_from`] with `(blocklen, displacement)` pairs.
+    pub fn indexed(blocks: &[(usize, i64)], child: &Datatype) -> Result<Datatype> {
+        let blocks: Arc<[(u64, i64)]> = blocks.iter().map(|&(b, d)| (b as u64, d)).collect();
+        TypeNode::build(Kind::Indexed { blocks, child: child.clone() })
+    }
+
+    /// `MPI_Type_create_hindexed`: displacements in bytes.
+    pub fn hindexed(blocks: &[(usize, i64)], child: &Datatype) -> Result<Datatype> {
+        let blocks: Arc<[(u64, i64)]> = blocks.iter().map(|&(b, d)| (b as u64, d)).collect();
+        TypeNode::build(Kind::Hindexed { blocks, child: child.clone() })
+    }
+
+    /// `MPI_Type_create_indexed_block`: equal-length blocks at element
+    /// displacements.
+    pub fn indexed_block(
+        blocklen: usize,
+        displacements: &[i64],
+        child: &Datatype,
+    ) -> Result<Datatype> {
+        TypeNode::build(Kind::IndexedBlock {
+            blocklen: blocklen as u64,
+            displacements: displacements.into(),
+            child: child.clone(),
+        })
+    }
+
+    /// `MPI_Type_create_struct`: fields given as
+    /// `(blocklen, byte displacement, type)`.
+    pub fn structure(fields: &[(usize, i64, Datatype)]) -> Result<Datatype> {
+        let fields: Arc<[StructField]> = fields
+            .iter()
+            .map(|(b, d, t)| StructField {
+                blocklen: *b as u64,
+                displacement: *d,
+                datatype: t.clone(),
+            })
+            .collect();
+        TypeNode::build(Kind::Struct { fields })
+    }
+
+    /// `MPI_Type_create_subarray`: select an n-dimensional rectangular
+    /// region (`subsizes` starting at `starts`) out of a full array of
+    /// `sizes`, in C or Fortran `order`.
+    pub fn subarray(
+        sizes: &[usize],
+        subsizes: &[usize],
+        starts: &[usize],
+        order: ArrayOrder,
+        child: &Datatype,
+    ) -> Result<Datatype> {
+        let ndims = sizes.len();
+        if ndims == 0 {
+            return Err(DatatypeError::InvalidSubarray("ndims must be >= 1".into()));
+        }
+        if subsizes.len() != ndims || starts.len() != ndims {
+            return Err(DatatypeError::InvalidSubarray(format!(
+                "dimension mismatch: sizes={} subsizes={} starts={}",
+                ndims,
+                subsizes.len(),
+                starts.len()
+            )));
+        }
+        for d in 0..ndims {
+            if subsizes[d] > sizes[d] {
+                return Err(DatatypeError::InvalidSubarray(format!(
+                    "subsize {} exceeds size {} in dimension {d}",
+                    subsizes[d], sizes[d]
+                )));
+            }
+            if subsizes[d] > 0 && starts[d] + subsizes[d] > sizes[d] {
+                return Err(DatatypeError::InvalidSubarray(format!(
+                    "start {} + subsize {} exceeds size {} in dimension {d}",
+                    starts[d], subsizes[d], sizes[d]
+                )));
+            }
+        }
+        TypeNode::build(Kind::Subarray {
+            sizes: sizes.iter().map(|&s| s as u64).collect(),
+            subsizes: subsizes.iter().map(|&s| s as u64).collect(),
+            starts: starts.iter().map(|&s| s as u64).collect(),
+            order,
+            child: child.clone(),
+        })
+    }
+
+    /// `MPI_Type_create_resized`: override lower bound and extent.
+    pub fn resized(child: &Datatype, lb: i64, extent: u64) -> Result<Datatype> {
+        TypeNode::build(Kind::Resized { lb, extent, child: child.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_length_mismatch_rejected() {
+        let e = Datatype::indexed_from(&[1, 2], &[0], &Datatype::f64());
+        assert!(matches!(e, Err(DatatypeError::MismatchedLengths { .. })));
+    }
+
+    #[test]
+    fn subarray_validation() {
+        let f = Datatype::f64();
+        assert!(Datatype::subarray(&[], &[], &[], ArrayOrder::C, &f).is_err());
+        assert!(Datatype::subarray(&[4], &[5], &[0], ArrayOrder::C, &f).is_err());
+        assert!(Datatype::subarray(&[4], &[2], &[3], ArrayOrder::C, &f).is_err());
+        assert!(Datatype::subarray(&[4, 4], &[2], &[0], ArrayOrder::C, &f).is_err());
+        assert!(Datatype::subarray(&[4], &[2], &[2], ArrayOrder::C, &f).is_ok());
+        // zero-size selections are fine regardless of start
+        assert!(Datatype::subarray(&[4], &[0], &[4], ArrayOrder::C, &f).is_ok());
+    }
+
+    #[test]
+    fn of_matches_explicit() {
+        assert_eq!(Datatype::of::<f64>().size(), Datatype::f64().size());
+        assert_eq!(
+            Datatype::of::<i32>().signature().count(Primitive::Int32),
+            1
+        );
+    }
+
+    #[test]
+    fn hvector_bytes_stride() {
+        let d = Datatype::hvector(3, 2, 100, &Datatype::i32()).unwrap();
+        assert_eq!(d.size(), 24);
+        assert_eq!(d.ub(), 200 + 8);
+    }
+
+    #[test]
+    fn indexed_block_matches_indexed() {
+        let a = Datatype::indexed_block(2, &[0, 5, 11], &Datatype::i32()).unwrap();
+        let b = Datatype::indexed(&[(2, 0), (2, 5), (2, 11)], &Datatype::i32()).unwrap();
+        assert_eq!(a.size(), b.size());
+        assert_eq!(a.extent(), b.extent());
+        assert_eq!(a.seg_count_hint(), b.seg_count_hint());
+    }
+
+    #[test]
+    fn nested_vectors() {
+        // vector of vectors: 3 x (4 blocks of 1, stride 2) f64
+        let inner = Datatype::vector(4, 1, 2, &Datatype::f64()).unwrap();
+        let outer = Datatype::contiguous(3, &inner).unwrap();
+        assert_eq!(outer.size(), 3 * 4 * 8);
+        assert_eq!(outer.seg_count_hint(), 12);
+    }
+}

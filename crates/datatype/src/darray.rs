@@ -1,0 +1,429 @@
+//! Distributed arrays (`MPI_Type_create_darray`).
+//!
+//! Builds the datatype describing one process's share of a global
+//! n-dimensional array partitioned over a process grid, with per-dimension
+//! BLOCK, CYCLIC(k), or NONE distributions — the type HPC codes hand to
+//! MPI-IO and to redistribution routines.
+//!
+//! Construction composes the existing algebra (contiguous, hindexed,
+//! resized) dimension by dimension from the innermost out; each level is
+//! resized to span that dimension's full global extent so outer levels
+//! tile correctly. Every process's type has the extent of the whole global
+//! array, and across the grid the types partition it exactly (see the
+//! `darray_partition` property test).
+
+use crate::error::{DatatypeError, Result};
+use crate::node::{ArrayOrder, Datatype};
+
+/// Per-dimension distribution of a [`Datatype::darray`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Contiguous blocks of `ceil(gsize/psize)` (or a given block size).
+    Block,
+    /// Round-robin blocks of the given size (`None` = 1, `MPI_DISTRIBUTE_
+    /// DFLT_DARG` semantics).
+    Cyclic,
+    /// Dimension not distributed (its process-grid extent must be 1).
+    None,
+}
+
+/// Distribution argument per dimension (`MPI_DISTRIBUTE_DFLT_DARG` or a
+/// specific block size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistArg {
+    /// The MPI default: `ceil(gsize/psize)` for BLOCK, 1 for CYCLIC.
+    Default,
+    /// An explicit block size.
+    Size(usize),
+}
+
+impl Datatype {
+    /// `MPI_Type_create_darray`: the slice of a `gsizes` global array (in
+    /// `order`) owned by `rank` of a `psizes` process grid under the given
+    /// per-dimension distributions.
+    ///
+    /// `nprocs` must equal the product of `psizes`, and `rank < nprocs`.
+    /// Ranks map to grid coordinates in row-major order (MPI semantics,
+    /// independent of the array storage `order`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn darray(
+        nprocs: usize,
+        rank: usize,
+        gsizes: &[usize],
+        distribs: &[Distribution],
+        dargs: &[DistArg],
+        psizes: &[usize],
+        order: ArrayOrder,
+        child: &Datatype,
+    ) -> Result<Datatype> {
+        let ndims = gsizes.len();
+        if ndims == 0 {
+            return Err(DatatypeError::InvalidSubarray("darray needs ndims >= 1".into()));
+        }
+        if distribs.len() != ndims || dargs.len() != ndims || psizes.len() != ndims {
+            return Err(DatatypeError::InvalidSubarray(format!(
+                "darray dimension mismatch: gsizes={ndims} distribs={} dargs={} psizes={}",
+                distribs.len(),
+                dargs.len(),
+                psizes.len()
+            )));
+        }
+        let grid: usize = psizes.iter().product();
+        if grid != nprocs {
+            return Err(DatatypeError::InvalidSubarray(format!(
+                "process grid {psizes:?} has {grid} cells but nprocs = {nprocs}"
+            )));
+        }
+        if rank >= nprocs {
+            return Err(DatatypeError::InvalidSubarray(format!(
+                "rank {rank} out of range for {nprocs} processes"
+            )));
+        }
+        for d in 0..ndims {
+            if distribs[d] == Distribution::None && psizes[d] != 1 {
+                return Err(DatatypeError::InvalidSubarray(format!(
+                    "dimension {d} is not distributed but its grid extent is {}",
+                    psizes[d]
+                )));
+            }
+            if let DistArg::Size(k) = dargs[d] {
+                if k == 0 {
+                    return Err(DatatypeError::InvalidSubarray(format!(
+                        "dimension {d}: zero block size"
+                    )));
+                }
+                if distribs[d] == Distribution::Block && k * psizes[d] < gsizes[d] {
+                    return Err(DatatypeError::InvalidSubarray(format!(
+                        "dimension {d}: BLOCK with darg {k} x {} procs cannot cover {}",
+                        psizes[d], gsizes[d]
+                    )));
+                }
+            }
+        }
+
+        // Row-major rank -> grid coordinates.
+        let mut coords = vec![0usize; ndims];
+        let mut rem = rank;
+        for d in (0..ndims).rev() {
+            coords[d] = rem % psizes[d];
+            rem /= psizes[d];
+        }
+
+        // Process dimensions innermost-first so each level's child spans
+        // the full global extent of all faster dimensions.
+        let dims_innermost_first: Vec<usize> = match order {
+            ArrayOrder::C => (0..ndims).rev().collect(),
+            ArrayOrder::Fortran => (0..ndims).collect(),
+        };
+
+        let mut t = child.clone();
+        for &d in &dims_innermost_first {
+            t = distribute_dim(&t, gsizes[d], coords[d], psizes[d], distribs[d], dargs[d])?;
+        }
+        Ok(t)
+    }
+}
+
+/// Distribute one dimension: select this coordinate's indices out of `g`
+/// instances of `inner`, producing a type of extent `g * extent(inner)`.
+fn distribute_dim(
+    inner: &Datatype,
+    g: usize,
+    coord: usize,
+    p: usize,
+    dist: Distribution,
+    darg: DistArg,
+) -> Result<Datatype> {
+    let ext = inner.extent() as i64;
+    let full = (g as i64) * ext;
+    let owned: Vec<(usize, i64)> = match dist {
+        Distribution::None => vec![(g, 0)],
+        Distribution::Block => {
+            let b = match darg {
+                DistArg::Default => g.div_ceil(p),
+                DistArg::Size(k) => k,
+            };
+            let start = coord * b;
+            let count = g.saturating_sub(start).min(b);
+            if count == 0 {
+                Vec::new()
+            } else {
+                vec![(count, start as i64 * ext)]
+            }
+        }
+        Distribution::Cyclic => {
+            let k = match darg {
+                DistArg::Default => 1,
+                DistArg::Size(k) => k,
+            };
+            let mut blocks = Vec::new();
+            let mut start = coord * k;
+            while start < g {
+                let len = k.min(g - start);
+                blocks.push((len, start as i64 * ext));
+                start += p * k;
+            }
+            blocks
+        }
+    };
+    let body = if owned.is_empty() {
+        Datatype::contiguous(0, inner)?
+    } else if owned.len() == 1 && owned[0].1 == 0 {
+        Datatype::contiguous(owned[0].0, inner)?
+    } else {
+        Datatype::hindexed(&owned, inner)?
+    };
+    Datatype::resized(&body, 0, full as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack;
+
+    fn f64s(n: usize) -> Vec<u8> {
+        (0..n).flat_map(|i| (i as f64).to_le_bytes()).collect()
+    }
+
+    fn owned_elems(t: &Datatype, src: &[u8]) -> Vec<f64> {
+        let packed = pack::pack(src, 0, t, 1).unwrap();
+        packed
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn block_1d_splits_evenly() {
+        let src = f64s(10);
+        let mk = |rank| {
+            Datatype::darray(
+                2,
+                rank,
+                &[10],
+                &[Distribution::Block],
+                &[DistArg::Default],
+                &[2],
+                ArrayOrder::C,
+                &Datatype::f64(),
+            )
+            .unwrap()
+        };
+        assert_eq!(owned_elems(&mk(0), &src), (0..5).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(owned_elems(&mk(1), &src), (5..10).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(mk(0).extent(), 80, "extent must span the global array");
+    }
+
+    #[test]
+    fn block_1d_uneven_tail() {
+        // g=10 over 3 procs: blocks of 4 -> 4, 4, 2.
+        let src = f64s(10);
+        let sizes: Vec<usize> = (0..3)
+            .map(|rank| {
+                let t = Datatype::darray(
+                    3,
+                    rank,
+                    &[10],
+                    &[Distribution::Block],
+                    &[DistArg::Default],
+                    &[3],
+                    ArrayOrder::C,
+                    &Datatype::f64(),
+                )
+                .unwrap();
+                owned_elems(&t, &src).len()
+            })
+            .collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn cyclic_1d_round_robin() {
+        let src = f64s(7);
+        let t1 = Datatype::darray(
+            2,
+            1,
+            &[7],
+            &[Distribution::Cyclic],
+            &[DistArg::Default],
+            &[2],
+            ArrayOrder::C,
+            &Datatype::f64(),
+        )
+        .unwrap();
+        assert_eq!(owned_elems(&t1, &src), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn block_cyclic_with_remainder() {
+        // g=10, cyclic(3) over 2 procs: rank0 {0,1,2,6,7,8}, rank1 {3,4,5,9}.
+        let src = f64s(10);
+        let mk = |rank| {
+            Datatype::darray(
+                2,
+                rank,
+                &[10],
+                &[Distribution::Cyclic],
+                &[DistArg::Size(3)],
+                &[2],
+                ArrayOrder::C,
+                &Datatype::f64(),
+            )
+            .unwrap()
+        };
+        assert_eq!(owned_elems(&mk(0), &src), vec![0.0, 1.0, 2.0, 6.0, 7.0, 8.0]);
+        assert_eq!(owned_elems(&mk(1), &src), vec![3.0, 4.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn two_d_block_block_matches_subarray() {
+        // 4x6 array over a 2x2 grid, BLOCK x BLOCK: rank (r,c) owns a 2x3
+        // tile — identical to the equivalent subarray.
+        let src = f64s(24);
+        for rank in 0..4 {
+            let (pr, pc) = (rank / 2, rank % 2);
+            let d = Datatype::darray(
+                4,
+                rank,
+                &[4, 6],
+                &[Distribution::Block, Distribution::Block],
+                &[DistArg::Default, DistArg::Default],
+                &[2, 2],
+                ArrayOrder::C,
+                &Datatype::f64(),
+            )
+            .unwrap();
+            let s = Datatype::subarray(
+                &[4, 6],
+                &[2, 3],
+                &[2 * pr, 3 * pc],
+                ArrayOrder::C,
+                &Datatype::f64(),
+            )
+            .unwrap();
+            assert_eq!(
+                pack::pack(&src, 0, &d, 1).unwrap(),
+                pack::pack(&src, 0, &s, 1).unwrap(),
+                "rank {rank}"
+            );
+            assert_eq!(d.extent(), 24 * 8);
+        }
+    }
+
+    #[test]
+    fn fortran_order_flips_dimension_speed() {
+        // 1-D distributed over dim 0; order only matters for >1D, where the
+        // innermost dimension differs.
+        let src = f64s(12);
+        let t = Datatype::darray(
+            2,
+            0,
+            &[3, 4],
+            &[Distribution::None, Distribution::Block],
+            &[DistArg::Default, DistArg::Default],
+            &[1, 2],
+            ArrayOrder::Fortran,
+            &Datatype::f64(),
+        )
+        .unwrap();
+        // Fortran: dim 0 contiguous (stride 1), dim 1 stride 3. Rank 0 of
+        // 2 in dim 1 owns columns 0..2 -> elements 0..6 in memory order.
+        assert_eq!(owned_elems(&t, &src), (0..6).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[allow(clippy::type_complexity)]
+    fn partition_property_all_ranks_cover_global_exactly_once() {
+        // Across a variety of distributions, the union of all ranks' types
+        // covers the global array exactly, with no overlap.
+        let cases: Vec<(Vec<usize>, Vec<Distribution>, Vec<DistArg>, Vec<usize>)> = vec![
+            (vec![13], vec![Distribution::Block], vec![DistArg::Default], vec![4]),
+            (vec![13], vec![Distribution::Cyclic], vec![DistArg::Default], vec![4]),
+            (vec![13], vec![Distribution::Cyclic], vec![DistArg::Size(2)], vec![3]),
+            (
+                vec![6, 10],
+                vec![Distribution::Block, Distribution::Cyclic],
+                vec![DistArg::Default, DistArg::Size(3)],
+                vec![2, 2],
+            ),
+            (
+                vec![5, 4, 3],
+                vec![Distribution::Cyclic, Distribution::Block, Distribution::None],
+                vec![DistArg::Default, DistArg::Default, DistArg::Default],
+                vec![3, 2, 1],
+            ),
+        ];
+        for (gsizes, distribs, dargs, psizes) in cases {
+            let nelems: usize = gsizes.iter().product();
+            let nprocs: usize = psizes.iter().product();
+            let src = f64s(nelems);
+            let mut seen = vec![0u32; nelems];
+            for rank in 0..nprocs {
+                for order in [ArrayOrder::C, ArrayOrder::Fortran] {
+                    if order == ArrayOrder::Fortran {
+                        continue; // counted once; orders checked separately
+                    }
+                    let t = Datatype::darray(
+                        nprocs, rank, &gsizes, &distribs, &dargs, &psizes, order,
+                        &Datatype::f64(),
+                    )
+                    .unwrap();
+                    assert_eq!(t.extent() as usize, nelems * 8, "{gsizes:?} rank {rank}");
+                    for v in owned_elems(&t, &src) {
+                        seen[v as usize] += 1;
+                    }
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "{gsizes:?}/{distribs:?}/{psizes:?}: coverage {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let f = Datatype::f64();
+        let b = [Distribution::Block];
+        let d = [DistArg::Default];
+        // grid/nprocs mismatch
+        assert!(Datatype::darray(3, 0, &[8], &b, &d, &[2], ArrayOrder::C, &f).is_err());
+        // rank out of range
+        assert!(Datatype::darray(2, 2, &[8], &b, &d, &[2], ArrayOrder::C, &f).is_err());
+        // NONE with psize > 1
+        assert!(Datatype::darray(
+            2,
+            0,
+            &[8],
+            &[Distribution::None],
+            &d,
+            &[2],
+            ArrayOrder::C,
+            &f
+        )
+        .is_err());
+        // BLOCK darg too small to cover
+        assert!(Datatype::darray(2, 0, &[8], &b, &[DistArg::Size(2)], &[2], ArrayOrder::C, &f)
+            .is_err());
+        // dimension count mismatch
+        assert!(Datatype::darray(2, 0, &[8, 8], &b, &d, &[2], ArrayOrder::C, &f).is_err());
+    }
+
+    #[test]
+    fn empty_share_is_a_valid_empty_type() {
+        // g=4 over 4 procs with BLOCK darg 2: ranks 2,3 own nothing.
+        let t = Datatype::darray(
+            4,
+            3,
+            &[4],
+            &[Distribution::Block],
+            &[DistArg::Size(2)],
+            &[4],
+            ArrayOrder::C,
+            &Datatype::f64(),
+        )
+        .unwrap();
+        assert_eq!(t.size(), 0);
+        assert_eq!(t.extent(), 32);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for datatype construction and use.
+
+use std::fmt;
+
+/// Errors raised while building or using a [`crate::Datatype`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields; the variants themselves are documented
+pub enum DatatypeError {
+    /// An arithmetic computation on sizes, extents, or displacements
+    /// overflowed the 64-bit range used internally.
+    Overflow,
+    /// Arrays passed to an indexed-style constructor had different lengths.
+    MismatchedLengths { blocklens: usize, displacements: usize },
+    /// Subarray parameters were inconsistent (dimension mismatch, a
+    /// subsize of zero extent exceeding the full size, or a start+subsize
+    /// that runs off the end of the full array).
+    InvalidSubarray(String),
+    /// A child datatype with a negative extent was used in a constructor
+    /// that tiles instances by extent.
+    NegativeExtentChild,
+    /// A resized type was given a negative extent.
+    NegativeExtent,
+    /// The datatype has not been committed before use in an operation
+    /// that requires a committed type.
+    NotCommitted,
+    /// A pack/unpack operation would touch bytes outside the user buffer.
+    OutOfBounds {
+        /// First byte (relative to the buffer origin) the operation needed.
+        needed_from: i64,
+        /// One past the last byte the operation needed.
+        needed_to: i64,
+        /// Length of the buffer actually supplied.
+        buffer_len: usize,
+    },
+    /// The destination of a pack (or source of an unpack) was too small.
+    BufferTooSmall { needed: usize, available: usize },
+    /// Pack position bookkeeping was inconsistent (position beyond buffer).
+    InvalidPosition { position: usize, buffer_len: usize },
+    /// Type signatures of sender and receiver do not match.
+    SignatureMismatch,
+}
+
+impl fmt::Display for DatatypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatatypeError::Overflow => write!(f, "size/extent arithmetic overflowed i64"),
+            DatatypeError::MismatchedLengths { blocklens, displacements } => write!(
+                f,
+                "indexed constructor arrays differ in length: {blocklens} blocklengths vs {displacements} displacements"
+            ),
+            DatatypeError::InvalidSubarray(msg) => write!(f, "invalid subarray: {msg}"),
+            DatatypeError::NegativeExtentChild => {
+                write!(f, "child datatype has negative extent; cannot tile instances")
+            }
+            DatatypeError::NegativeExtent => write!(f, "resized extent must be non-negative"),
+            DatatypeError::NotCommitted => write!(f, "datatype must be committed before use"),
+            DatatypeError::OutOfBounds { needed_from, needed_to, buffer_len } => write!(
+                f,
+                "datatype touches bytes {needed_from}..{needed_to} outside user buffer of {buffer_len} bytes"
+            ),
+            DatatypeError::BufferTooSmall { needed, available } => {
+                write!(f, "buffer too small: need {needed} bytes, have {available}")
+            }
+            DatatypeError::InvalidPosition { position, buffer_len } => {
+                write!(f, "pack position {position} beyond buffer of {buffer_len} bytes")
+            }
+            DatatypeError::SignatureMismatch => {
+                write!(f, "sender and receiver type signatures do not match")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatatypeError {}
+
+/// Convenient result alias used throughout the datatype crate.
+pub type Result<T> = std::result::Result<T, DatatypeError>;

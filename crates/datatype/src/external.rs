@@ -1,0 +1,182 @@
+//! Canonical ("external32") packing: a fixed big-endian representation
+//! independent of the host, as `MPI_Pack_external` produces for
+//! heterogeneous systems and portable I/O.
+//!
+//! The byte *selection* is identical to [`crate::pack`]; every primitive
+//! element is additionally byte-swapped into network order (big-endian).
+//! Complex primitives swap per component, per the external32 spec.
+
+use crate::error::Result;
+use crate::node::Datatype;
+use crate::pack::{pack, pack_size, unpack_from};
+use crate::primitive::Primitive;
+use crate::signature::Signature;
+
+/// Size of the canonical external32 representation of `count` instances.
+/// For the primitives supported here it equals the native packed size.
+pub fn pack_external_size(dtype: &Datatype, count: usize) -> Result<usize> {
+    pack_size(dtype, count)
+}
+
+/// Byte-swap unit of a primitive in external32 (complex types swap each
+/// component separately).
+fn swap_unit(p: Primitive) -> usize {
+    match p {
+        Primitive::Complex64 => 4,
+        Primitive::Complex128 => 8,
+        other => other.size(),
+    }
+}
+
+/// The uniform swap unit of a type, if all its primitives share one.
+fn uniform_swap_unit(sig: &Signature) -> Option<usize> {
+    let mut unit = None;
+    for p in Primitive::ALL {
+        if sig.count(p) > 0 {
+            let u = swap_unit(p);
+            match unit {
+                None => unit = Some(u),
+                Some(v) if v == u => {}
+                Some(_) => return None,
+            }
+        }
+    }
+    unit.or(Some(1))
+}
+
+fn swap_in_place(buf: &mut [u8], unit: usize) {
+    if unit <= 1 {
+        return;
+    }
+    debug_assert_eq!(buf.len() % unit, 0);
+    for chunk in buf.chunks_exact_mut(unit) {
+        chunk.reverse();
+    }
+}
+
+/// Swap a packed buffer element-by-element according to the typemap order
+/// of `count` instances of `dtype`.
+fn swap_packed(packed: &mut [u8], dtype: &Datatype, count: usize) {
+    if let Some(unit) = uniform_swap_unit(dtype.signature()) {
+        swap_in_place(packed, unit);
+        return;
+    }
+    // Mixed primitives (structs): walk the typemap of one instance and
+    // apply it per instance. The packed layout is typemap order.
+    let map = dtype.type_map_preview(usize::MAX);
+    let per_instance = dtype.size() as usize;
+    for i in 0..count {
+        let base = i * per_instance;
+        let mut off = base;
+        for entry in &map {
+            let sz = entry.primitive.size();
+            swap_in_place(&mut packed[off..off + sz], swap_unit(entry.primitive));
+            off += sz;
+        }
+        debug_assert_eq!(off - base, per_instance);
+    }
+}
+
+/// Pack to the canonical big-endian representation
+/// (`MPI_Pack_external("external32", ...)`).
+pub fn pack_external(src: &[u8], origin: usize, dtype: &Datatype, count: usize) -> Result<Vec<u8>> {
+    let mut packed = pack(src, origin, dtype, count)?;
+    if cfg!(target_endian = "little") {
+        swap_packed(&mut packed, dtype, count);
+    }
+    Ok(packed)
+}
+
+/// Unpack from the canonical representation (`MPI_Unpack_external`).
+pub fn unpack_external(
+    packed: &[u8],
+    dtype: &Datatype,
+    count: usize,
+    dst: &mut [u8],
+    origin: usize,
+) -> Result<usize> {
+    if cfg!(target_endian = "little") {
+        let mut native = packed.to_vec();
+        swap_packed(&mut native, dtype, count);
+        unpack_from(&native, dtype, count, dst, origin)
+    } else {
+        unpack_from(packed, dtype, count, dst, origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::as_bytes;
+
+    #[test]
+    fn f64_external_is_big_endian() {
+        let v = [1.0f64, -2.5];
+        let d = Datatype::contiguous(2, &Datatype::f64()).unwrap();
+        let ext = pack_external(as_bytes(&v), 0, &d, 1).unwrap();
+        assert_eq!(&ext[0..8], &1.0f64.to_be_bytes());
+        assert_eq!(&ext[8..16], &(-2.5f64).to_be_bytes());
+    }
+
+    #[test]
+    fn external_roundtrip_strided() {
+        let v: Vec<f64> = (0..16).map(|i| i as f64 * 1.5).collect();
+        let d = Datatype::vector(8, 1, 2, &Datatype::f64()).unwrap().commit();
+        let ext = pack_external(as_bytes(&v), 0, &d, 1).unwrap();
+        let mut back = vec![0u8; 16 * 8];
+        unpack_external(&ext, &d, 1, &mut back, 0).unwrap();
+        for i in (0..16).step_by(2) {
+            assert_eq!(&back[i * 8..i * 8 + 8], &as_bytes(&v)[i * 8..i * 8 + 8]);
+        }
+    }
+
+    #[test]
+    fn mixed_struct_swaps_each_field_correctly() {
+        // {i32; f64} — different swap units, exercises the typemap path.
+        let d = Datatype::structure(&[(1, 0, Datatype::i32()), (1, 8, Datatype::f64())])
+            .unwrap()
+            .commit();
+        let mut src = vec![0u8; 32];
+        src[0..4].copy_from_slice(&0x0102_0304i32.to_le_bytes());
+        src[8..16].copy_from_slice(&3.25f64.to_le_bytes());
+        src[16..20].copy_from_slice(&0x0506_0708i32.to_le_bytes());
+        src[24..32].copy_from_slice(&(-7.5f64).to_le_bytes());
+        let ext = pack_external(&src, 0, &d, 2).unwrap();
+        assert_eq!(&ext[0..4], &0x0102_0304i32.to_be_bytes());
+        assert_eq!(&ext[4..12], &3.25f64.to_be_bytes());
+        assert_eq!(&ext[12..16], &0x0506_0708i32.to_be_bytes());
+        assert_eq!(&ext[16..24], &(-7.5f64).to_be_bytes());
+
+        let mut back = vec![0u8; 32];
+        unpack_external(&ext, &d, 2, &mut back, 0).unwrap();
+        assert_eq!(back[0..4], src[0..4]);
+        assert_eq!(back[8..16], src[8..16]);
+        assert_eq!(back[16..20], src[16..20]);
+        assert_eq!(back[24..32], src[24..32]);
+    }
+
+    #[test]
+    fn complex_swaps_per_component() {
+        let d = Datatype::complex128();
+        let mut src = vec![0u8; 16];
+        src[0..8].copy_from_slice(&1.0f64.to_le_bytes());
+        src[8..16].copy_from_slice(&2.0f64.to_le_bytes());
+        let ext = pack_external(&src, 0, &d, 1).unwrap();
+        assert_eq!(&ext[0..8], &1.0f64.to_be_bytes());
+        assert_eq!(&ext[8..16], &2.0f64.to_be_bytes());
+    }
+
+    #[test]
+    fn bytes_pass_through_unswapped() {
+        let src: Vec<u8> = (0..32).collect();
+        let d = Datatype::contiguous(32, &Datatype::byte()).unwrap();
+        let ext = pack_external(&src, 0, &d, 1).unwrap();
+        assert_eq!(ext, src);
+    }
+
+    #[test]
+    fn external_size_matches_native() {
+        let d = Datatype::vector(10, 3, 5, &Datatype::i32()).unwrap();
+        assert_eq!(pack_external_size(&d, 4).unwrap(), crate::pack_size(&d, 4).unwrap());
+    }
+}

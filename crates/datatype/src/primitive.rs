@@ -1,0 +1,197 @@
+//! Primitive (named, predefined) datatypes — the leaves of every type tree.
+//!
+//! These mirror MPI's predefined types (`MPI_BYTE`, `MPI_INT`, `MPI_DOUBLE`,
+//! …). Each primitive has a size and a natural alignment; alignment feeds
+//! into struct extent padding exactly as the MPI "epsilon" rule does for C
+//! structs.
+
+use std::fmt;
+
+/// A predefined leaf datatype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Primitive {
+    /// One uninterpreted byte (`MPI_BYTE`).
+    Byte,
+    /// Signed 8-bit integer (`MPI_INT8_T`).
+    Int8,
+    /// Unsigned 8-bit integer (`MPI_UINT8_T`).
+    UInt8,
+    /// Signed 16-bit integer (`MPI_INT16_T` / `MPI_SHORT`).
+    Int16,
+    /// Unsigned 16-bit integer (`MPI_UINT16_T`).
+    UInt16,
+    /// Signed 32-bit integer (`MPI_INT32_T` / `MPI_INT`).
+    Int32,
+    /// Unsigned 32-bit integer (`MPI_UINT32_T`).
+    UInt32,
+    /// Signed 64-bit integer (`MPI_INT64_T` / `MPI_LONG` on LP64).
+    Int64,
+    /// Unsigned 64-bit integer (`MPI_UINT64_T`).
+    UInt64,
+    /// IEEE-754 single precision (`MPI_FLOAT`).
+    Float32,
+    /// IEEE-754 double precision (`MPI_DOUBLE`).
+    Float64,
+    /// Complex of two `f32` (`MPI_C_FLOAT_COMPLEX`).
+    Complex64,
+    /// Complex of two `f64` (`MPI_C_DOUBLE_COMPLEX`).
+    Complex128,
+    /// Output of `pack` (`MPI_PACKED`): one byte, matches any signature.
+    Packed,
+}
+
+impl Primitive {
+    /// All primitives, in a fixed order (used for signature accounting).
+    pub const ALL: [Primitive; 14] = [
+        Primitive::Byte,
+        Primitive::Int8,
+        Primitive::UInt8,
+        Primitive::Int16,
+        Primitive::UInt16,
+        Primitive::Int32,
+        Primitive::UInt32,
+        Primitive::Int64,
+        Primitive::UInt64,
+        Primitive::Float32,
+        Primitive::Float64,
+        Primitive::Complex64,
+        Primitive::Complex128,
+        Primitive::Packed,
+    ];
+
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn size(self) -> usize {
+        match self {
+            Primitive::Byte | Primitive::Int8 | Primitive::UInt8 | Primitive::Packed => 1,
+            Primitive::Int16 | Primitive::UInt16 => 2,
+            Primitive::Int32 | Primitive::UInt32 | Primitive::Float32 => 4,
+            Primitive::Int64 | Primitive::UInt64 | Primitive::Float64 | Primitive::Complex64 => 8,
+            Primitive::Complex128 => 16,
+        }
+    }
+
+    /// Natural alignment in bytes (what a C compiler would use).
+    ///
+    /// Complex types align as their component, matching C's `_Complex`.
+    #[inline]
+    pub const fn align(self) -> usize {
+        match self {
+            Primitive::Complex64 => 4,
+            Primitive::Complex128 => 8,
+            other => other.size(),
+        }
+    }
+
+    /// Stable small index used for signature accounting.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Primitive::Byte => 0,
+            Primitive::Int8 => 1,
+            Primitive::UInt8 => 2,
+            Primitive::Int16 => 3,
+            Primitive::UInt16 => 4,
+            Primitive::Int32 => 5,
+            Primitive::UInt32 => 6,
+            Primitive::Int64 => 7,
+            Primitive::UInt64 => 8,
+            Primitive::Float32 => 9,
+            Primitive::Float64 => 10,
+            Primitive::Complex64 => 11,
+            Primitive::Complex128 => 12,
+            Primitive::Packed => 13,
+        }
+    }
+
+    /// MPI-style name, for diagnostics.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Primitive::Byte => "BYTE",
+            Primitive::Int8 => "INT8",
+            Primitive::UInt8 => "UINT8",
+            Primitive::Int16 => "INT16",
+            Primitive::UInt16 => "UINT16",
+            Primitive::Int32 => "INT32",
+            Primitive::UInt32 => "UINT32",
+            Primitive::Int64 => "INT64",
+            Primitive::UInt64 => "UINT64",
+            Primitive::Float32 => "FLOAT32",
+            Primitive::Float64 => "FLOAT64",
+            Primitive::Complex64 => "COMPLEX64",
+            Primitive::Complex128 => "COMPLEX128",
+            Primitive::Packed => "PACKED",
+        }
+    }
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps a Rust scalar type onto the matching [`Primitive`].
+///
+/// This is how the typed convenience APIs (`send_slice::<f64>` etc.) pick
+/// their leaf datatype.
+pub trait Scalar: Copy + Send + Sync + 'static {
+    /// The primitive datatype describing `Self`.
+    const PRIMITIVE: Primitive;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty => $p:expr),* $(,)?) => {
+        $(impl Scalar for $t { const PRIMITIVE: Primitive = $p; })*
+    };
+}
+
+impl_scalar! {
+    u8 => Primitive::UInt8,
+    i8 => Primitive::Int8,
+    u16 => Primitive::UInt16,
+    i16 => Primitive::Int16,
+    u32 => Primitive::UInt32,
+    i32 => Primitive::Int32,
+    u64 => Primitive::UInt64,
+    i64 => Primitive::Int64,
+    f32 => Primitive::Float32,
+    f64 => Primitive::Float64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_consistent_with_rust() {
+        assert_eq!(Primitive::Float64.size(), std::mem::size_of::<f64>());
+        assert_eq!(Primitive::Int32.size(), std::mem::size_of::<i32>());
+        assert_eq!(Primitive::Complex128.size(), 2 * std::mem::size_of::<f64>());
+    }
+
+    #[test]
+    fn alignment_never_exceeds_size() {
+        for p in Primitive::ALL {
+            assert!(p.align() <= p.size(), "{p}: align {} > size {}", p.align(), p.size());
+            assert!(p.align().is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let mut seen = [false; Primitive::ALL.len()];
+        for p in Primitive::ALL {
+            assert!(!seen[p.index()], "duplicate index for {p}");
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn scalar_trait_matches() {
+        assert_eq!(<f64 as Scalar>::PRIMITIVE, Primitive::Float64);
+        assert_eq!(<u8 as Scalar>::PRIMITIVE, Primitive::UInt8);
+        assert_eq!(<i64 as Scalar>::PRIMITIVE, Primitive::Int64);
+    }
+}

@@ -1,0 +1,522 @@
+//! Streaming iteration over the contiguous byte segments of a datatype.
+//!
+//! [`SegIter`] walks a type tree with an explicit frame stack and yields
+//! [`Block`]s in typemap order with *online coalescing*: byte-adjacent
+//! segments are merged as they are produced. It never materializes the
+//! segment list, so it handles types like `vector(10^8, 1, 2)` in O(depth)
+//! memory — this is what lets the pack engine and the simulated NIC stream
+//! huge derived types the way a real MPI implementation does.
+
+use crate::node::{ArrayOrder, Block, Datatype, Kind, StructField, TypeNode};
+
+/// One outer (non-run) dimension of a subarray being iterated.
+struct OuterDim {
+    start: u64,
+    subsize: u64,
+    /// Stride of this dimension in bytes.
+    stride_bytes: i64,
+}
+
+enum Frame<'a> {
+    /// `n` instances of `node`, tiled by `ext` bytes, starting at `base`.
+    Run { node: &'a TypeNode, base: i64, ext: i64, n: u64, i: u64 },
+    /// Block-structured kinds: visit block `idx` of `node` at `base`.
+    Blocks { node: &'a TypeNode, base: i64, idx: usize },
+    /// Struct fields.
+    Fields { fields: &'a [StructField], base: i64, idx: usize },
+    /// Subarray outer-dimension odometer.
+    Sub {
+        child: &'a Datatype,
+        /// Byte base of this subarray instance plus the fixed inner offset.
+        base: i64,
+        run_elems: u64,
+        outer: Vec<OuterDim>,
+        idx: Vec<u64>,
+        done: bool,
+    },
+}
+
+/// Iterator over the coalesced contiguous segments of `count` instances of
+/// a datatype, offsets relative to the origin of instance 0.
+pub struct SegIter<'a> {
+    stack: Vec<Frame<'a>>,
+    pending: Option<Block>,
+    finished: bool,
+    coalesce: bool,
+}
+
+impl<'a> SegIter<'a> {
+    /// Iterate the segments of `count` instances tiled by the type extent.
+    pub fn new(dtype: &'a Datatype, count: u64) -> Self {
+        Self::with_coalescing(dtype, count, true)
+    }
+
+    /// Like [`SegIter::new`] but without online coalescing of adjacent
+    /// segments — the raw typemap runs. Used by the design-ablation bench
+    /// and by tests that need the uncoalesced structure.
+    pub fn new_raw(dtype: &'a Datatype, count: u64) -> Self {
+        Self::with_coalescing(dtype, count, false)
+    }
+
+    fn with_coalescing(dtype: &'a Datatype, count: u64, coalesce: bool) -> Self {
+        let mut it = SegIter {
+            stack: Vec::with_capacity(dtype.depth() as usize + 2),
+            pending: None,
+            finished: false,
+            coalesce,
+        };
+        // A dense root is emitted directly by push_run rather than queued.
+        it.pending = it.push_run(&dtype.node, 0, count).filter(|b| b.len > 0);
+        it
+    }
+
+    /// Queue `n` instances of `node` tiled by extent at `base`; emits
+    /// directly when the run is a single dense block.
+    ///
+    /// Returns a block to emit, or `None` if frames were pushed instead.
+    fn push_run(&mut self, node: &'a TypeNode, base: i64, n: u64) -> Option<Block> {
+        if n == 0 || node.size == 0 {
+            return None;
+        }
+        let ext = node.ub - node.lb;
+        // In raw (uncoalesced) mode, composite nodes are walked structurally
+        // so each typemap block yields its own segment; only genuinely flat
+        // nodes may shortcut.
+        let allow_dense = self.coalesce
+            || matches!(
+                node.kind,
+                Kind::Primitive(_) | Kind::Contiguous { .. } | Kind::Resized { .. }
+            );
+        if let Some(b) = node.dense.filter(|_| allow_dense) {
+            if n == 1 {
+                return Some(Block { offset: base + b.offset, len: b.len });
+            }
+            if ext == b.len as i64 {
+                return Some(Block { offset: base + b.offset, len: b.len * n });
+            }
+        }
+        if n == 1 {
+            self.descend(node, base)
+        } else {
+            self.stack.push(Frame::Run { node, base, ext, n, i: 0 });
+            None
+        }
+    }
+
+    /// Process a single instance of `node` at `base`: either emit its block
+    /// directly or push a frame describing its children.
+    fn descend(&mut self, node: &'a TypeNode, base: i64) -> Option<Block> {
+        match &node.kind {
+            Kind::Primitive(p) => Some(Block { offset: base, len: p.size() as u64 }),
+            Kind::Contiguous { count, child } => self.push_run(&child.node, base, *count),
+            Kind::Resized { child, .. } => self.descend(&child.node, base),
+            Kind::Vector { .. }
+            | Kind::Hvector { .. }
+            | Kind::Indexed { .. }
+            | Kind::Hindexed { .. }
+            | Kind::IndexedBlock { .. } => {
+                self.stack.push(Frame::Blocks { node, base, idx: 0 });
+                None
+            }
+            Kind::Struct { fields } => {
+                self.stack.push(Frame::Fields { fields, base, idx: 0 });
+                None
+            }
+            Kind::Subarray { sizes, subsizes, starts, order, child } => {
+                let frame = build_sub_frame(sizes, subsizes, starts, *order, child, base);
+                self.stack.push(frame);
+                None
+            }
+        }
+    }
+
+    /// The `idx`-th `(byte_offset, blocklen)` of a block-structured kind.
+    fn block_of(node: &TypeNode, idx: usize) -> Option<(i64, u64)> {
+        match &node.kind {
+            Kind::Vector { count, blocklen, stride, child } => {
+                if (idx as u64) < *count {
+                    let ext = child.extent_i64();
+                    Some((idx as i64 * stride * ext, *blocklen))
+                } else {
+                    None
+                }
+            }
+            Kind::Hvector { count, blocklen, stride_bytes, child: _ } => {
+                if (idx as u64) < *count {
+                    Some((idx as i64 * stride_bytes, *blocklen))
+                } else {
+                    None
+                }
+            }
+            Kind::Indexed { blocks, child } => blocks
+                .get(idx)
+                .map(|&(bl, d)| (d * child.extent_i64(), bl)),
+            Kind::Hindexed { blocks, .. } => blocks.get(idx).map(|&(bl, d)| (d, bl)),
+            Kind::IndexedBlock { blocklen, displacements, child } => displacements
+                .get(idx)
+                .map(|&d| (d * child.extent_i64(), *blocklen)),
+            _ => None,
+        }
+    }
+
+    fn block_child(node: &TypeNode) -> &Datatype {
+        match &node.kind {
+            Kind::Vector { child, .. }
+            | Kind::Hvector { child, .. }
+            | Kind::Indexed { child, .. }
+            | Kind::Hindexed { child, .. }
+            | Kind::IndexedBlock { child, .. } => child,
+            _ => unreachable!("block_child on non-block kind"),
+        }
+    }
+
+    /// Advance the machine until it produces one raw (uncoalesced) block.
+    fn step(&mut self) -> Option<Block> {
+        loop {
+            let top = self.stack.last_mut()?;
+            match top {
+                Frame::Run { node, base, ext, n, i } => {
+                    if i == n {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let b = *base + *i as i64 * *ext;
+                    let node = *node;
+                    *i += 1;
+                    if let Some(blk) = self.descend(node, b) {
+                        return Some(blk);
+                    }
+                }
+                Frame::Blocks { node, base, idx } => {
+                    let node = *node;
+                    let base = *base;
+                    match Self::block_of(node, *idx) {
+                        None => {
+                            self.stack.pop();
+                        }
+                        Some((off, bl)) => {
+                            *idx += 1;
+                            let child = Self::block_child(node);
+                            if let Some(blk) = self.push_run(&child.node, base + off, bl) {
+                                return Some(blk);
+                            }
+                        }
+                    }
+                }
+                Frame::Fields { fields, base, idx } => {
+                    let fields: &'a [StructField] = fields;
+                    if *idx == fields.len() {
+                        self.stack.pop();
+                        continue;
+                    }
+                    let f = &fields[*idx];
+                    let base = *base;
+                    *idx += 1;
+                    if let Some(blk) = self.push_run(&f.datatype.node, base + f.displacement, f.blocklen) {
+                        return Some(blk);
+                    }
+                }
+                Frame::Sub { child, base, run_elems, outer, idx, done } => {
+                    if *done {
+                        self.stack.pop();
+                        continue;
+                    }
+                    // byte offset of the current run
+                    let mut off = *base;
+                    for (d, i) in outer.iter().zip(idx.iter()) {
+                        off += (d.start + i) as i64 * d.stride_bytes;
+                    }
+                    // advance the odometer (innermost outer dim fastest)
+                    let mut carry = true;
+                    for (d, i) in outer.iter().zip(idx.iter_mut()).rev() {
+                        let (dim, i) = (d, i);
+                        *i += 1;
+                        if *i < dim.subsize {
+                            carry = false;
+                            break;
+                        }
+                        *i = 0;
+                    }
+                    if carry {
+                        *done = true;
+                    }
+                    let child = *child;
+                    let n = *run_elems;
+                    if let Some(blk) = self.push_run(&child.node, off, n) {
+                        return Some(blk);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn build_sub_frame<'a>(
+    sizes: &[u64],
+    subsizes: &[u64],
+    starts: &[u64],
+    order: ArrayOrder,
+    child: &'a Datatype,
+    base: i64,
+) -> Frame<'a> {
+    let ndims = sizes.len();
+    let ext = child.extent_i64();
+
+    let mut stride = vec![1u64; ndims];
+    match order {
+        ArrayOrder::C => {
+            for d in (0..ndims.saturating_sub(1)).rev() {
+                stride[d] = stride[d + 1] * sizes[d + 1];
+            }
+        }
+        ArrayOrder::Fortran => {
+            for d in 1..ndims {
+                stride[d] = stride[d - 1] * sizes[d - 1];
+            }
+        }
+    }
+
+    let dims_by_locality: Vec<usize> = match order {
+        ArrayOrder::C => (0..ndims).collect(),
+        ArrayOrder::Fortran => (0..ndims).rev().collect(),
+    };
+
+    // Split dims into [outer...] ++ [run dims...], where the run absorbs
+    // trailing fully-selected dims plus the first partially-selected one.
+    let mut run_elems = 1u64;
+    let mut fixed_off_elems = 0u64;
+    let mut split = 0usize; // index into dims_by_locality: dims before this are outer
+    let mut still_inner = true;
+    for (pos, &d) in dims_by_locality.iter().enumerate().rev() {
+        if still_inner {
+            if subsizes[d] == sizes[d] {
+                run_elems *= sizes[d];
+                continue;
+            }
+            run_elems *= subsizes[d];
+            fixed_off_elems += starts[d] * stride[d];
+            still_inner = false;
+            split = pos;
+        }
+    }
+    if still_inner {
+        split = 0; // full selection: no outer dims
+    }
+
+    let outer: Vec<OuterDim> = dims_by_locality[..split]
+        .iter()
+        .map(|&d| OuterDim {
+            start: starts[d],
+            subsize: subsizes[d],
+            stride_bytes: stride[d] as i64 * ext,
+        })
+        .collect();
+
+    let empty = subsizes.contains(&0);
+    let nidx = outer.len();
+    Frame::Sub {
+        child,
+        base: base + fixed_off_elems as i64 * ext,
+        run_elems,
+        outer,
+        idx: vec![0; nidx],
+        done: empty,
+    }
+}
+
+impl Iterator for SegIter<'_> {
+    type Item = Block;
+
+    fn next(&mut self) -> Option<Block> {
+        if self.finished {
+            return None;
+        }
+        loop {
+            match self.step() {
+                Some(b) if b.len == 0 => continue,
+                Some(b) => match &mut self.pending {
+                    Some(p) if self.coalesce && p.offset + p.len as i64 == b.offset => {
+                        p.len += b.len;
+                    }
+                    Some(p) => {
+                        let out = *p;
+                        *p = b;
+                        return Some(out);
+                    }
+                    None => {
+                        self.pending = Some(b);
+                    }
+                },
+                None => {
+                    self.finished = true;
+                    return self.pending.take();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segs(d: &Datatype, count: u64) -> Vec<(i64, u64)> {
+        SegIter::new(d, count).map(|b| (b.offset, b.len)).collect()
+    }
+
+    #[test]
+    fn primitive_single_segment() {
+        assert_eq!(segs(&Datatype::f64(), 1), vec![(0, 8)]);
+        assert_eq!(segs(&Datatype::f64(), 5), vec![(0, 40)]);
+    }
+
+    #[test]
+    fn vector_stride_two() {
+        let d = Datatype::vector(4, 1, 2, &Datatype::f64()).unwrap();
+        assert_eq!(segs(&d, 1), vec![(0, 8), (16, 8), (32, 8), (48, 8)]);
+    }
+
+    #[test]
+    fn vector_contiguous_collapses() {
+        let d = Datatype::vector(4, 3, 3, &Datatype::f64()).unwrap();
+        assert_eq!(segs(&d, 1), vec![(0, 96)]);
+    }
+
+    #[test]
+    fn vector_blocklen_coalesces_inside_block() {
+        let d = Datatype::vector(3, 2, 4, &Datatype::f64()).unwrap();
+        assert_eq!(segs(&d, 1), vec![(0, 16), (32, 16), (64, 16)]);
+    }
+
+    #[test]
+    fn multi_instance_tiling() {
+        let d = Datatype::vector(2, 1, 2, &Datatype::f64()).unwrap();
+        // extent = 16 + 8 = 24; instance 1 starts at 24. The segment at 16
+        // (len 8) abuts instance 1's first segment at 24, so they coalesce.
+        assert_eq!(segs(&d, 2), vec![(0, 8), (16, 16), (40, 8)]);
+    }
+
+    #[test]
+    fn indexed_segments_and_coalescing() {
+        let d = Datatype::indexed(&[(2, 0), (3, 2), (1, 8)], &Datatype::i32()).unwrap();
+        // blocks at 0 (8B) and 8 (12B) are adjacent -> coalesce; 32 (4B)
+        assert_eq!(segs(&d, 1), vec![(0, 20), (32, 4)]);
+    }
+
+    #[test]
+    fn hindexed_byte_displacements() {
+        let d = Datatype::hindexed(&[(1, 3), (1, 11)], &Datatype::i32()).unwrap();
+        assert_eq!(segs(&d, 1), vec![(3, 4), (11, 4)]);
+    }
+
+    #[test]
+    fn struct_fields_in_order() {
+        let d = Datatype::structure(&[
+            (1, 0, Datatype::i32()),
+            (2, 8, Datatype::f64()),
+        ])
+        .unwrap();
+        assert_eq!(segs(&d, 1), vec![(0, 4), (8, 16)]);
+    }
+
+    #[test]
+    fn subarray_2d_rows() {
+        // 3x4 f64 array, select 3x2 starting at column 1 (C order).
+        let d = Datatype::subarray(&[3, 4], &[3, 2], &[0, 1], ArrayOrder::C, &Datatype::f64())
+            .unwrap();
+        assert_eq!(segs(&d, 1), vec![(8, 16), (40, 16), (72, 16)]);
+    }
+
+    #[test]
+    fn subarray_full_rows_merge() {
+        // select full rows 1..3 of a 4x5 i32 array -> one segment
+        let d = Datatype::subarray(&[4, 5], &[2, 5], &[1, 0], ArrayOrder::C, &Datatype::i32())
+            .unwrap();
+        assert_eq!(segs(&d, 1), vec![(20, 40)]);
+    }
+
+    #[test]
+    fn subarray_fortran_columns() {
+        // Fortran 4x3: select rows 1..3 of column 2 -> contiguous in memory
+        let d = Datatype::subarray(&[4, 3], &[2, 1], &[1, 2], ArrayOrder::Fortran, &Datatype::f64())
+            .unwrap();
+        assert_eq!(segs(&d, 1), vec![((2 * 4 + 1) * 8, 16)]);
+    }
+
+    #[test]
+    fn subarray_3d() {
+        // 2x3x4 f64; select [2,1,2] at start [0,1,1], C order.
+        let d = Datatype::subarray(&[2, 3, 4], &[2, 1, 2], &[0, 1, 1], ArrayOrder::C, &Datatype::f64())
+            .unwrap();
+        // plane stride 12 elems, row stride 4; runs at (0,1,1)=5 and (1,1,1)=17
+        assert_eq!(segs(&d, 1), vec![(5 * 8, 16), (17 * 8, 16)]);
+    }
+
+    #[test]
+    fn nested_vector_of_indexed() {
+        let inner = Datatype::indexed(&[(1, 0), (1, 2)], &Datatype::i32()).unwrap();
+        // inner extent: 3 i32 = 12 bytes; hvector 2 blocks of 1 inner, 32B apart
+        let outer = Datatype::hvector(2, 1, 32, &inner).unwrap();
+        assert_eq!(segs(&outer, 1), vec![(0, 4), (8, 4), (32, 4), (40, 4)]);
+    }
+
+    #[test]
+    fn resized_does_not_move_data_but_tiles_differently() {
+        let r = Datatype::resized(&Datatype::i32(), 0, 12).unwrap();
+        assert_eq!(segs(&r, 3), vec![(0, 4), (12, 4), (24, 4)]);
+    }
+
+    #[test]
+    fn empty_types_yield_nothing() {
+        let d = Datatype::vector(0, 1, 2, &Datatype::f64()).unwrap();
+        assert_eq!(segs(&d, 1), vec![]);
+        let d2 = Datatype::contiguous(0, &Datatype::f64()).unwrap();
+        assert_eq!(segs(&d2, 4), vec![]);
+        let d3 = Datatype::subarray(&[4, 4], &[0, 2], &[0, 0], ArrayOrder::C, &Datatype::f64())
+            .unwrap();
+        assert_eq!(segs(&d3, 1), vec![]);
+    }
+
+    #[test]
+    fn zero_blocklen_blocks_skipped() {
+        let d = Datatype::indexed(&[(0, 0), (2, 4), (0, 9)], &Datatype::i32()).unwrap();
+        assert_eq!(segs(&d, 1), vec![(16, 8)]);
+    }
+
+    #[test]
+    fn segment_count_matches_hint_for_regular_types() {
+        for (count, bl, stride) in [(10usize, 1usize, 2i64), (7, 3, 5), (4, 2, 2), (1, 1, 1)] {
+            let d = Datatype::vector(count, bl, stride, &Datatype::f64()).unwrap();
+            let n = SegIter::new(&d, 1).count() as u64;
+            assert_eq!(n, d.seg_count_hint(), "vector({count},{bl},{stride})");
+        }
+    }
+
+    #[test]
+    fn raw_iteration_skips_coalescing() {
+        let d = Datatype::indexed(&[(2, 0), (3, 2)], &Datatype::i32()).unwrap();
+        // Coalesced: one dense run. Raw: the two blocks separately.
+        assert_eq!(segs(&d, 1), vec![(0, 20)]);
+        let raw: Vec<(i64, u64)> = SegIter::new_raw(&d, 1).map(|b| (b.offset, b.len)).collect();
+        assert_eq!(raw, vec![(0, 8), (8, 12)]);
+        // Same bytes either way.
+        let total: u64 = raw.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, d.size());
+    }
+
+    #[test]
+    fn total_bytes_equal_size() {
+        let cases: Vec<Datatype> = vec![
+            Datatype::vector(13, 3, 7, &Datatype::f64()).unwrap(),
+            Datatype::indexed(&[(2, 1), (5, 10), (1, 30)], &Datatype::i32()).unwrap(),
+            Datatype::subarray(&[5, 6, 7], &[2, 3, 4], &[1, 2, 3], ArrayOrder::C, &Datatype::f64()).unwrap(),
+            Datatype::structure(&[(3, 4, Datatype::i32()), (2, 24, Datatype::f64())]).unwrap(),
+        ];
+        for d in cases {
+            for count in [1u64, 2, 5] {
+                let total: u64 = SegIter::new(&d, count).map(|b| b.len).sum();
+                assert_eq!(total, d.size() * count);
+            }
+        }
+    }
+}

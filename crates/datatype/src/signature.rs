@@ -1,0 +1,126 @@
+//! Type signatures.
+//!
+//! MPI requires the *signature* (the sequence of primitive types, ignoring
+//! displacements) of a send to match the signature of the receive. We track
+//! a slightly relaxed form — the multiset of primitives — which is cheap to
+//! compute compositionally and catches every mismatch the paper's workloads
+//! could produce (the relaxation only admits reorderings *within* a message
+//! of the same primitives, which no real scheme here generates).
+
+use crate::error::{DatatypeError, Result};
+use crate::primitive::Primitive;
+
+/// Multiset of primitive leaf types making up a datatype.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Signature {
+    counts: [u64; Primitive::ALL.len()],
+}
+
+impl Signature {
+    /// The empty signature (zero-size type).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Signature of a single primitive.
+    pub fn of(p: Primitive) -> Self {
+        let mut s = Self::default();
+        s.counts[p.index()] = 1;
+        s
+    }
+
+    /// Number of occurrences of primitive `p`.
+    pub fn count(&self, p: Primitive) -> u64 {
+        self.counts[p.index()]
+    }
+
+    /// This signature repeated `k` times.
+    pub fn scaled(&self, k: u64) -> Result<Self> {
+        let mut out = Self::default();
+        for (o, c) in out.counts.iter_mut().zip(self.counts.iter()) {
+            *o = c.checked_mul(k).ok_or(DatatypeError::Overflow)?;
+        }
+        Ok(out)
+    }
+
+    /// Union (concatenation) of two signatures.
+    pub fn plus(&self, other: &Self) -> Result<Self> {
+        let mut out = Self::default();
+        for ((o, a), b) in out.counts.iter_mut().zip(self.counts.iter()).zip(other.counts.iter()) {
+            *o = a.checked_add(*b).ok_or(DatatypeError::Overflow)?;
+        }
+        Ok(out)
+    }
+
+    /// Total number of primitive elements.
+    pub fn total_elements(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total payload bytes described.
+    pub fn total_bytes(&self) -> u64 {
+        Primitive::ALL
+            .iter()
+            .map(|p| self.counts[p.index()] * p.size() as u64)
+            .sum()
+    }
+
+    /// Whether `self` repeated `self_count` times matches `other` repeated
+    /// `other_count` times — the send/recv matching rule.
+    pub fn matches(&self, self_count: u64, other: &Self, other_count: u64) -> bool {
+        Primitive::ALL.iter().all(|p| {
+            let a = self.counts[p.index()].checked_mul(self_count);
+            let b = other.counts[p.index()].checked_mul(other_count);
+            match (a, b) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            }
+        })
+    }
+
+    /// A byte-oriented signature is compatible with anything of equal size;
+    /// MPI_BYTE matching is special-cased by the runtime using this.
+    pub fn is_bytes_only(&self) -> bool {
+        Primitive::ALL.iter().all(|p| {
+            matches!(p, Primitive::Byte | Primitive::Packed) || self.counts[p.index()] == 0
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_and_plus_compose() {
+        let d = Signature::of(Primitive::Float64);
+        let i = Signature::of(Primitive::Int32);
+        let s = d.scaled(3).unwrap().plus(&i.scaled(2).unwrap()).unwrap();
+        assert_eq!(s.count(Primitive::Float64), 3);
+        assert_eq!(s.count(Primitive::Int32), 2);
+        assert_eq!(s.total_elements(), 5);
+        assert_eq!(s.total_bytes(), 3 * 8 + 2 * 4);
+    }
+
+    #[test]
+    fn matching_accounts_for_counts() {
+        let d = Signature::of(Primitive::Float64);
+        let d4 = d.scaled(4).unwrap();
+        assert!(d.matches(4, &d4, 1));
+        assert!(!d.matches(3, &d4, 1));
+        assert!(d4.matches(2, &d, 8));
+    }
+
+    #[test]
+    fn scaled_overflow_detected() {
+        let d = Signature::of(Primitive::Byte).scaled(u64::MAX / 2).unwrap();
+        assert_eq!(d.scaled(3), Err(DatatypeError::Overflow));
+    }
+
+    #[test]
+    fn bytes_only_detection() {
+        assert!(Signature::of(Primitive::Byte).is_bytes_only());
+        assert!(Signature::empty().is_bytes_only());
+        assert!(!Signature::of(Primitive::Float64).is_bytes_only());
+    }
+}

@@ -1,0 +1,132 @@
+//! Terminal log-log plots: one glyph per series on a character grid.
+
+use crate::series::{bounds, unit, PlotSpec, Scale, Series};
+
+/// Render series onto a `width` x `height` character canvas with axes and
+/// a legend. Later series overwrite earlier glyphs on collision.
+pub fn render(spec: &PlotSpec, series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(20);
+    let height = height.max(8);
+    let Some((xmin, xmax, ymin, ymax)) = bounds(series, spec) else {
+        return format!("{} — no data\n", spec.title);
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            if (spec.xscale == Scale::Log && x <= 0.0) || (spec.yscale == Scale::Log && y <= 0.0) {
+                continue;
+            }
+            let y = spec.ymax.map_or(y, |m| y.min(m));
+            let ux = unit(x, xmin, xmax, spec.xscale).clamp(0.0, 1.0);
+            let uy = unit(y, ymin, ymax, spec.yscale).clamp(0.0, 1.0);
+            let col = (ux * (width - 1) as f64).round() as usize;
+            let row = ((1.0 - uy) * (height - 1) as f64).round() as usize;
+            grid[row][col] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", spec.title));
+    let ylab_hi = format_tick(ymax);
+    let ylab_lo = format_tick(ymin);
+    let margin = ylab_hi.len().max(ylab_lo.len());
+    for (r, row) in grid.iter().enumerate() {
+        let lab = if r == 0 {
+            ylab_hi.clone()
+        } else if r == height - 1 {
+            ylab_lo.clone()
+        } else {
+            String::new()
+        };
+        out.push_str(&format!("{:>margin$} |", lab));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>margin$} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>margin$}  {:<w2$}{}\n",
+        "",
+        format_tick(xmin),
+        format_tick(xmax),
+        w2 = width.saturating_sub(format_tick(xmax).len()),
+    ));
+    out.push_str(&format!("{:>margin$}  {} ({})\n", "", spec.xlabel, spec.ylabel));
+    out.push_str(&format!(
+        "{:>margin$}  legend: {}\n",
+        "",
+        series
+            .iter()
+            .map(|s| format!("{}={}", s.glyph, s.label))
+            .collect::<Vec<_>>()
+            .join("  ")
+    ));
+    out
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if (1e-2..1e4).contains(&a) {
+        if v.fract() == 0.0 && a < 1e4 {
+            format!("{v}")
+        } else {
+            format!("{v:.3}")
+        }
+    } else {
+        format!("{v:.1e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::PlotSpec;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series::new("ref", 0, (0..10).map(|i| (10f64.powi(i), 1e-6 * 2f64.powi(i))).collect()),
+            Series::new("vec", 3, (0..10).map(|i| (10f64.powi(i), 3e-6 * 2f64.powi(i))).collect()),
+        ]
+    }
+
+    #[test]
+    fn renders_grid_with_legend() {
+        let spec = PlotSpec::loglog("Time", "bytes", "sec");
+        let out = render(&spec, &demo_series(), 60, 16);
+        assert!(out.contains("Time"));
+        assert!(out.contains("legend: r=ref  v=vec"));
+        assert!(out.contains('r'));
+        assert!(out.contains('v'));
+        // grid rows + title + axis + labels + legend
+        assert!(out.lines().count() >= 16 + 4);
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        let spec = PlotSpec::loglog("T", "x", "y");
+        let out = render(&spec, &[], 40, 10);
+        assert!(out.contains("no data"));
+    }
+
+    #[test]
+    fn monotone_series_slopes_down_the_grid() {
+        // Increasing y with x should put the glyph for the largest x at the
+        // top row of the canvas.
+        let spec = PlotSpec::loglog("T", "x", "y");
+        let s = vec![Series::new("a", 0, vec![(1.0, 1.0), (10.0, 10.0), (100.0, 100.0)])];
+        let out = render(&spec, &s, 30, 9);
+        let grid_lines: Vec<&str> = out.lines().skip(1).take(9).collect();
+        assert!(grid_lines[0].trim_end().ends_with('r'), "{out}");
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(1024.0), "1024");
+        assert_eq!(format_tick(1.0e9), "1.0e9");
+        assert_eq!(format_tick(2.5e-5), "2.5e-5");
+    }
+}

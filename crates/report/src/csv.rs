@@ -1,0 +1,99 @@
+//! Minimal CSV writing (no external dependency): the table view that
+//! accompanies every figure.
+
+/// Build a CSV document from a header and rows, quoting where needed.
+pub fn to_csv<S: AsRef<str>>(header: &[S], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &header.iter().map(|h| quote(h.as_ref())).collect::<Vec<_>>().join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Parse a CSV document produced by [`to_csv`] (used in tests and by the
+/// experiment-diff tooling). Handles quoted fields.
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => in_quotes = false,
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' => {}
+                _ => field.push(c),
+            }
+        }
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[
+                vec!["1".into(), "x".into()],
+                vec!["2".into(), "y,z".into()],
+            ],
+        );
+        let rows = parse_csv(&csv);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec!["a", "b"]);
+        assert_eq!(rows[2], vec!["2", "y,z"]);
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let csv = to_csv(&["v"], &[vec!["say \"hi\"".into()]]);
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        let rows = parse_csv(&csv);
+        assert_eq!(rows[1][0], "say \"hi\"");
+    }
+
+    #[test]
+    fn newline_in_field() {
+        let csv = to_csv(&["v"], &[vec!["a\nb".into()]]);
+        let rows = parse_csv(&csv);
+        assert_eq!(rows[1][0], "a\nb");
+    }
+}

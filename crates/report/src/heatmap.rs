@@ -1,0 +1,194 @@
+//! Slowdown heatmaps: scheme x message-size grids colored by magnitude
+//! on a single-hue sequential ramp (light = near the reference, dark =
+//! far above it), with the exact value printed in every cell — the table
+//! view is built into the mark, so no color-only reading is required.
+
+use std::fmt::Write as _;
+
+/// The validated sequential blue ramp (steps 100..700).
+const RAMP: [&str; 13] = [
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7", "#3987e5", "#2a78d6",
+    "#256abf", "#1c5cab", "#184f95", "#104281", "#0d366b",
+];
+
+const SURFACE: &str = "#fcfcfb";
+const INK: &str = "#0b0b0b";
+const INK2: &str = "#52514e";
+
+/// Ink color readable on a given ramp step (light text on dark steps).
+fn cell_ink(step: usize) -> &'static str {
+    if step >= 7 {
+        "#ffffff"
+    } else {
+        INK
+    }
+}
+
+/// Map a value in `[lo, hi]` (log-scaled) onto a ramp step.
+fn step_of(v: f64, lo: f64, hi: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    let (l, h) = (lo.max(1e-30).ln(), hi.max(lo * 1.0001).ln());
+    let u = ((v.ln() - l) / (h - l)).clamp(0.0, 1.0);
+    (u * (RAMP.len() - 1) as f64).round() as usize
+}
+
+/// Input to [`render_heatmap`]: row labels, column labels, and values in
+/// row-major order (`None` renders an empty cell).
+pub struct HeatmapData {
+    /// One label per row (e.g. scheme names).
+    pub rows: Vec<String>,
+    /// One label per column (e.g. message sizes).
+    pub cols: Vec<String>,
+    /// `rows.len() * cols.len()` values, row-major.
+    pub values: Vec<Option<f64>>,
+}
+
+/// Render the heatmap as a standalone SVG. Values are colored on a
+/// log-scaled sequential ramp between the data extremes and printed in
+/// each cell with one decimal.
+pub fn render_heatmap(title: &str, data: &HeatmapData) -> String {
+    let (nr, nc) = (data.rows.len(), data.cols.len());
+    assert_eq!(data.values.len(), nr * nc, "heatmap value count");
+    let cell_w = 64.0;
+    let cell_h = 24.0;
+    let left = 110.0;
+    let top = 52.0;
+    let w = left + nc as f64 * cell_w + 16.0;
+    let h = top + nr as f64 * cell_h + 30.0;
+
+    let finite: Vec<f64> = data.values.iter().flatten().copied().filter(|v| v.is_finite()).collect();
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min).max(1e-9);
+    let hi = finite.iter().copied().fold(0.0f64, f64::max).max(lo * 1.001);
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}" font-family="system-ui, sans-serif"><rect width="100%" height="100%" fill="{SURFACE}"/>"#
+    );
+    let _ = write!(
+        out,
+        r#"<text x="{left}" y="20" fill="{INK}" font-size="13" font-weight="600">{}</text>"#,
+        title.replace('&', "&amp;").replace('<', "&lt;")
+    );
+    for (j, c) in data.cols.iter().enumerate() {
+        let x = left + (j as f64 + 0.5) * cell_w;
+        let _ = write!(
+            out,
+            r#"<text x="{x:.1}" y="{:.1}" fill="{INK2}" font-size="10" text-anchor="middle">{}</text>"#,
+            top - 8.0,
+            c.replace('&', "&amp;").replace('<', "&lt;")
+        );
+    }
+    for (i, r) in data.rows.iter().enumerate() {
+        let y = top + (i as f64 + 0.5) * cell_h;
+        let _ = write!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" fill="{INK}" font-size="11" text-anchor="end">{}</text>"#,
+            left - 8.0,
+            y + 3.5,
+            r.replace('&', "&amp;").replace('<', "&lt;")
+        );
+        for j in 0..nc {
+            let x = left + j as f64 * cell_w;
+            match data.values[i * nc + j] {
+                Some(v) => {
+                    let s = step_of(v, lo, hi);
+                    // 2px surface gap between fills, 3px rounded corners.
+                    let _ = write!(
+                        out,
+                        r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" rx="3" fill="{}"/>"#,
+                        x + 1.0,
+                        top + i as f64 * cell_h + 1.0,
+                        cell_w - 2.0,
+                        cell_h - 2.0,
+                        RAMP[s]
+                    );
+                    let label = if v >= 100.0 {
+                        format!("{v:.0}")
+                    } else {
+                        format!("{v:.1}")
+                    };
+                    let _ = write!(
+                        out,
+                        r#"<text x="{:.1}" y="{:.1}" fill="{}" font-size="10" text-anchor="middle">{}</text>"#,
+                        x + cell_w / 2.0,
+                        y + 3.5,
+                        cell_ink(s),
+                        label
+                    );
+                }
+                None => {
+                    let _ = write!(
+                        out,
+                        r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" rx="3" fill="none" stroke="#ececea"/>"##,
+                        x + 1.0,
+                        top + i as f64 * cell_h + 1.0,
+                        cell_w - 2.0,
+                        cell_h - 2.0,
+                    );
+                }
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        r#"<text x="{left}" y="{:.1}" fill="{INK2}" font-size="10">light = {lo:.2}, dark = {hi:.1} (log scale); values printed per cell</text>"#,
+        h - 10.0
+    );
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> HeatmapData {
+        HeatmapData {
+            rows: vec!["copying".into(), "packing(e)".into()],
+            cols: vec!["1K".into(), "1M".into(), "256M".into()],
+            values: vec![Some(1.0), Some(2.7), Some(3.2), Some(2.0), Some(64.0), None],
+        }
+    }
+
+    #[test]
+    fn renders_cells_and_labels() {
+        let svg = render_heatmap("slowdown", &demo());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1 + 6, "surface + 6 cells");
+        assert!(svg.contains("copying"));
+        assert!(svg.contains("256M"));
+        assert!(svg.contains("64")); // the value is printed
+    }
+
+    #[test]
+    fn color_scale_is_monotone() {
+        assert_eq!(step_of(1.0, 1.0, 100.0), 0);
+        assert_eq!(step_of(100.0, 1.0, 100.0), RAMP.len() - 1);
+        let mid = step_of(10.0, 1.0, 100.0);
+        assert!(mid > 0 && mid < RAMP.len() - 1);
+        assert!(step_of(5.0, 1.0, 100.0) <= mid);
+    }
+
+    #[test]
+    fn degenerate_inputs_safe() {
+        assert_eq!(step_of(f64::NAN, 1.0, 10.0), 0);
+        assert_eq!(step_of(-1.0, 1.0, 10.0), 0);
+        let all_same = HeatmapData {
+            rows: vec!["a".into()],
+            cols: vec!["x".into()],
+            values: vec![Some(2.0)],
+        };
+        let svg = render_heatmap("t", &all_same);
+        assert!(svg.contains("2.0"));
+    }
+
+    #[test]
+    fn dark_cells_use_light_ink() {
+        assert_eq!(cell_ink(0), INK);
+        assert_eq!(cell_ink(RAMP.len() - 1), "#ffffff");
+    }
+}

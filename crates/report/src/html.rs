@@ -1,0 +1,110 @@
+//! Static HTML report assembly: one self-contained page embedding SVG
+//! figures and CSV-derived tables (the experiment suite's `site` binary).
+
+use std::fmt::Write as _;
+
+/// One section of the report.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Section heading.
+    pub heading: String,
+    /// Free-form explanatory paragraph (plain text; escaped).
+    pub intro: String,
+    /// Inline SVG documents to embed, in order.
+    pub svgs: Vec<String>,
+    /// Tables as (headers, rows).
+    pub tables: Vec<(Vec<String>, Vec<Vec<String>>)>,
+}
+
+impl Section {
+    /// An empty section with a heading and intro.
+    pub fn new(heading: impl Into<String>, intro: impl Into<String>) -> Section {
+        Section { heading: heading.into(), intro: intro.into(), svgs: Vec::new(), tables: Vec::new() }
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render a complete standalone page.
+pub fn render_page(title: &str, subtitle: &str, sections: &[Section]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{}</title>
+<style>
+  :root {{ color-scheme: light; }}
+  body {{ font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 1500px;
+         padding: 0 1rem; background: #fcfcfb; color: #0b0b0b; }}
+  h1 {{ font-size: 1.5rem; }} h2 {{ font-size: 1.15rem; margin-top: 2.2rem; }}
+  p.sub {{ color: #52514e; }}
+  figure {{ margin: 1rem 0; overflow-x: auto; }}
+  table {{ border-collapse: collapse; font-size: 0.85rem; margin: 0.8rem 0; }}
+  th, td {{ padding: 0.25rem 0.7rem; text-align: right; border-bottom: 1px solid #ececea; }}
+  th {{ color: #52514e; font-weight: 600; }}
+  td:first-child, th:first-child {{ text-align: left; }}
+</style></head><body>
+<h1>{}</h1>
+<p class="sub">{}</p>
+"#,
+        esc(title),
+        esc(title),
+        esc(subtitle)
+    );
+    for s in sections {
+        let _ = write!(out, "<h2>{}</h2>\n<p class=\"sub\">{}</p>\n", esc(&s.heading), esc(&s.intro));
+        for svg in &s.svgs {
+            let _ = writeln!(out, "<figure>{svg}</figure>");
+        }
+        for (headers, rows) in &s.tables {
+            out.push_str("<table><thead><tr>");
+            for h in headers {
+                let _ = write!(out, "<th>{}</th>", esc(h));
+            }
+            out.push_str("</tr></thead><tbody>\n");
+            for row in rows {
+                out.push_str("<tr>");
+                for c in row {
+                    let _ = write!(out, "<td>{}</td>", esc(c));
+                }
+                out.push_str("</tr>\n");
+            }
+            out.push_str("</tbody></table>\n");
+        }
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_embeds_svg_and_tables() {
+        let mut s = Section::new("Figure 1", "time & bandwidth");
+        s.svgs.push("<svg xmlns=\"http://www.w3.org/2000/svg\"></svg>".into());
+        s.tables.push((
+            vec!["scheme".into(), "slowdown".into()],
+            vec![vec!["copying".into(), "3.1".into()]],
+        ));
+        let html = render_page("nonctg", "reproduction", &[s]);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("<td>copying</td>"));
+        assert!(html.contains("Figure 1"));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let s = Section::new("a<b", "x & y");
+        let html = render_page("t<t", "s", &[s]);
+        assert!(html.contains("a&lt;b"));
+        assert!(html.contains("x &amp; y"));
+        assert!(!html.contains("a<b"));
+    }
+}

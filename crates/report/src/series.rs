@@ -1,0 +1,192 @@
+//! Plot data structures shared by the ASCII and SVG renderers.
+
+/// The validated categorical palette (8 slots, fixed order — color follows
+/// the scheme identity, never its rank in a particular figure).
+pub const PALETTE: [&str; 8] = [
+    "#2a78d6", // blue
+    "#1baf7a", // aqua
+    "#eda100", // yellow
+    "#008300", // green
+    "#4a3aa7", // violet
+    "#e34948", // red
+    "#e87ba4", // magenta
+    "#eb6834", // orange
+];
+
+/// Single-character glyphs for the ASCII renderer, same fixed order.
+pub const GLYPHS: [char; 8] = ['r', 'c', 'b', 'v', 's', 'o', 'e', 'p'];
+
+/// One plotted line.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Stroke color (hex).
+    pub color: String,
+    /// ASCII glyph.
+    pub glyph: char,
+    /// `(x, y)` samples in increasing x.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a series with palette slot `slot`.
+    pub fn new(label: impl Into<String>, slot: usize, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            color: PALETTE[slot % PALETTE.len()].to_string(),
+            glyph: GLYPHS[slot % GLYPHS.len()],
+            points,
+        }
+    }
+}
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Log10 axis (positive values only; non-positive points are dropped).
+    Log,
+}
+
+/// Description of one plot panel.
+#[derive(Debug, Clone)]
+pub struct PlotSpec {
+    /// Panel title.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// X scaling.
+    pub xscale: Scale,
+    /// Y scaling.
+    pub yscale: Scale,
+    /// Optional y clamp (the paper clamps the slowdown panel to ~10).
+    pub ymax: Option<f64>,
+}
+
+impl PlotSpec {
+    /// A log-log spec, the figures' default.
+    pub fn loglog(title: &str, xlabel: &str, ylabel: &str) -> PlotSpec {
+        PlotSpec {
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            xscale: Scale::Log,
+            yscale: Scale::Log,
+            ymax: None,
+        }
+    }
+
+    /// Log x, linear y (the slowdown panel).
+    pub fn semilogx(title: &str, xlabel: &str, ylabel: &str, ymax: f64) -> PlotSpec {
+        PlotSpec {
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            xscale: Scale::Log,
+            yscale: Scale::Linear,
+            ymax: Some(ymax),
+        }
+    }
+}
+
+/// Data bounds of a set of series under a spec (after log filtering and
+/// clamping).
+pub(crate) fn bounds(series: &[Series], spec: &PlotSpec) -> Option<(f64, f64, f64, f64)> {
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for s in series {
+        for &(x, y) in &s.points {
+            if spec.xscale == Scale::Log && x <= 0.0 {
+                continue;
+            }
+            if spec.yscale == Scale::Log && y <= 0.0 {
+                continue;
+            }
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            xs.push(x);
+            ys.push(spec.ymax.map_or(y, |m| y.min(m)));
+        }
+    }
+    if xs.is_empty() {
+        return None;
+    }
+    let (xmin, xmax) = (
+        xs.iter().copied().fold(f64::INFINITY, f64::min),
+        xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let (ymin, ymax) = (
+        ys.iter().copied().fold(f64::INFINITY, f64::min),
+        ys.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    Some((xmin, xmax, ymin, ymax))
+}
+
+/// Map a value into [0,1] under a scale.
+pub(crate) fn unit(v: f64, lo: f64, hi: f64, scale: Scale) -> f64 {
+    match scale {
+        Scale::Linear => {
+            if hi == lo {
+                0.5
+            } else {
+                (v - lo) / (hi - lo)
+            }
+        }
+        Scale::Log => {
+            if hi == lo {
+                0.5
+            } else {
+                (v.log10() - lo.log10()) / (hi.log10() - lo.log10())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palette_slots_stable() {
+        let s = Series::new("reference", 0, vec![]);
+        assert_eq!(s.color, "#2a78d6");
+        assert_eq!(s.glyph, 'r');
+        let s7 = Series::new("packing(v)", 7, vec![]);
+        assert_eq!(s7.color, "#eb6834");
+    }
+
+    #[test]
+    fn bounds_skip_nonpositive_on_log() {
+        let spec = PlotSpec::loglog("t", "x", "y");
+        let s = vec![Series::new("a", 0, vec![(0.0, 1.0), (10.0, 2.0), (100.0, 4.0)])];
+        let (xmin, xmax, ymin, ymax) = bounds(&s, &spec).unwrap();
+        assert_eq!((xmin, xmax), (10.0, 100.0));
+        assert_eq!((ymin, ymax), (2.0, 4.0));
+    }
+
+    #[test]
+    fn bounds_apply_ymax_clamp() {
+        let spec = PlotSpec::semilogx("t", "x", "y", 10.0);
+        let s = vec![Series::new("a", 0, vec![(1.0, 5.0), (2.0, 50.0)])];
+        let (_, _, _, ymax) = bounds(&s, &spec).unwrap();
+        assert_eq!(ymax, 10.0);
+    }
+
+    #[test]
+    fn unit_mapping() {
+        assert_eq!(unit(10.0, 1.0, 100.0, Scale::Log), 0.5);
+        assert_eq!(unit(5.0, 0.0, 10.0, Scale::Linear), 0.5);
+        assert_eq!(unit(3.0, 3.0, 3.0, Scale::Linear), 0.5);
+    }
+
+    #[test]
+    fn empty_series_no_bounds() {
+        let spec = PlotSpec::loglog("t", "x", "y");
+        assert!(bounds(&[], &spec).is_none());
+    }
+}

@@ -1,0 +1,363 @@
+//! Static SVG line charts in the style of the paper's figures.
+//!
+//! Marks follow the data-viz spec: 2px lines, recessive grid and axes,
+//! text in ink tokens (never the series color), a full legend for the
+//! eight series. Each figure is written alongside its CSV table view,
+//! which is the accessibility relief for the lighter palette slots.
+
+use std::fmt::Write as _;
+
+use crate::series::{bounds, unit, PlotSpec, Scale, Series};
+
+const SURFACE: &str = "#fcfcfb";
+const INK: &str = "#0b0b0b";
+const INK2: &str = "#52514e";
+const GRID: &str = "#ececea";
+
+/// Pixel geometry of one panel.
+#[derive(Debug, Clone, Copy)]
+pub struct PanelGeom {
+    /// Panel width in px (plot area plus margins).
+    pub width: f64,
+    /// Panel height in px.
+    pub height: f64,
+}
+
+impl Default for PanelGeom {
+    fn default() -> Self {
+        PanelGeom { width: 420.0, height: 360.0 }
+    }
+}
+
+const ML: f64 = 58.0; // left margin
+const MR: f64 = 14.0;
+const MT: f64 = 30.0;
+const MB: f64 = 46.0;
+
+/// Log-decade tick positions covering `[lo, hi]`.
+fn log_ticks(lo: f64, hi: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    if lo <= 0.0 || hi <= 0.0 {
+        return out;
+    }
+    let a = lo.log10().floor() as i32;
+    let b = hi.log10().ceil() as i32;
+    for e in a..=b {
+        let v = 10f64.powi(e);
+        if v >= lo * 0.999 && v <= hi * 1.001 {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Linear "nice" ticks.
+fn lin_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if hi <= lo {
+        return vec![lo];
+    }
+    let raw = (hi - lo) / n as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|s| (hi - lo) / s <= n as f64)
+        .unwrap_or(mag * 10.0);
+    let mut out = Vec::new();
+    let mut v = (lo / step).ceil() * step;
+    while v <= hi * 1.0001 {
+        out.push(v);
+        v += step;
+    }
+    out
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let e = v.abs().log10();
+    if (-2.0..4.0).contains(&e) {
+        if v.fract().abs() < 1e-9 {
+            format!("{}", v.round() as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        format!("1e{}", e.round() as i32)
+    }
+}
+
+/// Render one panel as an SVG `<g>` translated to `(ox, oy)`.
+pub fn panel_group(
+    spec: &PlotSpec,
+    series: &[Series],
+    geom: PanelGeom,
+    ox: f64,
+    oy: f64,
+) -> String {
+    let mut g = String::new();
+    let _ = write!(g, r#"<g transform="translate({ox:.1},{oy:.1})">"#);
+    let pw = geom.width - ML - MR;
+    let ph = geom.height - MT - MB;
+
+    let _ = write!(
+        g,
+        r#"<text x="{:.1}" y="18" fill="{INK}" font-size="13" font-weight="600" text-anchor="middle">{}</text>"#,
+        ML + pw / 2.0,
+        esc(&spec.title)
+    );
+
+    let Some((xmin, xmax, ymin, ymax)) = bounds(series, spec) else {
+        let _ = write!(
+            g,
+            r#"<text x="{:.1}" y="{:.1}" fill="{INK2}" font-size="12" text-anchor="middle">no data</text></g>"#,
+            ML + pw / 2.0,
+            MT + ph / 2.0
+        );
+        return g;
+    };
+    // Pad linear y to start at zero for slowdown-style panels.
+    let (ymin, ymax) = match spec.yscale {
+        Scale::Linear => (0.0f64.min(ymin), ymax * 1.05),
+        Scale::Log => (ymin, ymax),
+    };
+
+    let px = |x: f64| ML + unit(x, xmin, xmax, spec.xscale).clamp(0.0, 1.0) * pw;
+    let py = |y: f64| MT + (1.0 - unit(y, ymin, ymax, spec.yscale).clamp(0.0, 1.0)) * ph;
+
+    // Grid + ticks.
+    let xticks = match spec.xscale {
+        Scale::Log => log_ticks(xmin, xmax),
+        Scale::Linear => lin_ticks(xmin, xmax, 6),
+    };
+    let yticks = match spec.yscale {
+        Scale::Log => log_ticks(ymin, ymax),
+        Scale::Linear => lin_ticks(ymin, ymax, 6),
+    };
+    for &t in &xticks {
+        let x = px(t);
+        let _ = write!(
+            g,
+            r#"<line x1="{x:.1}" y1="{MT}" x2="{x:.1}" y2="{:.1}" stroke="{GRID}" stroke-width="1"/>"#,
+            MT + ph
+        );
+        let _ = write!(
+            g,
+            r#"<text x="{x:.1}" y="{:.1}" fill="{INK2}" font-size="10" text-anchor="middle">{}</text>"#,
+            MT + ph + 14.0,
+            fmt_tick(t)
+        );
+    }
+    for &t in &yticks {
+        let y = py(t);
+        let _ = write!(
+            g,
+            r#"<line x1="{ML}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{GRID}" stroke-width="1"/>"#,
+            ML + pw
+        );
+        let _ = write!(
+            g,
+            r#"<text x="{:.1}" y="{:.1}" fill="{INK2}" font-size="10" text-anchor="end">{}</text>"#,
+            ML - 5.0,
+            y + 3.5,
+            fmt_tick(t)
+        );
+    }
+    // Axes.
+    let _ = write!(
+        g,
+        r#"<rect x="{ML}" y="{MT}" width="{pw:.1}" height="{ph:.1}" fill="none" stroke="{INK2}" stroke-width="1"/>"#
+    );
+    // Axis labels.
+    let _ = write!(
+        g,
+        r#"<text x="{:.1}" y="{:.1}" fill="{INK2}" font-size="11" text-anchor="middle">{}</text>"#,
+        ML + pw / 2.0,
+        MT + ph + 32.0,
+        esc(&spec.xlabel)
+    );
+    let _ = write!(
+        g,
+        r#"<text x="14" y="{:.1}" fill="{INK2}" font-size="11" text-anchor="middle" transform="rotate(-90 14 {:.1})">{}</text>"#,
+        MT + ph / 2.0,
+        MT + ph / 2.0,
+        esc(&spec.ylabel)
+    );
+
+    // Series lines.
+    for s in series {
+        let mut d = String::new();
+        let mut first = true;
+        for &(x, y) in &s.points {
+            if (spec.xscale == Scale::Log && x <= 0.0) || (spec.yscale == Scale::Log && y <= 0.0) {
+                continue;
+            }
+            let y = spec.ymax.map_or(y, |m| y.min(m));
+            let _ = write!(d, "{}{:.1} {:.1}", if first { "M" } else { " L" }, px(x), py(y));
+            first = false;
+        }
+        if d.is_empty() {
+            continue;
+        }
+        let _ = write!(
+            g,
+            r#"<path d="{d}" fill="none" stroke="{}" stroke-width="2" stroke-linejoin="round"/>"#,
+            s.color
+        );
+    }
+    g.push_str("</g>");
+    g
+}
+
+/// Standalone legend group listing every series (text in ink; a colored
+/// swatch carries identity).
+pub fn legend_group(series: &[Series], ox: f64, oy: f64) -> String {
+    let mut g = String::new();
+    let _ = write!(g, r#"<g transform="translate({ox:.1},{oy:.1})">"#);
+    for (i, s) in series.iter().enumerate() {
+        let y = i as f64 * 18.0;
+        let _ = write!(
+            g,
+            r#"<line x1="0" y1="{:.1}" x2="18" y2="{:.1}" stroke="{}" stroke-width="2.5"/>"#,
+            y + 5.0,
+            y + 5.0,
+            s.color
+        );
+        let _ = write!(
+            g,
+            r#"<text x="24" y="{:.1}" fill="{INK}" font-size="11">{}</text>"#,
+            y + 9.0,
+            esc(&s.label)
+        );
+    }
+    g.push_str("</g>");
+    g
+}
+
+/// A complete single-panel SVG document.
+pub fn render_svg(spec: &PlotSpec, series: &[Series], geom: PanelGeom) -> String {
+    let legend_w = 110.0;
+    let w = geom.width + legend_w;
+    let h = geom.height;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}" font-family="system-ui, sans-serif"><rect width="100%" height="100%" fill="{SURFACE}"/>"#
+    );
+    out.push_str(&panel_group(spec, series, geom, 0.0, 0.0));
+    out.push_str(&legend_group(series, geom.width + 6.0, MT));
+    out.push_str("</svg>");
+    out
+}
+
+/// A multi-panel figure (the paper's time / bandwidth / slowdown layout)
+/// with one shared legend on the right.
+pub fn render_figure(
+    title: &str,
+    panels: &[(PlotSpec, Vec<Series>)],
+    geom: PanelGeom,
+) -> String {
+    let legend_w = 120.0;
+    let w = geom.width * panels.len() as f64 + legend_w;
+    let h = geom.height + 26.0;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}" font-family="system-ui, sans-serif"><rect width="100%" height="100%" fill="{SURFACE}"/>"#
+    );
+    let _ = write!(
+        out,
+        r#"<text x="{:.1}" y="18" fill="{INK}" font-size="15" font-weight="700" text-anchor="middle">{}</text>"#,
+        w / 2.0,
+        esc(title)
+    );
+    for (i, (spec, series)) in panels.iter().enumerate() {
+        out.push_str(&panel_group(spec, series, geom, i as f64 * geom.width, 26.0));
+    }
+    if let Some((_, series)) = panels.first() {
+        out.push_str(&legend_group(series, geom.width * panels.len() as f64 + 8.0, 50.0));
+    }
+    out.push_str("</svg>");
+    out
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Vec<Series> {
+        vec![
+            Series::new("reference", 0, (0..8).map(|i| (1e3 * 4f64.powi(i), 1e-6 * 2f64.powi(i))).collect()),
+            Series::new("vector type", 3, (0..8).map(|i| (1e3 * 4f64.powi(i), 3e-6 * 2f64.powi(i))).collect()),
+        ]
+    }
+
+    #[test]
+    fn single_panel_is_valid_svgish() {
+        let spec = PlotSpec::loglog("Time (sec)", "message bytes", "seconds");
+        let svg = render_svg(&spec, &demo(), PanelGeom::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("reference"));
+        assert!(svg.contains("#2a78d6"));
+        // balanced groups
+        assert_eq!(svg.matches("<g ").count(), svg.matches("</g>").count());
+    }
+
+    #[test]
+    fn figure_has_three_panels() {
+        let mk = |t: &str| (PlotSpec::loglog(t, "bytes", "y"), demo());
+        let svg = render_figure(
+            "Packing on skx-impi",
+            &[mk("Time (sec)"), mk("bwidth (Gb/s)"), mk("slowdown")],
+            PanelGeom::default(),
+        );
+        assert!(svg.contains("Time (sec)"));
+        assert!(svg.contains("bwidth"));
+        assert!(svg.contains("slowdown"));
+        assert_eq!(svg.matches("<path").count(), 6);
+    }
+
+    #[test]
+    fn log_ticks_cover_decades() {
+        assert_eq!(log_ticks(1e3, 1e6), vec![1e3, 1e4, 1e5, 1e6]);
+        assert!(log_ticks(-1.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn lin_ticks_reasonable() {
+        let t = lin_ticks(0.0, 10.0, 6);
+        assert!(t.contains(&0.0) && t.contains(&10.0));
+        assert!(t.len() <= 7);
+    }
+
+    #[test]
+    fn nonpositive_points_skipped_on_log() {
+        let spec = PlotSpec::loglog("T", "x", "y");
+        let s = vec![Series::new("a", 0, vec![(0.0, 1.0), (10.0, 1.0), (100.0, 2.0)])];
+        let svg = render_svg(&spec, &s, PanelGeom::default());
+        // Path must contain exactly two points (one M + one L).
+        let path = svg.split("<path d=\"").nth(1).unwrap();
+        let d = path.split('"').next().unwrap();
+        assert_eq!(d.matches('L').count(), 1, "{d}");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("a<b&c"), "a&lt;b&amp;c");
+    }
+
+    #[test]
+    fn ymax_clamps_series() {
+        let spec = PlotSpec::semilogx("s", "x", "slowdown", 10.0);
+        let s = vec![Series::new("a", 0, vec![(1.0, 2.0), (10.0, 500.0)])];
+        let svg = render_svg(&spec, &s, PanelGeom::default());
+        assert!(svg.contains("<path"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Aligned plain-text tables for terminal output.
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Table {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (padded or truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with right-aligned numeric-looking cells and a rule under the
+    /// header.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:>w$}", h, w = widths[i]));
+        }
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{:>w$}", c, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with an adaptive unit (s / ms / µs / ns).
+pub fn fmt_time(seconds: f64) -> String {
+    let a = seconds.abs();
+    if a >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if a >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if a >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Format bytes with binary units.
+pub fn fmt_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.1} {}", UNITS[u])
+    }
+}
+
+/// Format a bandwidth in Gb/s as the paper's figures label it.
+pub fn fmt_gbps(bytes_per_sec: f64) -> String {
+    format!("{:.2}", bytes_per_sec * 8.0 / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["size", "time"]);
+        t.row(["1024", "1.5 us"]);
+        t.row(["1048576", "800.0 us"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("size"));
+        assert!(lines[1].starts_with('-'));
+        // All rows the same rendered width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn time_units() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(0.0025), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 us");
+        assert_eq!(fmt_time(3.0e-9), "3.0 ns");
+    }
+
+    #[test]
+    fn byte_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MiB");
+    }
+
+    #[test]
+    fn gbps_matches_paper_axis() {
+        // 12.5e9 bytes/s = 100 Gb/s... the paper's axis peaks around 12.5,
+        // which corresponds to 12.5e9 bits-level units; our formatter
+        // reports bits: 1.5625e9 B/s -> 12.50 Gb/s.
+        assert_eq!(fmt_gbps(1.5625e9), "12.50");
+    }
+}

@@ -1,0 +1,138 @@
+//! The eight send schemes of the paper (§2).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the paper's schemes for moving non-contiguous data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Contiguous send — the baseline/attainable rate (§2.1).
+    Reference,
+    /// Manual gather into a reused contiguous buffer, then send (§2.2).
+    Copying,
+    /// `Buffer_attach` + `Bsend` of the derived type (§2.4).
+    Buffered,
+    /// Direct send of an `MPI_Type_vector` equivalent (§2.3).
+    VectorType,
+    /// Direct send of an `MPI_Type_create_subarray` equivalent (§2.3).
+    Subarray,
+    /// `Put` of the derived type inside `Win_fence` epochs (§2.5).
+    OneSided,
+    /// One `Pack` call **per element**, then send the packed buffer (§2.6).
+    PackingElement,
+    /// One `Pack` call on the whole vector datatype, then send (§2.6).
+    PackingVector,
+}
+
+impl Scheme {
+    /// All schemes, in the paper's legend order.
+    pub const ALL: [Scheme; 8] = [
+        Scheme::Reference,
+        Scheme::Copying,
+        Scheme::Buffered,
+        Scheme::VectorType,
+        Scheme::Subarray,
+        Scheme::OneSided,
+        Scheme::PackingElement,
+        Scheme::PackingVector,
+    ];
+
+    /// The non-contiguous schemes (everything but the reference).
+    pub const NON_CONTIGUOUS: [Scheme; 7] = [
+        Scheme::Copying,
+        Scheme::Buffered,
+        Scheme::VectorType,
+        Scheme::Subarray,
+        Scheme::OneSided,
+        Scheme::PackingElement,
+        Scheme::PackingVector,
+    ];
+
+    /// The paper's legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Reference => "reference",
+            Scheme::Copying => "copying",
+            Scheme::Buffered => "buffered",
+            Scheme::VectorType => "vector type",
+            Scheme::Subarray => "subarray",
+            Scheme::OneSided => "onesided",
+            Scheme::PackingElement => "packing(e)",
+            Scheme::PackingVector => "packing(v)",
+        }
+    }
+
+    /// Machine-friendly key for CSV columns and CLI flags.
+    pub fn key(self) -> &'static str {
+        match self {
+            Scheme::Reference => "reference",
+            Scheme::Copying => "copying",
+            Scheme::Buffered => "buffered",
+            Scheme::VectorType => "vector",
+            Scheme::Subarray => "subarray",
+            Scheme::OneSided => "onesided",
+            Scheme::PackingElement => "packing_e",
+            Scheme::PackingVector => "packing_v",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Scheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reference" | "ref" => Ok(Scheme::Reference),
+            "copying" | "copy" => Ok(Scheme::Copying),
+            "buffered" | "bsend" => Ok(Scheme::Buffered),
+            "vector" | "vector-type" => Ok(Scheme::VectorType),
+            "subarray" => Ok(Scheme::Subarray),
+            "onesided" | "one-sided" | "put" => Ok(Scheme::OneSided),
+            "packing_e" | "packing(e)" => Ok(Scheme::PackingElement),
+            "packing_v" | "packing(v)" => Ok(Scheme::PackingVector),
+            other => Err(format!("unknown scheme '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_round_trip() {
+        for s in Scheme::ALL {
+            assert_eq!(s.key().parse::<Scheme>().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        let legend: Vec<&str> = Scheme::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            legend,
+            [
+                "reference",
+                "copying",
+                "buffered",
+                "vector type",
+                "subarray",
+                "onesided",
+                "packing(e)",
+                "packing(v)"
+            ]
+        );
+    }
+
+    #[test]
+    fn non_contiguous_excludes_reference() {
+        assert!(!Scheme::NON_CONTIGUOUS.contains(&Scheme::Reference));
+        assert_eq!(Scheme::NON_CONTIGUOUS.len(), Scheme::ALL.len() - 1);
+    }
+}

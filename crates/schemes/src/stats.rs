@@ -1,0 +1,107 @@
+//! Measurement statistics with the paper's outlier rejection (§3.2):
+//! samples more than one standard deviation from the average are
+//! dismissed before the reported mean is computed.
+
+/// Summary statistics of a set of timing samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Mean of the samples kept after rejection.
+    pub mean: f64,
+    /// Standard deviation of all samples (before rejection).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples supplied.
+    pub n: usize,
+    /// Number of samples dismissed as outliers.
+    pub rejected: usize,
+}
+
+/// Plain mean.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(samples);
+    (samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / samples.len() as f64).sqrt()
+}
+
+/// The paper's procedure: compute mean and standard deviation, dismiss
+/// samples more than one standard deviation from the mean, report the
+/// mean of what remains (all samples, if rejection would empty the set).
+pub fn summarize(samples: &[f64]) -> Stats {
+    assert!(!samples.is_empty(), "no samples to summarize");
+    let m = mean(samples);
+    let sd = stddev(samples);
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+    let kept: Vec<f64> = samples.iter().copied().filter(|x| (x - m).abs() <= sd).collect();
+    let (final_mean, rejected) = if kept.is_empty() {
+        (m, 0)
+    } else {
+        (mean(&kept), samples.len() - kept.len())
+    };
+    Stats { mean: final_mean, stddev: sd, min, max, n: samples.len(), rejected }
+}
+
+/// Effective bandwidth in bytes/second for a payload moved in `seconds`.
+pub fn bandwidth(bytes: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 / seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_pass_through() {
+        let s = summarize(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.rejected, 0);
+        assert_eq!((s.min, s.max), (2.0, 2.0));
+    }
+
+    #[test]
+    fn outlier_is_dismissed() {
+        // 19 samples at ~1.0, one wild outlier.
+        let mut v = vec![1.0; 19];
+        v.push(100.0);
+        let s = summarize(&v);
+        assert!(s.rejected >= 1);
+        assert!((s.mean - 1.0).abs() < 1e-9, "outlier should not pull the mean: {}", s.mean);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn stddev_basic() {
+        assert!((stddev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(stddev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_simple() {
+        assert_eq!(bandwidth(1_000_000, 0.001), 1e9);
+        assert_eq!(bandwidth(100, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_rejected() {
+        summarize(&[]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Message-size sweeps over schemes — the data behind the paper's figures.
+
+use nonctg_simnet::{Platform, PlatformId};
+
+use crate::pingpong::{run_scheme, PingPongConfig};
+use crate::scheme::Scheme;
+use crate::workload::Workload;
+
+/// Configuration of a full sweep (one paper figure).
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Schemes to run, in legend order.
+    pub schemes: Vec<Scheme>,
+    /// Smallest message payload in bytes (rounded to whole elements).
+    pub min_bytes: usize,
+    /// Largest message payload in bytes.
+    pub max_bytes: usize,
+    /// Geometric step between message sizes (2 = doubling).
+    pub step: usize,
+    /// Measurement protocol; repetitions adapt to message size.
+    pub base: PingPongConfig,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            schemes: Scheme::ALL.to_vec(),
+            min_bytes: 1 << 10,
+            max_bytes: 1 << 28,
+            step: 2,
+            base: PingPongConfig::default(),
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The message sizes (bytes) this sweep visits.
+    pub fn sizes(&self) -> Vec<usize> {
+        assert!(self.step >= 2, "step must be >= 2");
+        let mut out = Vec::new();
+        let mut b = self.min_bytes.max(Workload::ELEM);
+        while b <= self.max_bytes {
+            out.push(b);
+            match b.checked_mul(self.step) {
+                Some(n) => b = n,
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// One measured (scheme, size) point.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// The scheme measured.
+    pub scheme: Scheme,
+    /// Message payload in bytes.
+    pub msg_bytes: usize,
+    /// Mean ping-pong time (outlier-rejected), seconds.
+    pub time: f64,
+    /// Effective bandwidth, bytes/second.
+    pub bandwidth: f64,
+    /// Time relative to the reference scheme at the same size
+    /// (1.0 for the reference itself; NaN if the reference was not run).
+    pub slowdown: f64,
+}
+
+/// A complete sweep: every scheme over every size.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// The platform this ran on.
+    pub platform: PlatformId,
+    /// Points in (size-major, legend-order) sequence.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Points of one scheme, in increasing size.
+    pub fn series(&self, scheme: Scheme) -> Vec<SweepPoint> {
+        let mut v: Vec<SweepPoint> =
+            self.points.iter().copied().filter(|p| p.scheme == scheme).collect();
+        v.sort_by_key(|p| p.msg_bytes);
+        v
+    }
+
+    /// The distinct message sizes, increasing.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.points.iter().map(|p| p.msg_bytes).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Look up a point.
+    pub fn get(&self, scheme: Scheme, msg_bytes: usize) -> Option<&SweepPoint> {
+        self.points.iter().find(|p| p.scheme == scheme && p.msg_bytes == msg_bytes)
+    }
+}
+
+/// Run a sweep, invoking `progress` after each measured point.
+pub fn run_sweep_with(
+    platform: &Platform,
+    cfg: &SweepConfig,
+    mut progress: impl FnMut(&SweepPoint),
+) -> Sweep {
+    let mut points = Vec::new();
+    for bytes in cfg.sizes() {
+        let elems = bytes / Workload::ELEM;
+        let w = Workload::every_other(elems);
+        let pp = cfg.base.clone().adaptive(bytes);
+        let mut ref_time = f64::NAN;
+        for &scheme in &cfg.schemes {
+            let r = run_scheme(platform, scheme, &w, &pp);
+            let time = r.time();
+            if scheme == Scheme::Reference {
+                ref_time = time;
+            }
+            let p = SweepPoint {
+                scheme,
+                msg_bytes: w.msg_bytes(),
+                time,
+                bandwidth: r.bandwidth(),
+                slowdown: time / ref_time,
+            };
+            progress(&p);
+            points.push(p);
+        }
+    }
+    Sweep { platform: platform.id, points }
+}
+
+/// Run a sweep silently.
+pub fn run_sweep(platform: &Platform, cfg: &SweepConfig) -> Sweep {
+    run_sweep_with(platform, cfg, |_| {})
+}
+
+/// Run a sweep with up to `jobs` (scheme, size) points measured
+/// concurrently. Each point runs in its own universe, so results are
+/// identical to the sequential [`run_sweep`] — only wall-clock changes.
+pub fn run_sweep_parallel(platform: &Platform, cfg: &SweepConfig, jobs: usize) -> Sweep {
+    let jobs = jobs.max(1);
+    if jobs == 1 {
+        return run_sweep(platform, cfg);
+    }
+    // Work list in deterministic order; results slot by index. Sizes are
+    // rounded to whole elements exactly as the sequential path does.
+    let work: Vec<(usize, Scheme)> = cfg
+        .sizes()
+        .into_iter()
+        .map(|bytes| Workload::every_other(bytes / Workload::ELEM).msg_bytes())
+        .flat_map(|bytes| cfg.schemes.iter().map(move |&s| (bytes, s)))
+        .collect();
+    let results: Vec<std::sync::Mutex<Option<(f64, f64)>>> =
+        (0..work.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let (bytes, scheme) = work[i];
+                let w = Workload::every_other(bytes / Workload::ELEM);
+                let pp = cfg.base.clone().adaptive(bytes);
+                let r = run_scheme(platform, scheme, &w, &pp);
+                *results[i].lock().unwrap() = Some((r.time(), r.bandwidth()));
+            });
+        }
+    });
+
+    // Assemble points with slowdowns in the canonical order.
+    let mut points = Vec::with_capacity(work.len());
+    let mut ref_time = f64::NAN;
+    for (i, &(bytes, scheme)) in work.iter().enumerate() {
+        let (time, bandwidth) = results[i].lock().unwrap().expect("measured point");
+        if scheme == Scheme::Reference {
+            ref_time = time;
+        }
+        points.push(SweepPoint {
+            scheme,
+            msg_bytes: bytes,
+            time,
+            bandwidth,
+            slowdown: time / ref_time,
+        });
+    }
+    Sweep { platform: platform.id, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> Platform {
+        let mut p = Platform::skx_impi();
+        p.jitter_sigma = 0.0;
+        p
+    }
+
+    fn tiny_cfg() -> SweepConfig {
+        SweepConfig {
+            schemes: vec![Scheme::Reference, Scheme::Copying, Scheme::VectorType],
+            min_bytes: 1 << 10,
+            max_bytes: 1 << 14,
+            step: 4,
+            base: PingPongConfig { reps: 3, flush: false, flush_bytes: 0, verify: true },
+        }
+    }
+
+    #[test]
+    fn sizes_are_geometric() {
+        let cfg = tiny_cfg();
+        assert_eq!(cfg.sizes(), vec![1024, 4096, 16384]);
+    }
+
+    #[test]
+    fn sweep_covers_schemes_and_sizes() {
+        let sweep = run_sweep(&quiet(), &tiny_cfg());
+        assert_eq!(sweep.points.len(), 3 * 3);
+        assert_eq!(sweep.sizes(), vec![1024, 4096, 16384]);
+        for s in [Scheme::Reference, Scheme::Copying, Scheme::VectorType] {
+            assert_eq!(sweep.series(s).len(), 3);
+        }
+    }
+
+    #[test]
+    fn reference_slowdown_is_one() {
+        let sweep = run_sweep(&quiet(), &tiny_cfg());
+        for p in sweep.series(Scheme::Reference) {
+            assert!((p.slowdown - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noncontiguous_slowdowns_exceed_one() {
+        let sweep = run_sweep(&quiet(), &tiny_cfg());
+        for s in [Scheme::Copying, Scheme::VectorType] {
+            for p in sweep.series(s) {
+                assert!(p.slowdown > 1.0, "{s} at {} bytes: {}", p.msg_bytes, p.slowdown);
+            }
+        }
+    }
+
+    #[test]
+    fn progress_callback_fires_per_point() {
+        let mut n = 0;
+        run_sweep_with(&quiet(), &tiny_cfg(), |_| n += 1);
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let seq = run_sweep(&quiet(), &tiny_cfg());
+        let par = run_sweep_parallel(&quiet(), &tiny_cfg(), 4);
+        assert_eq!(seq.points.len(), par.points.len());
+        for (a, b) in seq.points.iter().zip(par.points.iter()) {
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.msg_bytes, b.msg_bytes);
+            assert_eq!(a.time, b.time, "{} @ {}", a.scheme, a.msg_bytes);
+            assert_eq!(a.slowdown, b.slowdown);
+        }
+    }
+
+    #[test]
+    fn bandwidth_grows_with_size_for_reference() {
+        let sweep = run_sweep(&quiet(), &tiny_cfg());
+        let series = sweep.series(Scheme::Reference);
+        assert!(series.last().unwrap().bandwidth > series.first().unwrap().bandwidth);
+    }
+}

@@ -1,0 +1,242 @@
+//! Workload definitions: what non-contiguous data gets sent.
+//!
+//! The paper's main experiment sends every other `f64` of an array (a
+//! vector type with blocklength 1, stride 2). §4.7 motivates two
+//! generalizations — larger block sizes and irregular spacing — and the
+//! introduction names three application patterns (real parts of a complex
+//! array, multigrid coarsening, FEM boundary gathers) that the examples
+//! exercise.
+
+use nonctg_datatype::{ArrayOrder, Datatype, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A regular strided workload of `f64` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// Number of blocks sent.
+    pub count: usize,
+    /// Elements per block.
+    pub blocklen: usize,
+    /// Distance between block starts, in elements. `stride >= blocklen`.
+    pub stride: usize,
+}
+
+impl Workload {
+    /// Size of one element in bytes (`f64`).
+    pub const ELEM: usize = 8;
+
+    /// The paper's standard workload: `elems` doubles at stride 2.
+    pub fn every_other(elems: usize) -> Workload {
+        Workload { count: elems, blocklen: 1, stride: 2 }
+    }
+
+    /// A blocked variant (§4.7(2)): same payload, larger blocks.
+    pub fn blocked(elems: usize, blocklen: usize) -> Workload {
+        let blocklen = blocklen.max(1);
+        let count = elems.div_ceil(blocklen);
+        Workload { count, blocklen, stride: 2 * blocklen }
+    }
+
+    /// Elements actually sent.
+    pub fn elems(&self) -> usize {
+        self.count * self.blocklen
+    }
+
+    /// Message payload in bytes.
+    pub fn msg_bytes(&self) -> usize {
+        self.elems() * Self::ELEM
+    }
+
+    /// Length of the source array in elements (spans all blocks).
+    pub fn array_elems(&self) -> usize {
+        if self.count == 0 {
+            0
+        } else {
+            (self.count - 1) * self.stride + self.blocklen
+        }
+    }
+
+    /// The equivalent `MPI_Type_vector`.
+    pub fn vector_type(&self) -> Result<Datatype> {
+        Ok(Datatype::vector(self.count, self.blocklen, self.stride as i64, &Datatype::f64())?
+            .commit())
+    }
+
+    /// The equivalent 2-D subarray: a `count x stride` array from which a
+    /// `count x blocklen` column block is selected.
+    pub fn subarray_type(&self) -> Result<Datatype> {
+        Ok(Datatype::subarray(
+            &[self.count, self.stride],
+            &[self.count, self.blocklen],
+            &[0, 0],
+            ArrayOrder::C,
+            &Datatype::f64(),
+        )?
+        .commit())
+    }
+
+    /// Fill the source array: element `e` holds `e as f64`, so receivers
+    /// can verify selections positionally.
+    pub fn make_source(&self) -> Vec<f64> {
+        (0..self.array_elems()).map(|i| i as f64).collect()
+    }
+
+    /// The expected received payload (selected elements, in order).
+    pub fn expected(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.elems());
+        for j in 0..self.count {
+            for k in 0..self.blocklen {
+                out.push((j * self.stride + k) as f64);
+            }
+        }
+        out
+    }
+
+    /// Index in the source array of payload element `i`.
+    pub fn source_index(&self, i: usize) -> usize {
+        let (j, k) = (i / self.blocklen, i % self.blocklen);
+        j * self.stride + k
+    }
+}
+
+/// An irregular (indexed) workload for §4.7(1): `count` blocks of
+/// `blocklen` doubles at randomized displacements with a mean spacing.
+#[derive(Debug, Clone)]
+pub struct IrregularWorkload {
+    /// `(blocklen, displacement)` pairs, sorted by displacement.
+    pub blocks: Vec<(usize, i64)>,
+    /// Elements in the underlying array.
+    pub array_elems: usize,
+}
+
+impl IrregularWorkload {
+    /// Random sorted displacements: `count` blocks of `blocklen` doubles,
+    /// average spacing `mean_spacing` elements, deterministic in `seed`.
+    pub fn random(count: usize, blocklen: usize, mean_spacing: usize, seed: u64) -> Self {
+        assert!(mean_spacing >= blocklen, "blocks must not overlap");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let slack = mean_spacing - blocklen;
+        let mut disp: i64 = 0;
+        let mut blocks = Vec::with_capacity(count);
+        for _ in 0..count {
+            blocks.push((blocklen, disp));
+            let gap = if slack == 0 { 0 } else { rng.gen_range(0..=2 * slack) };
+            disp += (blocklen + gap) as i64;
+        }
+        let array_elems = blocks
+            .last()
+            .map(|&(bl, d)| d as usize + bl)
+            .unwrap_or(0);
+        IrregularWorkload { blocks, array_elems }
+    }
+
+    /// Elements sent.
+    pub fn elems(&self) -> usize {
+        self.blocks.iter().map(|&(bl, _)| bl).sum()
+    }
+
+    /// Message payload bytes.
+    pub fn msg_bytes(&self) -> usize {
+        self.elems() * Workload::ELEM
+    }
+
+    /// The equivalent indexed datatype.
+    pub fn indexed_type(&self) -> Result<Datatype> {
+        let blocks: Vec<(usize, i64)> = self.blocks.clone();
+        Ok(Datatype::indexed(&blocks, &Datatype::f64())?.commit())
+    }
+
+    /// Source array (element `e` = `e as f64`).
+    pub fn make_source(&self) -> Vec<f64> {
+        (0..self.array_elems).map(|i| i as f64).collect()
+    }
+
+    /// Expected payload.
+    pub fn expected(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.elems());
+        for &(bl, d) in &self.blocks {
+            for k in 0..bl {
+                out.push((d as usize + k) as f64);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_other_matches_paper() {
+        let w = Workload::every_other(100);
+        assert_eq!(w.elems(), 100);
+        assert_eq!(w.msg_bytes(), 800);
+        assert_eq!(w.array_elems(), 199);
+        assert_eq!(w.source_index(7), 14);
+    }
+
+    #[test]
+    fn blocked_preserves_payload() {
+        for bl in [1, 2, 8, 64] {
+            let w = Workload::blocked(1024, bl);
+            assert_eq!(w.elems(), 1024, "blocklen {bl}");
+            assert_eq!(w.stride, 2 * bl);
+        }
+    }
+
+    #[test]
+    fn expected_matches_vector_selection() {
+        let w = Workload { count: 5, blocklen: 3, stride: 7 };
+        let exp = w.expected();
+        assert_eq!(exp.len(), 15);
+        assert_eq!(exp[0], 0.0);
+        assert_eq!(exp[3], 7.0);
+        assert_eq!(exp[14], (4 * 7 + 2) as f64);
+        for (i, &e) in exp.iter().enumerate() {
+            assert_eq!(e as usize, w.source_index(i));
+        }
+    }
+
+    #[test]
+    fn vector_and_subarray_types_agree() {
+        let w = Workload::every_other(64);
+        let v = w.vector_type().unwrap();
+        let s = w.subarray_type().unwrap();
+        assert_eq!(v.size(), s.size());
+        assert_eq!(v.size() as usize, w.msg_bytes());
+        // Same packed bytes from the same source.
+        let src = w.make_source();
+        let bytes = nonctg_datatype::as_bytes(&src);
+        let pv = nonctg_datatype::pack(bytes, 0, &v, 1).unwrap();
+        let ps = nonctg_datatype::pack(bytes, 0, &s, 1).unwrap();
+        assert_eq!(pv, ps);
+    }
+
+    #[test]
+    fn irregular_is_deterministic_and_sorted() {
+        let a = IrregularWorkload::random(100, 2, 8, 42);
+        let b = IrregularWorkload::random(100, 2, 8, 42);
+        assert_eq!(a.blocks, b.blocks);
+        assert!(a.blocks.windows(2).all(|w| w[0].1 + w[0].0 as i64 <= w[1].1));
+        assert_eq!(a.elems(), 200);
+    }
+
+    #[test]
+    fn irregular_expected_matches_type() {
+        let w = IrregularWorkload::random(50, 3, 10, 7);
+        let t = w.indexed_type().unwrap();
+        let src = w.make_source();
+        let packed = nonctg_datatype::pack(nonctg_datatype::as_bytes(&src), 0, &t, 1).unwrap();
+        let expected = w.expected();
+        assert_eq!(packed, nonctg_datatype::as_bytes(&expected));
+    }
+
+    #[test]
+    fn zero_spacing_slack_gives_contiguous_blocks() {
+        let w = IrregularWorkload::random(10, 4, 4, 1);
+        assert_eq!(w.array_elems, 40);
+        assert_eq!(w.elems(), 40);
+    }
+}

@@ -1,0 +1,216 @@
+//! Cost explanation: decompose a predicted send time into the paper's §2
+//! components, for documentation, debugging, and the `cost_table` bench.
+
+use crate::cost::Access;
+use crate::platform::Platform;
+
+/// Which transport path a breakdown describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendPath {
+    /// Contiguous send: pipelined NIC injection (the reference).
+    Contiguous,
+    /// Derived-type send: internal staging then wire, no overlap.
+    DerivedType,
+    /// Buffered send: staging + attach-buffer accounting + wire.
+    Buffered,
+    /// One-sided put inside a fence epoch.
+    OneSidedPut,
+}
+
+/// A predicted one-way message time, split into additive components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SendBreakdown {
+    /// Which path was modeled.
+    pub path: SendPath,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Per-message software overhead (eager or rendezvous).
+    pub overhead: f64,
+    /// Gather/staging time before any byte hits the wire (0 when the NIC
+    /// streams the user buffer directly).
+    pub staging: f64,
+    /// Extra cost specific to the path (bsend copy, fence share, ...).
+    pub extra: f64,
+    /// One-way wire latency.
+    pub latency: f64,
+    /// Serialization time on the wire (or the pipelined injection).
+    pub wire: f64,
+}
+
+impl SendBreakdown {
+    /// Total predicted one-way time.
+    pub fn total(&self) -> f64 {
+        self.overhead + self.staging + self.extra + self.latency + self.wire
+    }
+
+    /// The paper's "proportionality constant": total over the pure wire
+    /// time of the same bytes.
+    pub fn slowdown_vs_wire(&self) -> f64 {
+        if self.wire > 0.0 {
+            self.total() / (self.latency + self.wire)
+        } else {
+            1.0
+        }
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let pct = |x: f64| 100.0 * x / self.total().max(f64::MIN_POSITIVE);
+        format!(
+            "{:?} send of {} bytes: {:.2} us total\n  overhead {:>8.2} us ({:>4.1}%)\n  staging  {:>8.2} us ({:>4.1}%)\n  extra    {:>8.2} us ({:>4.1}%)\n  latency  {:>8.2} us ({:>4.1}%)\n  wire     {:>8.2} us ({:>4.1}%)",
+            self.path,
+            self.bytes,
+            self.total() * 1e6,
+            self.overhead * 1e6,
+            pct(self.overhead),
+            self.staging * 1e6,
+            pct(self.staging),
+            self.extra * 1e6,
+            pct(self.extra),
+            self.latency * 1e6,
+            pct(self.latency),
+            self.wire * 1e6,
+            pct(self.wire),
+        )
+    }
+}
+
+impl Platform {
+    /// Predict and decompose a one-way send of `bytes` laid out per
+    /// `access` over `path`, with the cache `warm` or flushed.
+    pub fn explain_send(
+        &self,
+        path: SendPath,
+        bytes: u64,
+        access: &Access,
+        warm: bool,
+    ) -> SendBreakdown {
+        let eager = bytes <= self.eager_threshold(false);
+        match path {
+            SendPath::Contiguous => SendBreakdown {
+                path,
+                bytes,
+                overhead: self.send_overhead(eager),
+                staging: 0.0,
+                extra: 0.0,
+                latency: self.net.latency,
+                wire: self.contiguous_injection(bytes),
+            },
+            SendPath::DerivedType => SendBreakdown {
+                path,
+                bytes,
+                overhead: self.send_overhead(eager),
+                staging: self.staging_time(bytes, access, warm),
+                extra: 0.0,
+                latency: self.net.latency,
+                wire: self.wire_time(bytes, 1.0),
+            },
+            SendPath::Buffered => SendBreakdown {
+                path,
+                bytes,
+                overhead: self.send_overhead(true),
+                staging: self.staging_time(bytes, access, warm),
+                extra: self.bsend_extra(bytes),
+                latency: self.net.latency,
+                wire: self.wire_time(bytes, 1.0),
+            },
+            SendPath::OneSidedPut => {
+                let gather = match access {
+                    Access::Contiguous => 0.0,
+                    a => self.gather_time(bytes, a, warm),
+                };
+                let mut wire = self.wire_time(bytes, self.rma.bw_factor);
+                if bytes > self.proto.internal_buffer {
+                    wire *= self.rma.large_penalty;
+                    wire += bytes.div_ceil(self.proto.chunk_size.max(1)) as f64
+                        * self.proto.chunk_overhead;
+                }
+                SendBreakdown {
+                    path,
+                    bytes,
+                    overhead: self.rma.put_overhead,
+                    staging: gather,
+                    // Two fences bracket the transfer; attribute both here.
+                    extra: 2.0 * self.fence_time(2),
+                    latency: self.net.latency,
+                    wire,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skx() -> Platform {
+        Platform::skx_impi()
+    }
+
+    fn stride2() -> Access {
+        Access::Strided { blocklen: 8, stride: 16 }
+    }
+
+    #[test]
+    fn contiguous_has_no_staging() {
+        let b = skx().explain_send(SendPath::Contiguous, 1 << 20, &Access::Contiguous, false);
+        assert_eq!(b.staging, 0.0);
+        assert!(b.total() > 0.0);
+        assert!(b.slowdown_vs_wire() < 1.2);
+    }
+
+    #[test]
+    fn derived_pays_staging_that_dominates_the_gap() {
+        let p = skx();
+        let c = p.explain_send(SendPath::Contiguous, 1 << 22, &Access::Contiguous, false);
+        let d = p.explain_send(SendPath::DerivedType, 1 << 22, &stride2(), false);
+        assert!(d.staging > 0.0);
+        let gap = d.total() - c.total();
+        assert!(
+            d.staging / gap > 0.75,
+            "staging should explain most of the derived-type gap"
+        );
+        // The paper's ~3x constant at volume.
+        let slowdown = d.total() / c.total();
+        assert!((2.0..4.0).contains(&slowdown), "{slowdown}");
+    }
+
+    #[test]
+    fn buffered_total_exceeds_derived() {
+        let p = skx();
+        let d = p.explain_send(SendPath::DerivedType, 1 << 20, &stride2(), false);
+        let b = p.explain_send(SendPath::Buffered, 1 << 20, &stride2(), false);
+        assert!(b.total() > d.total());
+        assert!(b.extra > 0.0);
+    }
+
+    #[test]
+    fn put_small_message_is_fence_bound() {
+        let b = skx().explain_send(SendPath::OneSidedPut, 256, &stride2(), false);
+        assert!(b.extra > 0.5 * b.total(), "fences should dominate: {}", b.render());
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        for path in [
+            SendPath::Contiguous,
+            SendPath::DerivedType,
+            SendPath::Buffered,
+            SendPath::OneSidedPut,
+        ] {
+            let b = skx().explain_send(path, 1 << 16, &stride2(), true);
+            let sum = b.overhead + b.staging + b.extra + b.latency + b.wire;
+            assert!((sum - b.total()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let b = skx().explain_send(SendPath::DerivedType, 4096, &stride2(), false);
+        let r = b.render();
+        for key in ["overhead", "staging", "latency", "wire", "us total"] {
+            assert!(r.contains(key), "missing {key} in {r}");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Deterministic measurement jitter.
+//!
+//! Real ping-pong measurements show small run-to-run variation (the paper's
+//! "occasional blips in the reference curve"). We reproduce that texture
+//! with a seeded SplitMix64 stream driving an approximately log-normal
+//! multiplier, so runs are bit-for-bit repeatable: same platform seed, same
+//! curve.
+
+/// A deterministic multiplicative-noise generator.
+#[derive(Debug, Clone)]
+pub struct Jitter {
+    state: u64,
+    sigma: f64,
+}
+
+impl Jitter {
+    /// New stream with relative standard deviation `sigma` (0 disables).
+    pub fn new(seed: u64, sigma: f64) -> Self {
+        assert!((0.0..1.0).contains(&sigma), "jitter sigma out of range: {sigma}");
+        Jitter { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15), sigma }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Approximately standard-normal (Irwin-Hall with 4 uniforms).
+    #[inline]
+    fn normal(&mut self) -> f64 {
+        let s: f64 = (0..4).map(|_| self.uniform()).sum();
+        (s - 2.0) * (3.0f64).sqrt() // variance of sum of 4 U(0,1) is 1/3
+    }
+
+    /// A multiplicative factor near 1, log-normal with relative sigma.
+    #[inline]
+    pub fn factor(&mut self) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        (self.sigma * self.normal()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Jitter::new(42, 0.05);
+        let mut b = Jitter::new(42, 0.05);
+        for _ in 0..100 {
+            assert_eq!(a.factor(), b.factor());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Jitter::new(1, 0.05);
+        let mut b = Jitter::new(2, 0.05);
+        let same = (0..32).filter(|_| a.factor() == b.factor()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn zero_sigma_is_exactly_one() {
+        let mut j = Jitter::new(7, 0.0);
+        for _ in 0..10 {
+            assert_eq!(j.factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn factors_cluster_around_one() {
+        let mut j = Jitter::new(9, 0.03);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| j.factor()).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        let mut j = Jitter::new(9, 0.03);
+        assert!((0..n).all(|_| {
+            let f = j.factor();
+            (0.7..1.4).contains(&f)
+        }));
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut j = Jitter::new(5, 0.1);
+        for _ in 0..1000 {
+            let u = j.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter sigma out of range")]
+    fn sigma_validated() {
+        Jitter::new(0, 1.5);
+    }
+}

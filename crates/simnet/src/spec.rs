@@ -1,0 +1,227 @@
+//! Textual platform specifications: derive a custom [`Platform`] from a
+//! preset plus `key=value` overrides.
+//!
+//! This is how a user models *their* cluster without recompiling:
+//!
+//! ```
+//! use nonctg_simnet::Platform;
+//!
+//! // A Skylake-like machine on a 200 Gb/s fabric with a 1 MiB eager limit.
+//! let p = Platform::from_spec("skx-impi:net.bw=25e9,proto.eager_limit=1048576").unwrap();
+//! assert_eq!(p.net.bw, 25e9);
+//! assert_eq!(p.proto.eager_limit, 1 << 20);
+//! ```
+//!
+//! Recognized keys mirror the model fields: `mem.copy_bw`,
+//! `mem.cache_size`, `mem.warm_speedup`, `mem.cacheline`,
+//! `mem.irregular_prefetch_eff`, `cpu.per_call_overhead`, `net.bw`,
+//! `net.latency`, `net.pipeline_eff`, `net.dma_read_bw`,
+//! `proto.eager_limit`, `proto.eager_overhead`, `proto.rndv_extra`,
+//! `proto.packed_eager_factor`, `proto.internal_buffer`,
+//! `proto.chunk_size`, `proto.chunk_overhead`, `proto.large_degradation`,
+//! `proto.bsend_overhead`, `rma.fence_overhead`, `rma.put_overhead`,
+//! `rma.bw_factor`, `rma.large_penalty`, `jitter`, `seed`.
+
+use crate::platform::Platform;
+
+/// Error from [`Platform::from_spec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid platform spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl Platform {
+    /// Parse `"<preset>[:key=value,key=value,...]"`.
+    pub fn from_spec(spec: &str) -> Result<Platform, SpecError> {
+        let (preset, overrides) = match spec.split_once(':') {
+            Some((p, o)) => (p, Some(o)),
+            None => (spec, None),
+        };
+        let id = preset
+            .parse()
+            .map_err(|e: String| SpecError(e))?;
+        let mut p = Platform::get(id);
+        if let Some(overrides) = overrides {
+            for kv in overrides.split(',').filter(|s| !s.is_empty()) {
+                let (key, value) = kv
+                    .split_once('=')
+                    .ok_or_else(|| SpecError(format!("expected key=value, got '{kv}'")))?;
+                p.apply_override(key.trim(), value.trim())?;
+            }
+        }
+        p.validate().map_err(SpecError)?;
+        Ok(p)
+    }
+
+    fn apply_override(&mut self, key: &str, value: &str) -> Result<(), SpecError> {
+        let f = || -> Result<f64, SpecError> {
+            value
+                .parse::<f64>()
+                .map_err(|e| SpecError(format!("{key}: bad number '{value}': {e}")))
+        };
+        let u = || -> Result<u64, SpecError> {
+            let (num, mult) = match value.chars().last() {
+                Some('k') | Some('K') => (&value[..value.len() - 1], 1u64 << 10),
+                Some('m') | Some('M') => (&value[..value.len() - 1], 1 << 20),
+                Some('g') | Some('G') => (&value[..value.len() - 1], 1 << 30),
+                _ => (value, 1),
+            };
+            num.parse::<f64>()
+                .map(|v| v as u64 * mult)
+                .map_err(|e| SpecError(format!("{key}: bad integer '{value}': {e}")))
+        };
+        match key {
+            "mem.copy_bw" => self.mem.copy_bw = f()?,
+            "mem.cache_size" => self.mem.cache_size = u()?,
+            "mem.warm_speedup" => self.mem.warm_speedup = f()?,
+            "mem.cacheline" => self.mem.cacheline = u()?,
+            "mem.irregular_prefetch_eff" => self.mem.irregular_prefetch_eff = f()?,
+            "cpu.per_call_overhead" => self.cpu.per_call_overhead = f()?,
+            "net.bw" => self.net.bw = f()?,
+            "net.latency" => self.net.latency = f()?,
+            "net.pipeline_eff" => self.net.pipeline_eff = f()?,
+            "net.dma_read_bw" => self.net.dma_read_bw = f()?,
+            "proto.eager_limit" => self.proto.eager_limit = u()?,
+            "proto.eager_overhead" => self.proto.eager_overhead = f()?,
+            "proto.rndv_extra" => self.proto.rndv_extra = f()?,
+            "proto.packed_eager_factor" => self.proto.packed_eager_factor = f()?,
+            "proto.internal_buffer" => self.proto.internal_buffer = u()?,
+            "proto.chunk_size" => self.proto.chunk_size = u()?,
+            "proto.chunk_overhead" => self.proto.chunk_overhead = f()?,
+            "proto.large_degradation" => self.proto.large_degradation = f()?,
+            "proto.bsend_overhead" => self.proto.bsend_overhead = f()?,
+            "rma.fence_overhead" => self.rma.fence_overhead = f()?,
+            "rma.put_overhead" => self.rma.put_overhead = f()?,
+            "rma.bw_factor" => self.rma.bw_factor = f()?,
+            "rma.large_penalty" => self.rma.large_penalty = f()?,
+            "jitter" => self.jitter_sigma = f()?,
+            "seed" => self.seed = u()?,
+            other => return Err(SpecError(format!("unknown key '{other}'"))),
+        }
+        Ok(())
+    }
+
+    /// Sanity-check the parameter ranges the cost model assumes.
+    pub fn validate(&self) -> Result<(), String> {
+        fn pos(name: &str, v: f64) -> Result<(), String> {
+            if v > 0.0 && v.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("{name} must be positive and finite, got {v}"))
+            }
+        }
+        pos("mem.copy_bw", self.mem.copy_bw)?;
+        pos("net.bw", self.net.bw)?;
+        pos("net.latency", self.net.latency)?;
+        pos("net.dma_read_bw", self.net.dma_read_bw)?;
+        if !(0.0..=1.0).contains(&self.net.pipeline_eff) || self.net.pipeline_eff == 0.0 {
+            return Err(format!(
+                "net.pipeline_eff must be in (0, 1], got {}",
+                self.net.pipeline_eff
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.mem.irregular_prefetch_eff)
+            || self.mem.irregular_prefetch_eff == 0.0
+        {
+            return Err("mem.irregular_prefetch_eff must be in (0, 1]".into());
+        }
+        if self.mem.warm_speedup < 1.0 {
+            return Err("mem.warm_speedup must be >= 1".into());
+        }
+        if self.proto.eager_limit == 0 {
+            return Err("proto.eager_limit must be nonzero".into());
+        }
+        if self.proto.chunk_size == 0 || self.proto.chunk_size > self.proto.internal_buffer {
+            return Err("proto.chunk_size must be in 1..=proto.internal_buffer".into());
+        }
+        if self.proto.large_degradation < 1.0 || self.rma.large_penalty < 1.0 {
+            return Err("degradation multipliers must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.rma.bw_factor) || self.rma.bw_factor == 0.0 {
+            return Err("rma.bw_factor must be in (0, 1]".into());
+        }
+        if !(0.0..1.0).contains(&self.jitter_sigma) {
+            return Err("jitter must be in [0, 1)".into());
+        }
+        if self.proto.packed_eager_factor < 1.0 {
+            return Err("proto.packed_eager_factor must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformId;
+
+    #[test]
+    fn bare_preset_parses() {
+        let p = Platform::from_spec("knl-impi").unwrap();
+        assert_eq!(p.id, PlatformId::KnlImpi);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let p = Platform::from_spec(
+            "skx-impi:net.bw=25e9,proto.eager_limit=131072,jitter=0,mem.copy_bw=1.2e10",
+        )
+        .unwrap();
+        assert_eq!(p.net.bw, 25e9);
+        assert_eq!(p.proto.eager_limit, 131072);
+        assert_eq!(p.jitter_sigma, 0.0);
+        assert_eq!(p.mem.copy_bw, 1.2e10);
+    }
+
+    #[test]
+    fn unknown_preset_rejected() {
+        assert!(Platform::from_spec("bluegene").is_err());
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let e = Platform::from_spec("skx-impi:net.color=blue").unwrap_err();
+        assert!(e.0.contains("unknown key") || e.0.contains("bad number"), "{e}");
+    }
+
+    #[test]
+    fn malformed_pair_rejected() {
+        assert!(Platform::from_spec("skx-impi:net.bw").is_err());
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        assert!(Platform::from_spec("skx-impi:net.bw=0").is_err());
+        assert!(Platform::from_spec("skx-impi:net.pipeline_eff=1.5").is_err());
+        assert!(Platform::from_spec("skx-impi:proto.chunk_size=0").is_err());
+        assert!(Platform::from_spec("skx-impi:jitter=2").is_err());
+        assert!(Platform::from_spec("skx-impi:rma.bw_factor=0").is_err());
+    }
+
+    #[test]
+    fn presets_all_validate() {
+        for p in Platform::all() {
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn size_suffixes_on_integer_keys() {
+        let p = Platform::from_spec("skx-impi:proto.eager_limit=1m,proto.internal_buffer=64M").unwrap();
+        assert_eq!(p.proto.eager_limit, 1 << 20);
+        assert_eq!(p.proto.internal_buffer, 64 << 20);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let p = Platform::from_spec("cray: net.bw = 9e9 , jitter = 0.01").unwrap();
+        assert_eq!(p.net.bw, 9e9);
+        assert_eq!(p.jitter_sigma, 0.01);
+    }
+}

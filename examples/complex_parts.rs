@@ -1,0 +1,68 @@
+//! Sending the real parts of a complex array — the paper's first
+//! motivating workload — plus multigrid coarsening (every other point).
+//!
+//! Demonstrates three equivalent datatype formulations of "every other
+//! f64" (vector, subarray, resized-struct) and times the paper's
+//! recommended scheme (pack a derived type, send the packed buffer)
+//! against a direct derived-type send on all four platform models.
+//!
+//! ```text
+//! cargo run --release --example complex_parts
+//! ```
+
+use nonctg::datatype::{pack, ArrayOrder, Datatype};
+use nonctg::schemes::{run_scheme, PingPongConfig, Scheme, Workload};
+use nonctg::simnet::Platform;
+
+fn main() {
+    let n = 1 << 15; // complex values
+    // An interleaved complex array: [re0, im0, re1, im1, ...]
+    let z: Vec<f64> = (0..2 * n).map(|i| if i % 2 == 0 { (i / 2) as f64 } else { -1.0 }).collect();
+
+    // Three ways to describe "the real parts":
+    let vector = Datatype::vector(n, 1, 2, &Datatype::f64()).unwrap().commit();
+    let subarr = Datatype::subarray(&[n, 2], &[n, 1], &[0, 0], ArrayOrder::C, &Datatype::f64())
+        .unwrap()
+        .commit();
+    // one f64 resized to the extent of a complex pair, sent with count n
+    let resized = Datatype::resized(&Datatype::f64(), 0, 16).unwrap().commit();
+
+    let bytes = nonctg::datatype::as_bytes(&z);
+    let a = pack(bytes, 0, &vector, 1).unwrap();
+    let b = pack(bytes, 0, &subarr, 1).unwrap();
+    let c = pack(bytes, 0, &resized, n).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+    println!("vector / subarray / resized-element formulations pack identically ✓");
+    let re0 = f64::from_le_bytes(a[0..8].try_into().unwrap());
+    let re_last = f64::from_le_bytes(a[a.len() - 8..].try_into().unwrap());
+    assert_eq!((re0, re_last), (0.0, (n - 1) as f64));
+    println!("real parts extracted: z[0].re = {re0}, z[{}].re = {re_last}", n - 1);
+
+    // Multigrid coarsening is the same access pattern: every other grid
+    // point. Time the paper's §5 recommendation on each installation.
+    println!("\ncoarsening transfer ({} KiB) — direct vector send vs pack+send:", n * 8 / 1024);
+    let w = Workload::every_other(n);
+    let cfg = PingPongConfig { reps: 10, ..PingPongConfig::default() };
+    println!(
+        "{:>14} {:>12} {:>12} {:>12} {:>9}",
+        "platform", "reference", "vector", "packing(v)", "winner"
+    );
+    for platform in Platform::all() {
+        let r = run_scheme(&platform, Scheme::Reference, &w, &cfg).time();
+        let v = run_scheme(&platform, Scheme::VectorType, &w, &cfg).time();
+        let p = run_scheme(&platform, Scheme::PackingVector, &w, &cfg).time();
+        println!(
+            "{:>14} {:>10.1} us {:>10.1} us {:>10.1} us {:>9}",
+            platform.id.name(),
+            r * 1e6,
+            v * 1e6,
+            p * 1e6,
+            if p <= v { "pack" } else { "vector" }
+        );
+    }
+    println!(
+        "\npaper §5: below ~10^8 bytes the schemes are close — use derived types\n\
+         for convenience; the consistently best scheme applies pack to a derived type."
+    );
+}

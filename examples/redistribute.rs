@@ -1,0 +1,97 @@
+//! Redistribute a block-distributed global matrix to a block-cyclic
+//! layout using darray datatypes — the `MPI_Type_create_darray` workflow
+//! HPC codes use around MPI-IO and ScaLAPACK-style kernels.
+//!
+//! Four ranks own a 8x8 global matrix as 4x4 BLOCK x BLOCK tiles; the
+//! program reshuffles it to CYCLIC(1) x CYCLIC(1) through rank 0 and every
+//! rank verifies its new share — all selection logic expressed as
+//! datatypes, no hand-written index arithmetic.
+//!
+//! ```text
+//! cargo run --release --example redistribute
+//! ```
+
+use nonctg::core::{Comm, Universe};
+use nonctg::datatype::{
+    as_bytes, as_bytes_mut, pack, unpack_from, ArrayOrder, Datatype, DistArg, Distribution,
+};
+use nonctg::simnet::Platform;
+
+const G: usize = 8; // global matrix is G x G
+const P: usize = 4; // 2x2 process grid
+
+fn darray(rank: usize, dist: Distribution) -> Datatype {
+    Datatype::darray(
+        P,
+        rank,
+        &[G, G],
+        &[dist, dist],
+        &[DistArg::Default, DistArg::Default],
+        &[2, 2],
+        ArrayOrder::C,
+        &Datatype::f64(),
+    )
+    .expect("darray")
+    .commit()
+}
+
+fn global_matrix() -> Vec<f64> {
+    (0..G * G).map(|i| i as f64).collect()
+}
+
+fn run(comm: &mut Comm) {
+    let me = comm.rank();
+    let block_t = darray(me, Distribution::Block);
+    let cyclic_t = darray(me, Distribution::Cyclic);
+
+    // --- initial condition: every rank holds its BLOCK share -----------
+    // (produced here by packing out of the global pattern).
+    let global = global_matrix();
+    let my_block = pack(as_bytes(&global), 0, &block_t, 1).expect("pack share");
+
+    // --- redistribute through rank 0 -----------------------------------
+    let mut reassembled = vec![0u8; G * G * 8];
+    if me == 0 {
+        // Unpack own share, then the others', each through its block type.
+        unpack_from(&my_block, &block_t, 1, &mut reassembled, 0).expect("unpack");
+        for _ in 1..P {
+            let mut buf = vec![0u8; my_block.len()];
+            let st = comm.recv_bytes(&mut buf, None, Some(1)).expect("recv share");
+            let their_t = darray(st.source, Distribution::Block);
+            unpack_from(&buf, &their_t, 1, &mut reassembled, 0).expect("unpack");
+        }
+    } else {
+        comm.send_packed(&my_block, 0, 1).expect("send share");
+    }
+
+    // Rank 0 now sends each rank its CYCLIC share, selected by datatype.
+    let mut my_cyclic = vec![0.0f64; (cyclic_t.size() / 8) as usize];
+    if me == 0 {
+        for r in 1..P {
+            let t = darray(r, Distribution::Cyclic);
+            comm.send(&reassembled, 0, &t, 1, r, 2).expect("send cyclic");
+        }
+        let mine = pack(&reassembled, 0, &cyclic_t, 1).expect("pack own");
+        as_bytes_mut(&mut my_cyclic).copy_from_slice(&mine);
+    } else {
+        comm.recv_slice(&mut my_cyclic, Some(0), Some(2)).expect("recv cyclic");
+    }
+
+    // --- verify against the expected cyclic selection ------------------
+    let expected = pack(as_bytes(&global), 0, &cyclic_t, 1).expect("expected");
+    assert_eq!(as_bytes(&my_cyclic), &expected[..], "rank {me}: wrong cyclic share");
+    comm.barrier().expect("barrier");
+}
+
+fn main() {
+    let times = Universe::run(Platform::skx_impi(), P, |comm| {
+        run(comm);
+        comm.wtime()
+    });
+    println!(
+        "redistributed an {G}x{G} matrix from BLOCKxBLOCK to CYCLICxCYCLIC over {P} ranks"
+    );
+    println!("every rank verified its new share byte-for-byte ✓");
+    println!("virtual completion: {:.1} us", times.iter().cloned().fold(0.0, f64::max) * 1e6);
+    println!("(all selection logic was darray datatypes — no index arithmetic in user code)");
+}

@@ -1,0 +1,34 @@
+//! Print per-iteration ping-pong times for every scheme at a few sizes —
+//! a quick way to eyeball the cost model.
+//!
+//! ```text
+//! cargo run --release --example scheme_times [elems ...]
+//! ```
+
+use nonctg::schemes::{run_scheme, PingPongConfig, Scheme, Workload};
+use nonctg::simnet::Platform;
+
+fn main() {
+    let mut p = Platform::skx_impi();
+    p.jitter_sigma = 0.0;
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> =
+            std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        if args.is_empty() {
+            vec![128, 8192, 524288]
+        } else {
+            args
+        }
+    };
+    let cfg = PingPongConfig { reps: 4, flush: true, flush_bytes: 50_000_000, verify: true };
+    for elems in sizes {
+        let w = Workload::every_other(elems);
+        println!("--- {} bytes ---", w.msg_bytes());
+        for s in Scheme::ALL {
+            let r = run_scheme(&p, s, &w, &cfg);
+            let us: Vec<f64> =
+                r.times.iter().map(|t| (t * 1e8).round() / 100.0).collect();
+            println!("{:12} {us:?}", s.key());
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # nonctg — reproduction of *Performance of MPI Sends of Non-Contiguous Data*
+//!
+//! Umbrella crate re-exporting the whole stack:
+//!
+//! - [`datatype`] — the derived-datatype engine (`MPI_Type_*` equivalents);
+//! - [`simnet`] — platform models, cost model, and virtual clocks;
+//! - [`core`] — the MPI-like runtime (send/recv, Bsend, Pack, one-sided);
+//! - [`schemes`] — the paper's eight send schemes and the ping-pong harness;
+//! - [`report`] — CSV / table / plot output.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
+//! full system inventory.
+
+pub use nonctg_core as core;
+pub use nonctg_datatype as datatype;
+pub use nonctg_report as report;
+pub use nonctg_schemes as schemes;
+pub use nonctg_simnet as simnet;
+
+/// Commonly used items, for `use nonctg::prelude::*`.
+pub mod prelude {
+    pub use nonctg_core::{Comm, Universe};
+    pub use nonctg_datatype::{ArrayOrder, Datatype, Primitive};
+    pub use nonctg_schemes::{PingPongConfig, Scheme, Workload};
+    pub use nonctg_simnet::Platform;
+}

@@ -1,0 +1,295 @@
+//! Shape assertions: every qualitative finding of the paper's §4/§5 must
+//! hold in the reproduction, so the model can't silently drift.
+
+use nonctg::schemes::{run_scheme, PingPongConfig, Scheme, Workload};
+use nonctg::simnet::{Platform, PlatformId};
+
+fn quiet(id: PlatformId) -> Platform {
+    let mut p = Platform::get(id);
+    p.jitter_sigma = 0.0;
+    p
+}
+
+fn cfg() -> PingPongConfig {
+    PingPongConfig { reps: 3, flush: true, flush_bytes: 50_000_000, verify: true }
+}
+
+fn time(p: &Platform, s: Scheme, elems: usize) -> f64 {
+    let w = Workload::every_other(elems);
+    run_scheme(p, s, &w, &cfg().adaptive(w.msg_bytes())).time()
+}
+
+/// §5: non-contiguous schemes are considerably slower; the slowdown is
+/// roughly a factor 2-3 at mid sizes (multiple reads, no overlap).
+#[test]
+fn slowdown_factor_two_to_three_mid_size() {
+    for id in PlatformId::ALL {
+        let p = quiet(id);
+        let elems = 1 << 19; // 4 MiB
+        let r = time(&p, Scheme::Reference, elems);
+        // KNL's band is wider: figure 4 shows the weak scalar core pushing
+        // copy-bound slowdowns well past the Skylake/Cray 2-3x.
+        let band = if id == PlatformId::KnlImpi { 2.5..9.0 } else { 1.8..5.0 };
+        for s in [Scheme::Copying, Scheme::VectorType, Scheme::PackingVector] {
+            let slow = time(&p, s, elems) / r;
+            assert!(
+                band.contains(&slow),
+                "{id}/{s}: slowdown {slow} outside the paper's band {band:?}"
+            );
+        }
+    }
+}
+
+/// §4.1: derived-type sends track manual copying until a few tens of MB...
+#[test]
+fn derived_tracks_copying_below_internal_buffer() {
+    for id in PlatformId::ALL {
+        let p = quiet(id);
+        for elems in [1usize << 14, 1 << 18, 1 << 21] {
+            let c = time(&p, Scheme::Copying, elems);
+            let v = time(&p, Scheme::VectorType, elems);
+            let ratio = v / c;
+            assert!(
+                (0.85..1.15).contains(&ratio),
+                "{id}: vector/copying = {ratio} at {elems} elems"
+            );
+        }
+    }
+}
+
+/// §4.1 continued: ...and degrade beyond the internal buffer, where the
+/// packed scheme does not.
+#[test]
+fn derived_degrades_past_internal_buffer_packing_does_not() {
+    let p = quiet(PlatformId::SkxImpi);
+    let elems = (96 << 20) / 8; // 96 MiB message, 3x the 32 MiB buffer
+    let copying = time(&p, Scheme::Copying, elems);
+    let vector = time(&p, Scheme::VectorType, elems);
+    let packing = time(&p, Scheme::PackingVector, elems);
+    assert!(
+        vector > 1.3 * copying,
+        "large derived send should degrade: vector {vector} vs copying {copying}"
+    );
+    let ratio = packing / copying;
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "packing stays with copying at large sizes: {ratio}"
+    );
+}
+
+/// §4.3: packing a derived type == manual copying; element-wise packing is
+/// predictably terrible.
+#[test]
+fn packing_vector_equals_copying_elementwise_terrible() {
+    for id in PlatformId::ALL {
+        let p = quiet(id);
+        let elems = 1 << 16;
+        let c = time(&p, Scheme::Copying, elems);
+        let pv = time(&p, Scheme::PackingVector, elems);
+        let pe = time(&p, Scheme::PackingElement, elems);
+        assert!((0.85..1.15).contains(&(pv / c)), "{id}: packing(v)/copying = {}", pv / c);
+        assert!(pe > 4.0 * pv, "{id}: packing(e) must be far slower, got {}", pe / pv);
+    }
+}
+
+/// §4.2: buffered sends perform worse, even at intermediate sizes, and a
+/// user-space buffer does not rescue large messages.
+#[test]
+fn bsend_is_worse_at_all_sizes() {
+    for id in PlatformId::ALL {
+        let p = quiet(id);
+        for elems in [1usize << 13, 1 << 17, 1 << 21] {
+            let v = time(&p, Scheme::VectorType, elems);
+            let b = time(&p, Scheme::Buffered, elems);
+            assert!(b > v, "{id}: buffered {b} should exceed vector {v} at {elems}");
+        }
+    }
+}
+
+/// §4.4: one-sided is slow for small messages (fence overhead)...
+#[test]
+fn onesided_slow_small_competitive_mid() {
+    for id in PlatformId::ALL {
+        let p = quiet(id);
+        let small = 128;
+        let one = time(&p, Scheme::OneSided, small);
+        let two = time(&p, Scheme::VectorType, small);
+        assert!(one > 2.0 * two, "{id}: small one-sided {one} vs two-sided {two}");
+    }
+    // ...and competitive at intermediate sizes, except on MVAPICH2 where it
+    // is several factors slower.
+    let mid = 1 << 19;
+    let impi = quiet(PlatformId::SkxImpi);
+    let ratio_impi =
+        time(&impi, Scheme::OneSided, mid) / time(&impi, Scheme::VectorType, mid);
+    assert!(ratio_impi < 1.6, "impi one-sided should be competitive mid-size: {ratio_impi}");
+    let mv = quiet(PlatformId::SkxMvapich);
+    let ratio_mv = time(&mv, Scheme::OneSided, mid) / time(&mv, Scheme::VectorType, mid);
+    assert!(ratio_mv > 2.0, "mvapich one-sided should be several factors slower: {ratio_mv}");
+}
+
+/// §4.8: on Cray, large one-sided is on par with the derived types; on
+/// Stampede2 it shows a relative degradation.
+#[test]
+fn cray_onesided_on_par_at_large_sizes() {
+    let elems = (64 << 20) / 8;
+    let cray = quiet(PlatformId::Ls5CrayMpich);
+    let ratio_cray =
+        time(&cray, Scheme::OneSided, elems) / time(&cray, Scheme::VectorType, elems);
+    assert!(
+        (0.5..1.4).contains(&ratio_cray),
+        "cray large one-sided should track derived types: {ratio_cray}"
+    );
+    let impi = quiet(PlatformId::SkxImpi);
+    let ratio_impi =
+        time(&impi, Scheme::OneSided, elems) / time(&impi, Scheme::VectorType, elems);
+    assert!(
+        ratio_impi > ratio_cray,
+        "impi should degrade one-sided more than cray: {ratio_impi} vs {ratio_cray}"
+    );
+}
+
+/// §4.5: a per-byte performance drop at the eager limit; on Cray the
+/// packed scheme's drop sits at double the size.
+#[test]
+fn eager_limit_blip_and_cray_packed_quirk() {
+    let p = quiet(PlatformId::SkxImpi);
+    let limit = p.proto.eager_limit as usize;
+    let per_byte = |elems: usize| time(&p, Scheme::Reference, elems) / (elems * 8) as f64;
+    let under = per_byte(limit / 8);
+    let over = per_byte(limit / 8 + 1);
+    assert!(over > 1.04 * under, "no eager blip: {under} vs {over}");
+
+    // Cray: packed sends switch at 2x.
+    let cray = quiet(PlatformId::Ls5CrayMpich);
+    let climit = cray.proto.eager_limit as usize;
+    let packed_time = |elems: usize| {
+        let w = Workload::every_other(elems);
+        run_scheme(&cray, Scheme::PackingVector, &w, &cfg()).time() / w.msg_bytes() as f64
+    };
+    let at_limit_over = packed_time(climit / 8 + 1);
+    let at_limit_under = packed_time(climit / 8);
+    // No blip at 1x for the packed scheme...
+    assert!(
+        at_limit_over < 1.04 * at_limit_under,
+        "cray packed should not blip at 1x limit: {at_limit_under} vs {at_limit_over}"
+    );
+    // ...but a blip at 2x.
+    let at_2x_under = packed_time(2 * climit / 8);
+    let at_2x_over = packed_time(2 * climit / 8 + 1);
+    assert!(
+        at_2x_over > 1.03 * at_2x_under,
+        "cray packed blip missing at 2x: {at_2x_under} vs {at_2x_over}"
+    );
+}
+
+/// §4.8: KNL has the same peak network but copy-bound schemes suffer.
+#[test]
+fn knl_same_network_worse_copies() {
+    let skx = quiet(PlatformId::SkxImpi);
+    let knl = quiet(PlatformId::KnlImpi);
+    let elems = 1 << 21;
+    let ref_ratio = time(&knl, Scheme::Reference, elems) / time(&skx, Scheme::Reference, elems);
+    assert!(
+        ref_ratio < 1.5,
+        "peak network should be comparable (paper: same peak): {ref_ratio}"
+    );
+    let slow_skx = time(&skx, Scheme::Copying, elems) / time(&skx, Scheme::Reference, elems);
+    let slow_knl = time(&knl, Scheme::Copying, elems) / time(&knl, Scheme::Reference, elems);
+    assert!(
+        slow_knl > 1.2 * slow_skx,
+        "KNL copy-bound slowdown should exceed SKX: {slow_knl} vs {slow_skx}"
+    );
+}
+
+/// §4.6: not flushing the cache helps intermediate sizes.
+#[test]
+fn no_flush_helps_intermediate() {
+    let p = quiet(PlatformId::SkxImpi);
+    let w = Workload::every_other(1 << 17);
+    let flush = cfg();
+    let warm = PingPongConfig { flush: false, ..flush.clone() };
+    let cold_t = run_scheme(&p, Scheme::Copying, &w, &flush).time();
+    let warm_t = run_scheme(&p, Scheme::Copying, &w, &warm).time();
+    assert!(warm_t < 0.9 * cold_t, "warm {warm_t} vs cold {cold_t}");
+}
+
+/// §4.7: no degradation when all processes on a node communicate.
+#[test]
+fn procs_per_node_no_degradation() {
+    let p = quiet(PlatformId::SkxImpi);
+    let w = Workload::every_other(1 << 15);
+    let c = cfg();
+    let one = nonctg::schemes::run_scheme_pairs(&p, Scheme::VectorType, &w, &c, 1).time();
+    let many = nonctg::schemes::run_scheme_pairs(&p, Scheme::VectorType, &w, &c, 4).time();
+    let ratio = many / one;
+    assert!(
+        (0.95..1.05).contains(&ratio),
+        "pairs should not degrade each other: {ratio}"
+    );
+}
+
+/// §2: vector and subarray formulations of the same selection are
+/// equivalent in cost.
+#[test]
+fn vector_equals_subarray() {
+    for id in PlatformId::ALL {
+        let p = quiet(id);
+        let elems = 1 << 16;
+        let v = time(&p, Scheme::VectorType, elems);
+        let s = time(&p, Scheme::Subarray, elems);
+        let ratio = v / s;
+        assert!((0.95..1.05).contains(&ratio), "{id}: vector/subarray = {ratio}");
+    }
+}
+
+/// §4.8: switching SKX from Intel MPI to MVAPICH2 gives "largely the same
+/// results" for the two-sided schemes.
+#[test]
+fn mvapich_two_sided_similar_to_impi() {
+    let impi = quiet(PlatformId::SkxImpi);
+    let mv = quiet(PlatformId::SkxMvapich);
+    for elems in [1usize << 14, 1 << 19] {
+        for s in [Scheme::Reference, Scheme::Copying, Scheme::VectorType, Scheme::PackingVector] {
+            let a = time(&impi, s, elems);
+            let b = time(&mv, s, elems);
+            let ratio = b / a;
+            assert!(
+                (0.7..1.4).contains(&ratio),
+                "{s} at {elems}: impi vs mvapich ratio {ratio}"
+            );
+        }
+    }
+}
+
+/// §4.8: the Cray installation also shows similar two-sided performance
+/// (its network peaks lower, so compare slowdowns, not absolute times).
+#[test]
+fn cray_two_sided_slowdowns_similar() {
+    let impi = quiet(PlatformId::SkxImpi);
+    let cray = quiet(PlatformId::Ls5CrayMpich);
+    let elems = 1 << 19;
+    for s in [Scheme::Copying, Scheme::VectorType] {
+        let slow_impi = time(&impi, s, elems) / time(&impi, Scheme::Reference, elems);
+        let slow_cray = time(&cray, s, elems) / time(&cray, Scheme::Reference, elems);
+        let ratio = slow_cray / slow_impi;
+        assert!((0.7..1.3).contains(&ratio), "{s}: slowdown ratio {ratio}");
+    }
+}
+
+/// §3.2: the smallest measurements sit in the paper's microsecond regime
+/// (its minimum was ~6e-6 s) and timings are individually positive.
+#[test]
+fn smallest_message_latency_regime() {
+    for id in PlatformId::ALL {
+        let p = quiet(id);
+        let w = Workload::every_other(128); // 1 KiB
+        let r = run_scheme(&p, Scheme::Reference, &w, &cfg());
+        let t = r.time();
+        assert!(
+            (2e-6..4e-5).contains(&t),
+            "{id}: smallest ping-pong {t} outside the paper's regime"
+        );
+        assert!(r.times.iter().all(|&x| x > 0.0));
+    }
+}

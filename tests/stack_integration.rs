@@ -1,0 +1,196 @@
+//! Cross-crate integration: the umbrella API, custom platform specs,
+//! collectives under the cost model, report generation from live sweeps,
+//! and end-to-end determinism.
+
+use nonctg::core::{ReduceOp, Universe};
+use nonctg::datatype::{as_bytes, Datatype};
+use nonctg::report;
+use nonctg::schemes::{run_scheme, run_sweep, PingPongConfig, Scheme, SweepConfig, Workload};
+use nonctg::simnet::Platform;
+
+fn quiet() -> Platform {
+    Platform::from_spec("skx-impi:jitter=0").unwrap()
+}
+
+#[test]
+fn custom_platform_spec_changes_results() {
+    let w = Workload::every_other(1 << 15);
+    let cfg = PingPongConfig { reps: 3, flush: false, flush_bytes: 0, verify: true };
+    let base = run_scheme(&quiet(), Scheme::Reference, &w, &cfg).time();
+    let slow_net = Platform::from_spec("skx-impi:jitter=0,net.bw=1e9,net.dma_read_bw=2e9").unwrap();
+    let slowed = run_scheme(&slow_net, Scheme::Reference, &w, &cfg).time();
+    assert!(
+        slowed > 5.0 * base,
+        "a 12x slower fabric must show up: {base} vs {slowed}"
+    );
+}
+
+#[test]
+fn sweep_to_figure_pipeline() {
+    let cfg = SweepConfig {
+        schemes: vec![Scheme::Reference, Scheme::VectorType, Scheme::PackingVector],
+        min_bytes: 1 << 10,
+        max_bytes: 1 << 13,
+        step: 2,
+        base: PingPongConfig { reps: 2, flush: false, flush_bytes: 0, verify: true },
+    };
+    let sweep = run_sweep(&quiet(), &cfg);
+    assert_eq!(sweep.points.len(), 3 * 4);
+
+    // CSV table view parses back.
+    let csv = nonctg_bench_csv(&sweep);
+    let rows = report::csv::parse_csv(&csv);
+    assert_eq!(rows.len(), 1 + 12);
+
+    // SVG renders with one path per (scheme, panel).
+    let panels: Vec<(report::PlotSpec, Vec<report::Series>)> = vec![(
+        report::PlotSpec::loglog("Time (sec)", "bytes", "s"),
+        sweep
+            .series(Scheme::Reference)
+            .iter()
+            .map(|p| (p.msg_bytes as f64, p.time))
+            .collect::<Vec<_>>(),
+    )]
+    .into_iter()
+    .map(|(spec, pts)| (spec, vec![report::Series::new("reference", 0, pts)]))
+    .collect();
+    let svg = report::render_figure("integration", &panels, report::PanelGeom::default());
+    assert!(svg.contains("<path"));
+}
+
+// A local stand-in for nonctg-bench's CSV (the bench crate is not a dep of
+// the umbrella crate; the format is the contract being checked).
+fn nonctg_bench_csv(sweep: &nonctg::schemes::Sweep) -> String {
+    let rows: Vec<Vec<String>> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                sweep.platform.name().to_string(),
+                p.scheme.key().to_string(),
+                p.msg_bytes.to_string(),
+                format!("{:.9e}", p.time),
+                format!("{:.6e}", p.bandwidth),
+                format!("{:.4}", p.slowdown),
+            ]
+        })
+        .collect();
+    report::csv::to_csv(
+        &["platform", "scheme", "msg_bytes", "time_s", "bandwidth_Bps", "slowdown"],
+        &rows,
+    )
+}
+
+#[test]
+fn collectives_compose_with_datatype_sends() {
+    // Gather per-rank derived-type ping times, then agree on the max via
+    // allreduce — the shape of a real benchmark driver.
+    let times = Universe::run(quiet(), 4, |comm| {
+        let n = 512;
+        let vec_t = Datatype::vector(n, 1, 2, &Datatype::f64()).unwrap().commit();
+        let partner = comm.rank() ^ 1;
+        let t0 = comm.wtime();
+        if comm.rank() % 2 == 0 {
+            let src: Vec<f64> = (0..2 * n).map(|i| i as f64).collect();
+            comm.send(as_bytes(&src), 0, &vec_t, 1, partner, 0).unwrap();
+        } else {
+            let mut buf = vec![0.0f64; n];
+            comm.recv_slice(&mut buf, Some(partner), Some(0)).unwrap();
+            assert_eq!(buf[1], 2.0);
+        }
+        let mut t = [comm.wtime() - t0];
+        comm.allreduce(&mut t, ReduceOp::Max).unwrap();
+        t[0]
+    });
+    // Allreduce(Max) makes every rank report the same value.
+    for w in times.windows(2) {
+        assert_eq!(w[0], w[1]);
+    }
+    assert!(times[0] > 0.0);
+}
+
+#[test]
+fn whole_stack_deterministic_across_runs() {
+    let run = || {
+        let cfg = SweepConfig {
+            schemes: vec![Scheme::Reference, Scheme::OneSided, Scheme::PackingElement],
+            min_bytes: 1 << 12,
+            max_bytes: 1 << 14,
+            step: 4,
+            base: PingPongConfig { reps: 3, flush: true, flush_bytes: 1 << 20, verify: true },
+        };
+        // Jitter ON: determinism must hold *with* noise (seeded).
+        run_sweep(&Platform::skx_impi(), &cfg)
+            .points
+            .iter()
+            .map(|p| p.time)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn prelude_exposes_the_advertised_api() {
+    use nonctg::prelude::*;
+    let p = Platform::skx_impi();
+    let w = Workload::every_other(64);
+    let cfg = PingPongConfig { reps: 1, flush: false, flush_bytes: 0, verify: true };
+    let r = nonctg::schemes::run_scheme(&p, Scheme::Reference, &w, &cfg);
+    assert_eq!(r.msg_bytes, 512);
+    let d = Datatype::vector(4, 1, 2, &Datatype::f64()).unwrap();
+    assert_eq!(d.size(), 32);
+    let _order = ArrayOrder::C;
+}
+
+#[test]
+fn readme_quickstart_compiles_and_runs() {
+    // The README's code block, kept honest.
+    use nonctg::core::Universe;
+    use nonctg::datatype::as_bytes;
+    use nonctg::prelude::*;
+
+    let every_other = Datatype::vector(1000, 1, 2, &Datatype::f64()).unwrap().commit();
+    Universe::run_pair(Platform::skx_impi(), |comm| {
+        if comm.rank() == 0 {
+            let src: Vec<f64> = (0..2000).map(|i| i as f64).collect();
+            comm.send(as_bytes(&src), 0, &every_other, 1, 1, 0).unwrap();
+        } else {
+            let mut buf = vec![0.0f64; 1000];
+            comm.recv_slice(&mut buf, Some(0), Some(0)).unwrap();
+            assert_eq!(buf[7], 14.0);
+        }
+    });
+}
+
+#[test]
+fn explain_breakdown_consistent_with_measured_pingpong() {
+    // The cost model's analytical decomposition and the executed harness
+    // must agree: a one-way derived-type send predicted by `explain_send`
+    // matches the measured ping time (ping-pong minus the zero-byte pong).
+    use nonctg::simnet::{Access, SendPath};
+    let p = quiet();
+    let elems = 1 << 17; // 1 MiB
+    let w = Workload::every_other(elems);
+    let cfg = PingPongConfig { reps: 3, flush: true, flush_bytes: 50_000_000, verify: true };
+    let measured = run_scheme(&p, Scheme::VectorType, &w, &cfg).time();
+
+    let access = Access::Strided { blocklen: 8, stride: 16 };
+    let predicted_ping = p
+        .explain_send(SendPath::DerivedType, w.msg_bytes() as u64, &access, false)
+        .total();
+    // Pong: a zero-byte eager message (overhead + latency) plus receive
+    // overheads on both sides.
+    let pong = 2.0 * p.proto.eager_overhead + p.net.latency + p.proto.eager_overhead;
+    let predicted = predicted_ping + pong;
+    let ratio = measured / predicted;
+    assert!(
+        (0.85..1.15).contains(&ratio),
+        "measured {measured} vs predicted {predicted} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn wtick_reports_microsecond_metadata() {
+    let ticks = Universe::run(quiet(), 1, |comm| comm.wtick());
+    assert_eq!(ticks[0], 1e-6);
+}
