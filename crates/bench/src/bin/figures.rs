@@ -11,7 +11,28 @@ use std::time::Instant;
 
 use nonctg_bench::{ascii_figure, write_figure, Options};
 use nonctg_report::{fmt_bytes, fmt_time, Table};
-use nonctg_schemes::{run_sweep_parallel, run_sweep_with, Scheme};
+use nonctg_schemes::{
+    run_sweep_parallel, run_sweep_resilient_with, run_sweep_with, PointStatus, Resilience, Scheme,
+    Sweep, SweepPoint,
+};
+
+fn progress_line(p: &SweepPoint) {
+    match p.status {
+        PointStatus::Ok => eprintln!(
+            "  {:>10}  {:<12} {:>12}  slowdown {:>6.2}",
+            fmt_bytes(p.msg_bytes),
+            p.scheme.key(),
+            fmt_time(p.time),
+            p.slowdown
+        ),
+        _ => eprintln!(
+            "  {:>10}  {:<12} {:>12}",
+            fmt_bytes(p.msg_bytes),
+            p.scheme.key(),
+            p.status.key()
+        ),
+    }
+}
 
 fn main() {
     let opts = match Options::parse(std::env::args().skip(1)) {
@@ -22,23 +43,49 @@ fn main() {
         }
     };
     let cfg = opts.sweep_config();
+    if opts.resilient() && opts.platforms.len() > 1 && opts.resume.is_some() {
+        eprintln!("--resume with multiple platforms shares one checkpoint file; run per platform");
+        std::process::exit(2);
+    }
     for platform in opts.platforms() {
         let fig = platform.id.paper_figure();
         let title = format!("Packing on {} (paper figure {fig})", platform.id);
         eprintln!("== {title} ==");
         let wall = Instant::now();
-        let sweep = if opts.jobs > 1 {
+        let sweep = if opts.resilient() {
+            let resume = opts.resume.as_ref().and_then(|path| {
+                let text = std::fs::read_to_string(path).ok()?;
+                match Sweep::from_checkpoint_json(&text) {
+                    Ok(s) if s.platform == platform.id => {
+                        eprintln!("  resuming from {} ({} points)", path.display(), s.points.len());
+                        Some(s)
+                    }
+                    Ok(s) => {
+                        eprintln!(
+                            "  ignoring checkpoint {}: platform {} != {}",
+                            path.display(),
+                            s.platform,
+                            platform.id
+                        );
+                        None
+                    }
+                    Err(e) => {
+                        eprintln!("  ignoring unreadable checkpoint {}: {e}", path.display());
+                        None
+                    }
+                }
+            });
+            let res = Resilience {
+                retries: opts.retries,
+                checkpoint: opts.resume.clone(),
+                resume,
+                skip_scheme_after: None,
+            };
+            run_sweep_resilient_with(&platform, &cfg, &res, progress_line)
+        } else if opts.jobs > 1 {
             run_sweep_parallel(&platform, &cfg, opts.jobs)
         } else {
-            run_sweep_with(&platform, &cfg, |p| {
-                eprintln!(
-                    "  {:>10}  {:<12} {:>12}  slowdown {:>6.2}",
-                    fmt_bytes(p.msg_bytes),
-                    p.scheme.key(),
-                    fmt_time(p.time),
-                    p.slowdown
-                );
-            })
+            run_sweep_with(&platform, &cfg, progress_line)
         };
         let stem = format!("fig{fig}_{}", platform.id);
         let svg = write_figure(&opts.out_dir, &stem, &title, &sweep);
@@ -64,7 +111,13 @@ fn main() {
                 row.push(
                     sweep
                         .get(scheme, b)
-                        .map(|p| format!("{:.2}", p.slowdown))
+                        .map(|p| {
+                            if p.slowdown.is_finite() {
+                                format!("{:.2}", p.slowdown)
+                            } else {
+                                p.status.key().to_string()
+                            }
+                        })
                         .unwrap_or_default(),
                 );
             }

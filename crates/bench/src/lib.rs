@@ -29,7 +29,10 @@ pub fn palette_slot(scheme: Scheme) -> usize {
     }
 }
 
-/// Convert one sweep metric into plot series (legend order).
+/// Convert one sweep metric into plot series (legend order). Points that
+/// were not measured (Failed/Skipped under fault injection) carry NaN
+/// metrics and are dropped here, so they render as gaps in the curve
+/// rather than corrupting the plot.
 pub fn sweep_series(sweep: &Sweep, metric: impl Fn(&SweepPoint) -> f64) -> Vec<Series> {
     let mut out = Vec::new();
     for scheme in Scheme::ALL {
@@ -37,6 +40,7 @@ pub fn sweep_series(sweep: &Sweep, metric: impl Fn(&SweepPoint) -> f64) -> Vec<S
             .series(scheme)
             .iter()
             .map(|p| (p.msg_bytes as f64, metric(p)))
+            .filter(|&(_, y)| y.is_finite())
             .collect();
         if pts.is_empty() {
             continue;
@@ -80,11 +84,12 @@ pub fn sweep_csv(sweep: &Sweep) -> String {
                 format!("{:.9e}", p.time),
                 format!("{:.6e}", p.bandwidth),
                 format!("{:.4}", p.slowdown),
+                p.status.key().to_string(),
             ]
         })
         .collect();
     nonctg_report::csv::to_csv(
-        &["platform", "scheme", "msg_bytes", "time_s", "bandwidth_Bps", "slowdown"],
+        &["platform", "scheme", "msg_bytes", "time_s", "bandwidth_Bps", "slowdown", "status"],
         &rows,
     )
 }
@@ -112,7 +117,7 @@ pub fn ascii_figure(sweep: &Sweep) -> String {
 
 mod cli {
     use nonctg_schemes::{PingPongConfig, SweepConfig};
-    use nonctg_simnet::{Platform, PlatformId};
+    use nonctg_simnet::{FaultPlan, Platform, PlatformId};
 
     /// Shared CLI options of the figure binaries.
     #[derive(Debug, Clone)]
@@ -135,6 +140,17 @@ mod cli {
         pub ascii: bool,
         /// Concurrently-measured sweep points (1 = sequential).
         pub jobs: usize,
+        /// Inject a chaos fault plan with this seed (None = fault-free).
+        pub fault_seed: Option<u64>,
+        /// Override the watchdog deadlock timeout, seconds.
+        pub deadlock_timeout: Option<f64>,
+        /// Checkpoint file: completed points are saved here after every
+        /// size group, and reloaded on the next run so only missing or
+        /// failed points re-execute.
+        pub resume: Option<std::path::PathBuf>,
+        /// Extra measurement attempts per point before marking it Failed
+        /// (only used by the resilient runner).
+        pub retries: usize,
     }
 
     impl Default for Options {
@@ -149,6 +165,10 @@ mod cli {
                 no_verify: false,
                 ascii: true,
                 jobs: 1,
+                fault_seed: None,
+                deadlock_timeout: None,
+                resume: None,
+                retries: 1,
             }
         }
     }
@@ -195,6 +215,28 @@ mod cli {
                     "--full" => {
                         o.max_bytes = 1 << 30;
                     }
+                    "--fault-seed" => {
+                        o.fault_seed = Some(
+                            val("--fault-seed")?
+                                .parse()
+                                .map_err(|e| format!("--fault-seed: {e}"))?,
+                        )
+                    }
+                    "--deadlock-timeout" => {
+                        let t: f64 = val("--deadlock-timeout")?
+                            .parse()
+                            .map_err(|e| format!("--deadlock-timeout: {e}"))?;
+                        if t.is_nan() || t <= 0.0 {
+                            return Err("--deadlock-timeout must be positive".into());
+                        }
+                        o.deadlock_timeout = Some(t);
+                    }
+                    "--resume" => o.resume = Some(val("--resume")?.into()),
+                    "--retries" => {
+                        o.retries = val("--retries")?
+                            .parse()
+                            .map_err(|e| format!("--retries: {e}"))?
+                    }
                     "--no-verify" => o.no_verify = true,
                     "--no-ascii" => o.ascii = false,
                     "--help" | "-h" => return Err(Self::usage().into()),
@@ -211,7 +253,8 @@ mod cli {
         pub fn usage() -> &'static str {
             "options: --platform <skx-impi|skx-mvapich2|ls5-craympich|knl-impi|all> \
              --min-bytes N --max-bytes N --step K --reps N --out DIR --jobs J --quick \
-             --full --no-verify --no-ascii"
+             --full --no-verify --no-ascii --fault-seed N --deadlock-timeout SECS \
+             --resume FILE --retries N"
         }
 
         /// The sweep configuration these options describe.
@@ -229,9 +272,28 @@ mod cli {
             }
         }
 
-        /// Resolve the platform presets.
+        /// Resolve the platform presets, applying `--fault-seed` and
+        /// `--deadlock-timeout`.
         pub fn platforms(&self) -> Vec<Platform> {
-            self.platforms.iter().map(|&id| Platform::get(id)).collect()
+            self.platforms
+                .iter()
+                .map(|&id| {
+                    let mut p = Platform::get(id);
+                    if let Some(seed) = self.fault_seed {
+                        p = p.with_fault_plan(FaultPlan::chaos(seed));
+                    }
+                    if let Some(t) = self.deadlock_timeout {
+                        p = p.with_deadlock_timeout(t);
+                    }
+                    p
+                })
+                .collect()
+        }
+
+        /// Whether this invocation needs the fault-tolerant sweep runner
+        /// (fault injection active or a checkpoint/resume file given).
+        pub fn resilient(&self) -> bool {
+            self.fault_seed.is_some() || self.resume.is_some()
         }
     }
 
@@ -293,6 +355,61 @@ mod tests {
             ["--min-bytes".to_string(), "8m".into(), "--max-bytes".into(), "1k".into()]
         )
         .is_err());
+    }
+
+    #[test]
+    fn resilience_flags_parse_and_apply() {
+        let o = Options::parse(
+            [
+                "--fault-seed", "42", "--deadlock-timeout", "2.5", "--resume", "/tmp/ck.json",
+                "--retries", "3",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(o.fault_seed, Some(42));
+        assert_eq!(o.deadlock_timeout, Some(2.5));
+        assert_eq!(o.resume.as_deref(), Some(std::path::Path::new("/tmp/ck.json")));
+        assert_eq!(o.retries, 3);
+        assert!(o.resilient());
+        for p in o.platforms() {
+            assert_eq!(p.fault.as_ref().map(|f| f.seed), Some(42));
+            assert_eq!(p.deadlock_timeout_s, 2.5);
+        }
+        assert!(!Options::parse(Vec::<String>::new()).unwrap().resilient());
+        assert!(Options::parse(["--deadlock-timeout".to_string(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn failed_points_render_as_gaps() {
+        use nonctg_schemes::{PointStatus, Sweep, SweepPoint};
+        let ok = |scheme, msg_bytes: usize, time: f64| SweepPoint {
+            scheme,
+            msg_bytes,
+            time,
+            bandwidth: msg_bytes as f64 / time,
+            slowdown: 1.0,
+            status: PointStatus::Ok,
+        };
+        let failed = SweepPoint {
+            scheme: Scheme::Reference,
+            msg_bytes: 2048,
+            time: f64::NAN,
+            bandwidth: 0.0,
+            slowdown: f64::NAN,
+            status: PointStatus::Failed,
+        };
+        let sweep = Sweep {
+            platform: PlatformId::SkxImpi,
+            points: vec![ok(Scheme::Reference, 1024, 1e-5), failed, ok(Scheme::Reference, 4096, 2e-5)],
+        };
+        let series = sweep_series(&sweep, |p| p.time);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].points.len(), 2, "failed point must be a gap");
+        // The CSV still records the failed point, with its status.
+        let csv = sweep_csv(&sweep);
+        assert!(csv.contains("failed"), "{csv}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use nonctg_simnet::{Access, Jitter, Platform, VirtualClock};
 
 use crate::error::{CoreError, Result};
-use crate::fabric::{Fabric, SimBarrier, SplitSlot, WORLD_CONTEXT};
+use crate::fabric::{Fabric, FaultStats, SimBarrier, SplitSlot, WORLD_CONTEXT};
 use crate::trace::{EventKind, TraceEvent, Tracer};
 
 /// Tracks whether recently-touched user data is still cache-resident.
@@ -198,11 +198,21 @@ impl Comm {
     pub fn barrier(&mut self) -> Result<()> {
         let t0 = self.clock.now();
         let barrier = Arc::clone(&self.barrier);
-        let t = barrier.wait(t0)?;
+        let me = self.world_rank();
+        self.fabric.supervision.set_blocked(me, Some("barrier participants"));
+        let res = barrier.wait(t0);
+        self.fabric.supervision.set_blocked(me, None);
+        let t = res.map_err(|e| self.fabric.enrich(e))?;
         self.clock.sync_to(t);
         self.charge_exact(self.platform().proto.eager_overhead);
         self.trace(EventKind::Barrier, t0, None, 0, None);
         Ok(())
+    }
+
+    /// Counters of injected faults this rank has absorbed or surfaced
+    /// (all zeros when the platform carries no fault plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fabric.supervision.fault_stats(self.world_rank())
     }
 
     /// Start recording a [`TraceEvent`] per operation on this rank.
@@ -363,9 +373,9 @@ impl Comm {
         }
         id |= 1 << 63; // never collides with WORLD_CONTEXT
         let mut barriers = self.fabric.barriers.lock();
-        barriers
-            .entry(id)
-            .or_insert_with(|| Arc::new(SimBarrier::new(nmembers)));
+        barriers.entry(id).or_insert_with(|| {
+            Arc::new(SimBarrier::new(nmembers, Arc::clone(&self.fabric.supervision)))
+        });
         id
     }
 }

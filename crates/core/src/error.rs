@@ -26,7 +26,43 @@ pub enum CoreError {
     /// RMA access outside the bounds of the target window.
     RmaOutOfRange { offset: usize, len: usize, window: usize },
     /// A blocking operation waited past the deadlock-detection timeout.
-    Deadlock(&'static str),
+    /// `report` carries the watchdog's per-rank diagnostics (what each
+    /// rank is blocked on, queued mailbox envelopes, last operation).
+    Deadlock {
+        /// What this rank was waiting for when the timeout expired.
+        waiting_for: &'static str,
+        /// Per-rank fabric diagnostics; empty until the fabric enriches
+        /// the error on its way out.
+        report: String,
+    },
+    /// A peer rank panicked or was crashed by the fault plan; the fabric
+    /// is poisoned and no further progress with that peer is possible.
+    PeerFailed {
+        /// World rank of the first rank that failed.
+        rank: usize,
+    },
+    /// This rank's closure panicked under [`crate::Universe::run_supervised`].
+    RankPanicked {
+        /// World rank that panicked.
+        rank: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// An injected send fault persisted past the bounded retry budget.
+    SendFailed {
+        /// Destination rank of the failed send.
+        dst: usize,
+        /// Number of attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl CoreError {
+    /// A deadlock error with no diagnostics yet (the fabric fills the
+    /// report via `Fabric::enrich` as the error propagates out).
+    pub(crate) fn deadlock(waiting_for: &'static str) -> CoreError {
+        CoreError::Deadlock { waiting_for, report: String::new() }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -48,7 +84,22 @@ impl fmt::Display for CoreError {
             CoreError::RmaOutOfRange { offset, len, window } => {
                 write!(f, "RMA access {offset}..{} outside window of {window} bytes", offset + len)
             }
-            CoreError::Deadlock(what) => write!(f, "likely deadlock while waiting for {what}"),
+            CoreError::Deadlock { waiting_for, report } => {
+                write!(f, "likely deadlock while waiting for {waiting_for}")?;
+                if !report.is_empty() {
+                    write!(f, "\n{report}")?;
+                }
+                Ok(())
+            }
+            CoreError::PeerFailed { rank } => {
+                write!(f, "peer rank {rank} failed (panicked or crashed); fabric poisoned")
+            }
+            CoreError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            CoreError::SendFailed { dst, attempts } => {
+                write!(f, "send to rank {dst} failed after {attempts} attempts")
+            }
         }
     }
 }

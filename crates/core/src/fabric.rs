@@ -8,9 +8,9 @@
 //! virtual time causal without a global event queue.
 
 use std::collections::HashMap;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -21,9 +21,126 @@ use parking_lot::{Condvar, Mutex};
 use crate::error::{CoreError, Result};
 use crate::rma::WindowState;
 
-/// How long a blocking operation may wait on real time before the runtime
-/// declares a deadlock. Generous: virtual time is unrelated to wall time.
-pub(crate) const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+/// Longest slice a fabric wait sleeps before re-checking the poison flag.
+/// Bounds how long a blocked peer can take to observe a rank failure, so
+/// keep it well under a second; condvar notifications still end waits
+/// immediately on the happy path.
+pub(crate) const POLL_SLICE: Duration = Duration::from_millis(20);
+
+/// The last tracked operation a rank started, kept for watchdog reports.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OpRecord {
+    /// Operation kind ("send", "recv", ...).
+    pub kind: &'static str,
+    /// Peer rank, if the operation has one.
+    pub peer: Option<usize>,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// Per-rank counters of injected faults the runtime absorbed or surfaced.
+///
+/// Read through [`crate::Comm::fault_stats`]; all zeros unless the
+/// platform carries a [`nonctg_simnet::FaultPlan`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient send failures absorbed by retry-with-backoff.
+    pub transient_retries: u64,
+    /// Injected delivery delays charged to the virtual clock.
+    pub delays: u64,
+    /// Payloads corrupted in flight.
+    pub corruptions: u64,
+    /// Sends abandoned after the bounded retry budget.
+    pub failed_sends: u64,
+}
+
+/// Shared health state of one universe: the poison flag set when a rank
+/// fails, the configured deadlock timeout, and per-rank bookkeeping the
+/// watchdog dumps into [`CoreError::Deadlock`] reports.
+pub(crate) struct Supervision {
+    /// World rank + 1 of the first failed rank; 0 = all healthy.
+    failed: AtomicUsize,
+    /// Per-wait timeout before a blocked rank declares a deadlock.
+    timeout: Duration,
+    /// What each rank is currently blocked on (`None` = running).
+    blocked: Vec<Mutex<Option<&'static str>>>,
+    /// Last tracked operation each rank started.
+    last_op: Vec<Mutex<Option<OpRecord>>>,
+    /// Per-rank tracked-operation counters, keying fault-plan decisions.
+    ops: Vec<AtomicU64>,
+    /// Per-rank injected-fault counters.
+    faults: Vec<Mutex<FaultStats>>,
+}
+
+impl Supervision {
+    pub(crate) fn new(nranks: usize, timeout: Duration) -> Arc<Supervision> {
+        Arc::new(Supervision {
+            failed: AtomicUsize::new(0),
+            timeout,
+            blocked: (0..nranks).map(|_| Mutex::new(None)).collect(),
+            last_op: (0..nranks).map(|_| Mutex::new(None)).collect(),
+            ops: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
+            faults: (0..nranks).map(|_| Mutex::new(FaultStats::default())).collect(),
+        })
+    }
+
+    /// Next operation index of `rank` (each rank's ops are numbered in
+    /// program order, which is deterministic: one thread per rank).
+    pub fn next_op(&self, rank: usize) -> u64 {
+        self.ops[rank].fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Mutate `rank`'s fault counters.
+    pub fn with_faults(&self, rank: usize, f: impl FnOnce(&mut FaultStats)) {
+        if let Some(slot) = self.faults.get(rank) {
+            f(&mut slot.lock());
+        }
+    }
+
+    /// Snapshot `rank`'s fault counters.
+    pub fn fault_stats(&self, rank: usize) -> FaultStats {
+        self.faults.get(rank).map(|s| *s.lock()).unwrap_or_default()
+    }
+
+    /// The per-wait deadlock timeout in force.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// World rank of the first failed rank, if any.
+    pub fn failed_rank(&self) -> Option<usize> {
+        let v = self.failed.load(Ordering::Acquire);
+        (v > 0).then(|| v - 1)
+    }
+
+    /// Mark `rank` failed. Only the first failure sticks; later ones keep
+    /// the original culprit so every peer reports the same rank.
+    pub fn poison(&self, rank: usize) {
+        let _ = self.failed.compare_exchange(0, rank + 1, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Record what `rank` is blocked on (or `None` when it resumes).
+    pub fn set_blocked(&self, rank: usize, what: Option<&'static str>) {
+        if let Some(slot) = self.blocked.get(rank) {
+            *slot.lock() = what;
+        }
+    }
+
+    /// Record the operation `rank` just started.
+    pub fn record_op(&self, rank: usize, op: OpRecord) {
+        if let Some(slot) = self.last_op.get(rank) {
+            *slot.lock() = Some(op);
+        }
+    }
+
+    fn blocked_on(&self, rank: usize) -> Option<&'static str> {
+        self.blocked.get(rank).and_then(|s| *s.lock())
+    }
+
+    fn last_op_of(&self, rank: usize) -> Option<OpRecord> {
+        self.last_op.get(rank).and_then(|s| *s.lock())
+    }
+}
 
 /// Timing metadata of a message, interpreted by the receiver.
 #[derive(Debug)]
@@ -79,11 +196,12 @@ struct MailboxInner {
 pub(crate) struct Mailbox {
     inner: Mutex<MailboxInner>,
     cond: Condvar,
+    sup: Arc<Supervision>,
 }
 
 impl Mailbox {
-    fn new() -> Self {
-        Mailbox { inner: Mutex::new(MailboxInner::default()), cond: Condvar::new() }
+    fn new(sup: Arc<Supervision>) -> Self {
+        Mailbox { inner: Mutex::new(MailboxInner::default()), cond: Condvar::new(), sup }
     }
 
     /// Deposit an envelope and wake any waiting receiver.
@@ -95,12 +213,18 @@ impl Mailbox {
 
     /// Blocking match: remove and return the first envelope in `context`
     /// matching `src`/`tag` (None = wildcard), preserving per-source order.
+    ///
+    /// Returns [`CoreError::PeerFailed`] as soon as the fabric is
+    /// poisoned (a queued match still wins over poison, since the data is
+    /// already here), or [`CoreError::Deadlock`] after the supervision
+    /// timeout.
     pub fn match_recv(
         &self,
         context: u64,
         src: Option<usize>,
         tag: Option<i32>,
     ) -> Result<Envelope> {
+        let deadline = Instant::now() + self.sup.timeout();
         let mut inner = self.inner.lock();
         loop {
             let pos = inner.queue.iter().position(|e| {
@@ -111,9 +235,15 @@ impl Mailbox {
             if let Some(i) = pos {
                 return Ok(inner.queue.remove(i));
             }
-            if self.cond.wait_for(&mut inner, DEADLOCK_TIMEOUT).timed_out() {
-                return Err(CoreError::Deadlock("a matching message"));
+            if let Some(rank) = self.sup.failed_rank() {
+                return Err(CoreError::PeerFailed { rank });
             }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CoreError::deadlock("a matching message"));
+            }
+            let slice = (deadline - now).min(POLL_SLICE);
+            let _ = self.cond.wait_for(&mut inner, slice);
         }
     }
 
@@ -125,6 +255,17 @@ impl Mailbox {
                 && src.is_none_or(|s| s == e.src)
                 && tag.is_none_or(|t| t == e.tag)
         })
+    }
+
+    /// Snapshot of queued envelopes as `(context, src, tag, len)`, for
+    /// watchdog reports.
+    pub fn snapshot(&self) -> Vec<(u64, usize, i32, usize)> {
+        let inner = self.inner.lock();
+        inner
+            .queue
+            .iter()
+            .map(|e| (e.context, e.src, e.tag, e.payload.len()))
+            .collect()
     }
 }
 
@@ -140,20 +281,27 @@ pub(crate) struct SimBarrier {
     state: Mutex<BarrierState>,
     cond: Condvar,
     nranks: usize,
+    sup: Arc<Supervision>,
 }
 
 impl SimBarrier {
-    pub(crate) fn new(nranks: usize) -> Self {
+    pub(crate) fn new(nranks: usize, sup: Arc<Supervision>) -> Self {
         SimBarrier {
             state: Mutex::new(BarrierState { generation: 0, arrived: 0, tmax: 0.0, result: 0.0 }),
             cond: Condvar::new(),
             nranks,
+            sup,
         }
     }
 
     /// Enter with the local virtual time; returns the maximum across all
     /// participants once everyone has arrived.
+    ///
+    /// A poisoned fabric fails the wait with [`CoreError::PeerFailed`]
+    /// (the failed rank can never arrive); the supervision timeout fails
+    /// it with [`CoreError::Deadlock`].
     pub fn wait(&self, t_local: f64) -> Result<f64> {
+        let deadline = Instant::now() + self.sup.timeout();
         let mut st = self.state.lock();
         let my_gen = st.generation;
         st.tmax = st.tmax.max(t_local);
@@ -167,9 +315,15 @@ impl SimBarrier {
             return Ok(st.result);
         }
         while st.generation == my_gen {
-            if self.cond.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out() {
-                return Err(CoreError::Deadlock("barrier participants"));
+            if let Some(rank) = self.sup.failed_rank() {
+                return Err(CoreError::PeerFailed { rank });
             }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CoreError::deadlock("barrier participants"));
+            }
+            let slice = (deadline - now).min(POLL_SLICE);
+            let _ = self.cond.wait_for(&mut st, slice);
         }
         Ok(st.result)
     }
@@ -196,18 +350,25 @@ pub(crate) struct Fabric {
     pub windows: Mutex<HashMap<(u64, usize), Arc<WindowState>>>,
     /// In-progress split exchanges, keyed by `(parent context, sequence)`.
     pub splits: Mutex<HashMap<(u64, u64), SplitSlot>>,
+    /// Health state: poison flag, deadlock timeout, watchdog bookkeeping.
+    pub supervision: Arc<Supervision>,
 }
 
 impl Fabric {
     pub fn new(platform: Platform, nranks: usize) -> Arc<Fabric> {
+        let supervision = Supervision::new(nranks, platform.effective_deadlock_timeout());
         let mut barriers = HashMap::new();
-        barriers.insert(WORLD_CONTEXT, Arc::new(SimBarrier::new(nranks)));
+        barriers.insert(
+            WORLD_CONTEXT,
+            Arc::new(SimBarrier::new(nranks, Arc::clone(&supervision))),
+        );
         Arc::new(Fabric {
             nranks,
-            mailboxes: (0..nranks).map(|_| Mailbox::new()).collect(),
+            mailboxes: (0..nranks).map(|_| Mailbox::new(Arc::clone(&supervision))).collect(),
             barriers: Mutex::new(barriers),
             windows: Mutex::new(HashMap::new()),
             splits: Mutex::new(HashMap::new()),
+            supervision,
             platform,
         })
     }
@@ -215,6 +376,58 @@ impl Fabric {
     /// The barrier of a context (must exist).
     pub fn barrier_of(&self, context: u64) -> Arc<SimBarrier> {
         Arc::clone(self.barriers.lock().get(&context).expect("context barrier"))
+    }
+
+    /// Per-rank diagnostics for watchdog reports: what each rank is
+    /// blocked on, the last operation it started, and its queued mailbox
+    /// envelopes.
+    pub fn diagnostics(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("fabric state at timeout:");
+        for rank in 0..self.nranks {
+            let _ = write!(out, "\n  rank {rank}: ");
+            match self.supervision.blocked_on(rank) {
+                Some(what) => {
+                    let _ = write!(out, "blocked on {what}");
+                }
+                None => out.push_str("running"),
+            }
+            if let Some(op) = self.supervision.last_op_of(rank) {
+                let _ = write!(out, "; last op {}", op.kind);
+                if let Some(peer) = op.peer {
+                    let _ = write!(out, " peer {peer}");
+                }
+                let _ = write!(out, " ({} B)", op.bytes);
+            }
+            let queued = self.mailboxes[rank].snapshot();
+            if queued.is_empty() {
+                out.push_str("; mailbox empty");
+            } else {
+                let _ = write!(out, "; mailbox [");
+                for (i, (ctx, src, tag, len)) in queued.iter().take(8).enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "ctx {ctx} src {src} tag {tag} len {len}");
+                }
+                if queued.len() > 8 {
+                    let _ = write!(out, ", +{} more", queued.len() - 8);
+                }
+                out.push(']');
+            }
+        }
+        out
+    }
+
+    /// Attach diagnostics to a bare [`CoreError::Deadlock`]; other errors
+    /// pass through untouched.
+    pub fn enrich(&self, e: CoreError) -> CoreError {
+        match e {
+            CoreError::Deadlock { waiting_for, report } if report.is_empty() => {
+                CoreError::Deadlock { waiting_for, report: self.diagnostics() }
+            }
+            other => other,
+        }
     }
 }
 
@@ -226,6 +439,10 @@ pub(crate) fn reply_channel() -> (Sender<f64>, Receiver<f64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sup() -> Arc<Supervision> {
+        Supervision::new(4, Duration::from_secs(5))
+    }
 
     fn env(src: usize, tag: i32) -> Envelope {
         Envelope {
@@ -241,7 +458,7 @@ mod tests {
 
     #[test]
     fn mailbox_matches_by_source_and_tag() {
-        let mb = Mailbox::new();
+        let mb = Mailbox::new(sup());
         mb.push(env(0, 1));
         mb.push(env(1, 2));
         let got = mb.match_recv(WORLD_CONTEXT, Some(1), Some(2)).unwrap();
@@ -252,7 +469,7 @@ mod tests {
 
     #[test]
     fn mailbox_preserves_order_per_source() {
-        let mb = Mailbox::new();
+        let mb = Mailbox::new(sup());
         mb.push(env(0, 7));
         mb.push(env(0, 7));
         // Same source and tag: FIFO
@@ -262,7 +479,7 @@ mod tests {
 
     #[test]
     fn mailbox_wakes_blocked_receiver() {
-        let mb = Arc::new(Mailbox::new());
+        let mb = Arc::new(Mailbox::new(sup()));
         let mb2 = Arc::clone(&mb);
         let h = std::thread::spawn(move || mb2.match_recv(WORLD_CONTEXT, Some(3), None).unwrap());
         std::thread::sleep(Duration::from_millis(20));
@@ -273,7 +490,7 @@ mod tests {
 
     #[test]
     fn probe_does_not_consume() {
-        let mb = Mailbox::new();
+        let mb = Mailbox::new(sup());
         mb.push(env(2, 9));
         assert!(mb.probe(WORLD_CONTEXT, Some(2), Some(9)));
         assert!(mb.probe(WORLD_CONTEXT, Some(2), Some(9)));
@@ -282,7 +499,7 @@ mod tests {
 
     #[test]
     fn barrier_combines_clocks() {
-        let b = Arc::new(SimBarrier::new(3));
+        let b = Arc::new(SimBarrier::new(3, sup()));
         let mut handles = Vec::new();
         for t in [1.0, 5.0, 3.0] {
             let b = Arc::clone(&b);
@@ -295,7 +512,7 @@ mod tests {
 
     #[test]
     fn barrier_reusable_across_generations() {
-        let b = Arc::new(SimBarrier::new(2));
+        let b = Arc::new(SimBarrier::new(2, sup()));
         for round in 0..5 {
             let b1 = Arc::clone(&b);
             let b2 = Arc::clone(&b);

@@ -48,9 +48,10 @@ pub use cart::CartTopology;
 pub use coll::{Reducible, ReduceOp};
 pub use comm::{CacheState, Comm};
 pub use error::{CoreError, Result};
+pub use fabric::FaultStats;
 pub use nonblocking::{RecvRequest, SendRequest};
 pub use persistent::{PersistentRecv, PersistentSend};
-pub use p2p::{RecvStatus, BSEND_OVERHEAD_BYTES};
+pub use p2p::{RecvStatus, BSEND_OVERHEAD_BYTES, MAX_SEND_ATTEMPTS};
 pub use rma::{Window, WindowState};
 pub use trace::{EventKind, TraceEvent};
 pub use universe::Universe;

@@ -7,12 +7,14 @@
 //! computation performed between posting and `wait` genuinely hides
 //! communication (the clock only syncs forward at `wait`).
 
-use crossbeam::channel::Receiver;
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use nonctg_datatype::{self as dt, Datatype, Scalar};
 
 use crate::comm::Comm;
 use crate::error::{CoreError, Result};
-use crate::fabric::DEADLOCK_TIMEOUT;
+use crate::fabric::POLL_SLICE;
 use crate::p2p::RecvStatus;
 
 /// Handle on an in-flight nonblocking send.
@@ -35,6 +37,10 @@ impl SendRequest {
 
     /// Block until the send is complete (`MPI_Wait`); the clock advances
     /// to the completion time if it has not already passed it.
+    ///
+    /// Fails with [`CoreError::PeerFailed`] if the fabric is poisoned
+    /// while the rendezvous is pending, or [`CoreError::Deadlock`] after
+    /// the supervision timeout.
     pub fn wait(self, comm: &mut Comm) -> Result<()> {
         match self.state {
             SendState::Done(t) => {
@@ -42,9 +48,38 @@ impl SendRequest {
                 Ok(())
             }
             SendState::Pending(rx) => {
-                let done = rx
-                    .recv_timeout(DEADLOCK_TIMEOUT)
-                    .map_err(|_| CoreError::Deadlock("rendezvous completion"))?;
+                let sup = std::sync::Arc::clone(&comm.fabric().supervision);
+                let me = comm.world_rank();
+                let deadline = Instant::now() + sup.timeout();
+                sup.set_blocked(me, Some("rendezvous completion"));
+                let res = loop {
+                    let now = Instant::now();
+                    if let Some(rank) = sup.failed_rank() {
+                        // A queued completion still wins over poison.
+                        if let Ok(done) = rx.try_recv() {
+                            break Ok(done);
+                        }
+                        break Err(CoreError::PeerFailed { rank });
+                    }
+                    if now >= deadline {
+                        break Err(CoreError::deadlock("rendezvous completion"));
+                    }
+                    let slice = (deadline - now).min(POLL_SLICE);
+                    match rx.recv_timeout(slice) {
+                        Ok(done) => break Ok(done),
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            // The receiver dropped the envelope without
+                            // replying — its rank failed mid-receive.
+                            break match sup.failed_rank() {
+                                Some(rank) => Err(CoreError::PeerFailed { rank }),
+                                None => Err(CoreError::deadlock("rendezvous completion")),
+                            };
+                        }
+                    }
+                };
+                sup.set_blocked(me, None);
+                let done = res.map_err(|e| comm.fabric().enrich(e))?;
                 comm.clock.sync_to(done);
                 Ok(())
             }

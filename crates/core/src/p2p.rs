@@ -23,12 +23,20 @@ use nonctg_simnet::Access;
 
 use crate::comm::{CacheState, Comm};
 use crate::error::{CoreError, Result};
-use crate::fabric::{reply_channel, Envelope, Protocol};
+use crate::fabric::{reply_channel, Envelope, OpRecord, Protocol};
 use crate::nonblocking::{SendRequest, SendState};
 
 /// Bytes of bookkeeping the attached buffer pays per buffered message
 /// (`MPI_BSEND_OVERHEAD`).
 pub const BSEND_OVERHEAD_BYTES: u64 = 64;
+
+/// Maximum attempts of one send under injected transient faults: up to
+/// `MAX_SEND_ATTEMPTS - 1` consecutive failures are absorbed by backoff
+/// before the send surfaces [`CoreError::SendFailed`].
+pub const MAX_SEND_ATTEMPTS: u32 = 5;
+
+/// First retry backoff in virtual seconds; doubles per failed attempt.
+const SEND_BACKOFF_BASE_S: f64 = 2e-6;
 
 /// Completion information of a receive.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -200,8 +208,55 @@ impl Comm {
         let warm = self.is_warm();
         let p = self.platform().clone();
 
+        let me = self.world_rank();
+        let sup = Arc::clone(&self.fabric().supervision);
+        sup.record_op(
+            me,
+            OpRecord { kind: "send", peer: Some(self.global_rank(dst)), bytes: bytes as usize },
+        );
+        let op = sup.next_op(me);
+
         // Real data movement: stage the payload contiguously.
-        let payload = Bytes::from(dt::pack(buf, origin, dtype, count)?);
+        let mut packed = dt::pack(buf, origin, dtype, count)?;
+        if let Some(plan) = &p.fault {
+            if plan.should_crash(me, op) {
+                panic!("fault plan: injected crash of rank {me} at op {op}");
+            }
+            let fault = plan.send_decision(me, op, bytes);
+            if !fault.is_clean() {
+                if fault.is_persistent() || fault.transient_failures >= MAX_SEND_ATTEMPTS {
+                    // Every attempt fails: charge the full backoff schedule
+                    // (one wait between consecutive attempts) and give up.
+                    let mut backoff = SEND_BACKOFF_BASE_S;
+                    for _ in 1..MAX_SEND_ATTEMPTS {
+                        self.charge_exact(backoff);
+                        backoff *= 2.0;
+                    }
+                    sup.with_faults(me, |s| s.failed_sends += 1);
+                    return Err(CoreError::SendFailed { dst, attempts: MAX_SEND_ATTEMPTS });
+                }
+                if fault.transient_failures > 0 {
+                    // Absorbed by retry: charge one doubling backoff per
+                    // failed attempt, then proceed as if clean.
+                    let mut backoff = SEND_BACKOFF_BASE_S;
+                    for _ in 0..fault.transient_failures {
+                        self.charge_exact(backoff);
+                        backoff *= 2.0;
+                    }
+                    sup.with_faults(me, |s| s.transient_retries += fault.transient_failures as u64);
+                }
+                if fault.delay > 0.0 {
+                    self.charge_exact(fault.delay);
+                    sup.with_faults(me, |s| s.delays += 1);
+                }
+                if fault.corrupt && !packed.is_empty() {
+                    let idx = plan.corrupt_index(me, op, packed.len());
+                    packed[idx] ^= 0xFF;
+                    sup.with_faults(me, |s| s.corruptions += 1);
+                }
+            }
+        }
+        let payload = Bytes::from(packed);
         let sig = dtype.signature().scaled(count as u64)?;
 
         let is_packed = dtype.signature().count(Primitive::Packed) > 0;
@@ -390,7 +445,22 @@ impl Comm {
         let p = self.platform().clone();
 
         let me = self.global_rank(self.rank());
-        let env = self.fabric().mailboxes[me].match_recv(self.context(), src, tag)?;
+        let sup = Arc::clone(&self.fabric().supervision);
+        sup.record_op(
+            me,
+            OpRecord { kind: "recv", peer: src.map(|s| self.global_rank(s)), bytes: capacity },
+        );
+        let op = sup.next_op(me);
+        if let Some(plan) = &p.fault {
+            if plan.should_crash(me, op) {
+                panic!("fault plan: injected crash of rank {me} at op {op}");
+            }
+        }
+
+        sup.set_blocked(me, Some("a matching message"));
+        let res = self.fabric().mailboxes[me].match_recv(self.context(), src, tag);
+        sup.set_blocked(me, None);
+        let env = res.map_err(|e| self.fabric().enrich(e))?;
 
         if env.payload.len() > capacity {
             return Err(CoreError::Truncate { incoming: env.payload.len(), capacity });

@@ -19,7 +19,7 @@ use nonctg_simnet::Access;
 
 use crate::comm::{CacheState, Comm};
 use crate::error::{CoreError, Result};
-use crate::fabric::SimBarrier;
+use crate::fabric::{SimBarrier, Supervision};
 use parking_lot::Mutex;
 
 /// Shared state of one window across all ranks.
@@ -33,11 +33,11 @@ pub struct WindowState {
 }
 
 impl WindowState {
-    pub(crate) fn new(nranks: usize) -> WindowState {
+    pub(crate) fn new(nranks: usize, sup: Arc<Supervision>) -> WindowState {
         WindowState {
             mems: (0..nranks).map(|_| Mutex::new(Vec::new())).collect(),
             pending: Mutex::new(Vec::new()),
-            barrier: SimBarrier::new(nranks),
+            barrier: SimBarrier::new(nranks, sup),
         }
     }
 }
@@ -60,7 +60,8 @@ impl Comm {
         let state = {
             let mut wins = self.fabric().windows.lock();
             let n = self.size();
-            Arc::clone(wins.entry(key).or_insert_with(|| Arc::new(WindowState::new(n))))
+            let sup = Arc::clone(&self.fabric().supervision);
+            Arc::clone(wins.entry(key).or_insert_with(|| Arc::new(WindowState::new(n, sup))))
         };
         *state.mems[self.rank()].lock() = vec![0u8; local_bytes];
         // Window creation is collective and synchronizing.
@@ -104,21 +105,28 @@ impl Window {
     pub fn fence(&mut self, comm: &mut Comm) -> Result<()> {
         let t0 = comm.wtime();
         let p = comm.platform().clone();
-        // Round 1: everyone has issued their epoch's operations.
-        let t1 = self.state.barrier.wait(comm.clock.now())?;
-        // All pending completion times are now visible.
-        let pending_max = {
-            let pend = self.state.pending.lock();
-            pend.iter().copied().fold(t1, f64::max)
-        };
-        // Round 2: agree on the epoch completion time.
-        let t2 = self.state.barrier.wait(pending_max)?;
-        // Designated rank clears the pending list for the next epoch.
-        if comm.rank() == 0 {
-            self.state.pending.lock().clear();
-        }
-        // Round 3: nobody may add new operations until the clear happened.
-        let t3 = self.state.barrier.wait(t2)?;
+        let sup = Arc::clone(&comm.fabric().supervision);
+        let me = comm.world_rank();
+        sup.set_blocked(me, Some("fence participants"));
+        let rounds = (|| -> Result<f64> {
+            // Round 1: everyone has issued their epoch's operations.
+            let t1 = self.state.barrier.wait(comm.clock.now())?;
+            // All pending completion times are now visible.
+            let pending_max = {
+                let pend = self.state.pending.lock();
+                pend.iter().copied().fold(t1, f64::max)
+            };
+            // Round 2: agree on the epoch completion time.
+            let t2 = self.state.barrier.wait(pending_max)?;
+            // Designated rank clears the pending list for the next epoch.
+            if comm.rank() == 0 {
+                self.state.pending.lock().clear();
+            }
+            // Round 3: nobody may add new operations until the clear happened.
+            self.state.barrier.wait(t2)
+        })();
+        sup.set_blocked(me, None);
+        let t3 = rounds.map_err(|e| comm.fabric().enrich(e))?;
         comm.clock.sync_to(t3);
         comm.charge_exact(p.fence_time(comm.size()));
         comm.trace(crate::trace::EventKind::Fence, t0, None, 0, None);

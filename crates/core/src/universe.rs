@@ -4,45 +4,143 @@
 //! each gets a [`Comm`] with its own virtual clock. `Universe::run` blocks
 //! until every rank's closure returns and hands back the per-rank results
 //! in rank order, so harness code reads like an SPMD `main`.
+//!
+//! Every launch is *supervised*: a rank that panics (including a crash
+//! injected by a [`nonctg_simnet::FaultPlan`]) or returns an error poisons
+//! the fabric, so peers blocked in receives, rendezvous, barriers or
+//! fences fail promptly with [`CoreError::PeerFailed`] instead of stalling
+//! until the deadlock timeout. [`Universe::run`] re-raises the first
+//! panic; [`Universe::run_supervised`] converts it into a per-rank
+//! [`CoreError::RankPanicked`] result instead.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use nonctg_simnet::Platform;
 
 use crate::comm::Comm;
+use crate::error::{CoreError, Result};
 use crate::fabric::Fabric;
 
 /// Entry point for running SPMD closures over simulated ranks.
 pub struct Universe;
+
+enum RankOutcome<T> {
+    Ok(T),
+    Err(CoreError),
+    Panicked(Box<dyn Any + Send>),
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_impl<T, F>(platform: Platform, nranks: usize, f: F) -> (Vec<RankOutcome<T>>, Option<usize>)
+where
+    T: Send,
+    F: Fn(&mut Comm) -> Result<T> + Send + Sync,
+{
+    assert!(nranks > 0, "universe needs at least one rank");
+    let fabric = Fabric::new(platform, nranks);
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nranks)
+            .map(|rank| {
+                let fabric = std::sync::Arc::clone(&fabric);
+                let f = &f;
+                scope.spawn(move || {
+                    let mut comm = Comm::new(std::sync::Arc::clone(&fabric), rank);
+                    match catch_unwind(AssertUnwindSafe(|| f(&mut comm))) {
+                        Ok(Ok(v)) => RankOutcome::Ok(v),
+                        Ok(Err(e)) => {
+                            // An erroring rank stops participating: poison
+                            // so peers do not stall waiting for it.
+                            fabric.supervision.poison(rank);
+                            RankOutcome::Err(e)
+                        }
+                        Err(payload) => {
+                            fabric.supervision.poison(rank);
+                            RankOutcome::Panicked(payload)
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank supervisor thread itself panicked"))
+            .collect()
+    });
+    let first_failed = fabric.supervision.failed_rank();
+    (outcomes, first_failed)
+}
 
 impl Universe {
     /// Run `f` on `nranks` ranks of `platform`; returns each rank's result
     /// in rank order.
     ///
     /// # Panics
-    /// Panics if `nranks == 0` or if any rank's closure panics (the panic
-    /// is propagated).
+    /// Panics if `nranks == 0` or if any rank's closure panics (the first
+    /// panic in rank order is propagated with its original payload).
     pub fn run<T, F>(platform: Platform, nranks: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Send + Sync,
     {
-        assert!(nranks > 0, "universe needs at least one rank");
-        let fabric = Fabric::new(platform, nranks);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..nranks)
-                .map(|rank| {
-                    let fabric = std::sync::Arc::clone(&fabric);
-                    let f = &f;
-                    scope.spawn(move || {
-                        let mut comm = Comm::new(fabric, rank);
-                        f(&mut comm)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect()
-        })
+        let (mut outcomes, first_failed) = run_impl(platform, nranks, |comm| Ok(f(comm)));
+        // Re-raise the root cause: the first rank the supervision saw
+        // fail, not a peer that panicked on an unwrapped `PeerFailed`.
+        if let Some(culprit) = first_failed {
+            if matches!(outcomes[culprit], RankOutcome::Panicked(_)) {
+                let RankOutcome::Panicked(payload) =
+                    outcomes.swap_remove(culprit)
+                else {
+                    unreachable!()
+                };
+                resume_unwind(payload);
+            }
+        }
+        let mut results = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome {
+                RankOutcome::Ok(v) => results.push(v),
+                RankOutcome::Err(_) => unreachable!("infallible closure"),
+                RankOutcome::Panicked(payload) => resume_unwind(payload),
+            }
+        }
+        results
+    }
+
+    /// Run a fallible closure on `nranks` ranks, catching rank panics:
+    /// each rank yields `Ok`, its own error, or
+    /// [`CoreError::RankPanicked`] if its closure panicked. Peers of a
+    /// failed rank typically yield [`CoreError::PeerFailed`].
+    ///
+    /// # Panics
+    /// Panics only if `nranks == 0`.
+    pub fn run_supervised<T, F>(platform: Platform, nranks: usize, f: F) -> Vec<Result<T>>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> Result<T> + Send + Sync,
+    {
+        run_impl(platform, nranks, f)
+            .0
+            .into_iter()
+            .enumerate()
+            .map(|(rank, outcome)| match outcome {
+                RankOutcome::Ok(v) => Ok(v),
+                RankOutcome::Err(e) => Err(e),
+                RankOutcome::Panicked(payload) => Err(CoreError::RankPanicked {
+                    rank,
+                    message: panic_message(payload.as_ref()),
+                }),
+            })
+            .collect()
     }
 
     /// [`Universe::run`] on the paper's standard two ranks.

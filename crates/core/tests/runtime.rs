@@ -261,9 +261,12 @@ fn bsend_roundtrip_and_buffer_accounting() {
             comm.buffer_attach(need).unwrap();
             let src = f64_seq(2 * n);
             comm.bsend(as_bytes(&src), 0, &vec_t, 1, 1, 0).unwrap();
-            // Immediately bsending again must fail: buffer still reserved.
+            // Immediately bsending again must fail: buffer still reserved
+            // (rank 1 only receives after our tag-8 go-ahead, so the
+            // reservation cannot have been released yet).
             let err = comm.bsend(as_bytes(&src), 0, &vec_t, 1, 1, 1).unwrap_err();
             assert!(matches!(err, CoreError::BsendBufferOverflow { .. }));
+            comm.send_bytes(&[], 1, 8).unwrap();
             // Wait for the pong: by then the first message was matched and
             // its reservation released.
             let mut z = [0u8; 0];
@@ -271,6 +274,8 @@ fn bsend_roundtrip_and_buffer_accounting() {
             comm.bsend(as_bytes(&src), 0, &vec_t, 1, 1, 1).unwrap();
             assert_eq!(comm.buffer_detach().unwrap(), need);
         } else {
+            let mut z = [0u8; 0];
+            comm.recv_bytes(&mut z, Some(0), Some(8)).unwrap();
             let mut buf = vec![0.0f64; n];
             comm.recv_slice(&mut buf, Some(0), Some(0)).unwrap();
             assert_eq!(buf[3], 6.0);

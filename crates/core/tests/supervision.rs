@@ -1,0 +1,284 @@
+//! Chaos tests of rank supervision: a failing rank must never hang its
+//! peers — they observe [`CoreError::PeerFailed`] well before the
+//! configured deadlock timeout, and the watchdog report names what each
+//! rank was doing when a genuine deadlock expires.
+
+use std::time::{Duration, Instant};
+
+use nonctg_core::{CoreError, FaultStats, Universe, MAX_SEND_ATTEMPTS};
+use nonctg_simnet::{FaultPlan, Platform};
+
+/// A quiet platform with a deliberately short deadlock timeout, so any
+/// regression towards "stall until the watchdog" fails fast and visibly.
+fn short_timeout(seconds: f64) -> Platform {
+    let mut p = Platform::skx_impi();
+    p.jitter_sigma = 0.0;
+    p.with_deadlock_timeout(seconds)
+}
+
+/// Each rank ping-pongs around a ring for `steps` rounds.
+fn ring_step(comm: &mut nonctg_core::Comm, step: usize) -> nonctg_core::Result<()> {
+    let n = comm.size();
+    let next = (comm.rank() + 1) % n;
+    let prev = (comm.rank() + n - 1) % n;
+    let payload = vec![step as u8; 64];
+    let mut buf = vec![0u8; 64];
+    if comm.rank().is_multiple_of(2) {
+        comm.send_bytes(&payload, next, step as i32)?;
+        comm.recv_bytes(&mut buf, Some(prev), Some(step as i32))?;
+    } else {
+        comm.recv_bytes(&mut buf, Some(prev), Some(step as i32))?;
+        comm.send_bytes(&payload, next, step as i32)?;
+    }
+    Ok(())
+}
+
+/// A rank that panics at an arbitrary step must never hang the others:
+/// every peer returns (PeerFailed or Ok) long before the 5 s timeout.
+#[test]
+fn panicking_rank_never_hangs_peers() {
+    for panic_step in 0..6usize {
+        let victim = panic_step % 4;
+        let start = Instant::now();
+        let results = Universe::run_supervised(short_timeout(5.0), 4, move |comm| {
+            for step in 0..8usize {
+                if comm.rank() == victim && step == panic_step {
+                    panic!("chaos: rank {victim} dies at step {step}");
+                }
+                ring_step(comm, step)?;
+            }
+            Ok(())
+        });
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "peers took {elapsed:?} to observe the failure (panic_step={panic_step})"
+        );
+        match &results[victim] {
+            Err(CoreError::RankPanicked { rank, message }) => {
+                assert_eq!(*rank, victim);
+                assert!(message.contains("chaos"), "unexpected message: {message}");
+            }
+            other => panic!("victim outcome: {other:?}"),
+        }
+        for (rank, res) in results.iter().enumerate() {
+            if rank == victim {
+                continue;
+            }
+            match res {
+                Ok(()) => {}
+                Err(CoreError::PeerFailed { rank: failed }) => assert_eq!(*failed, victim),
+                other => panic!("rank {rank} outcome: {other:?}"),
+            }
+        }
+    }
+}
+
+/// An injected crash (fault plan, not an explicit panic in user code)
+/// takes the same supervised path.
+#[test]
+fn injected_crash_poisons_fabric() {
+    let mut p = short_timeout(5.0);
+    p = p.with_fault_plan(FaultPlan::quiet(42).with_crash(1, 3));
+    let start = Instant::now();
+    let results = Universe::run_supervised(p, 3, |comm| {
+        for step in 0..10usize {
+            ring_step(comm, step)?;
+        }
+        Ok(())
+    });
+    assert!(start.elapsed() < Duration::from_secs(1));
+    assert!(
+        matches!(&results[1], Err(CoreError::RankPanicked { rank: 1, message })
+            if message.contains("injected crash")),
+        "rank 1 outcome: {:?}",
+        results[1]
+    );
+    let peer_failed = results
+        .iter()
+        .filter(|r| matches!(r, Err(CoreError::PeerFailed { rank: 1 })))
+        .count();
+    assert!(peer_failed >= 1, "no peer observed the crash: {results:?}");
+}
+
+/// A rank blocked in a rendezvous send observes the poison too (the
+/// sender waits on the reply channel, not in a mailbox).
+#[test]
+fn rendezvous_sender_unblocked_by_peer_failure() {
+    let start = Instant::now();
+    let results = Universe::run_supervised(short_timeout(5.0), 2, |comm| {
+        if comm.rank() == 0 {
+            // Large message: rendezvous, so this blocks until rank 1
+            // matches — which it never does.
+            let data = vec![7u8; 4 << 20];
+            comm.send_bytes(&data, 1, 0)?;
+        } else {
+            panic!("chaos: receiver dies before matching");
+        }
+        Ok(())
+    });
+    assert!(start.elapsed() < Duration::from_secs(1));
+    assert!(
+        matches!(results[0], Err(CoreError::PeerFailed { rank: 1 })),
+        "sender outcome: {:?}",
+        results[0]
+    );
+}
+
+/// A rank blocked in a barrier observes the poison.
+#[test]
+fn barrier_unblocked_by_peer_failure() {
+    let start = Instant::now();
+    let results = Universe::run_supervised(short_timeout(5.0), 3, |comm| {
+        if comm.rank() == 2 {
+            panic!("chaos: rank 2 never reaches the barrier");
+        }
+        comm.barrier()?;
+        Ok(())
+    });
+    assert!(start.elapsed() < Duration::from_secs(1));
+    for (rank, result) in results.iter().enumerate().take(2) {
+        assert!(
+            matches!(result, Err(CoreError::PeerFailed { rank: 2 })),
+            "rank {rank} outcome: {result:?}"
+        );
+    }
+}
+
+/// A genuine deadlock (receive that can never match) expires after the
+/// configured timeout and the error carries per-rank diagnostics.
+#[test]
+fn watchdog_reports_blocked_ranks() {
+    let start = Instant::now();
+    let results = Universe::run_supervised(short_timeout(0.3), 2, |comm| {
+        if comm.rank() == 0 {
+            let mut buf = [0u8; 8];
+            // Tag 99 is never sent: this rank deadlocks.
+            comm.recv_bytes(&mut buf, Some(1), Some(99))?;
+        } else {
+            let mut buf = [0u8; 8];
+            let _ = comm.recv_bytes(&mut buf, Some(0), Some(99));
+        }
+        Ok(())
+    });
+    let elapsed = start.elapsed();
+    assert!(elapsed >= Duration::from_millis(250), "watchdog fired early: {elapsed:?}");
+    assert!(elapsed < Duration::from_secs(3), "watchdog fired late: {elapsed:?}");
+    match &results[0] {
+        Err(CoreError::Deadlock { waiting_for, report }) => {
+            assert_eq!(*waiting_for, "a matching message");
+            assert!(report.contains("fabric state at timeout"), "report: {report}");
+            assert!(report.contains("rank 0"), "report: {report}");
+        }
+        other => panic!("rank 0 outcome: {other:?}"),
+    }
+}
+
+/// Transient send failures are absorbed by retry: the run still succeeds
+/// and the retries are visible in the fault counters.
+#[test]
+fn transient_send_faults_absorbed_and_counted() {
+    let mut p = short_timeout(5.0);
+    p = p.with_fault_plan(FaultPlan::quiet(7).with_send_failures(0.2).with_delays(0.1, 20e-6));
+    let results = Universe::run_supervised(p, 2, |comm| {
+        for step in 0..200usize {
+            ring_step(comm, step)?;
+        }
+        Ok(comm.fault_stats())
+    });
+    let stats: Vec<FaultStats> = results.into_iter().map(|r| r.unwrap()).collect();
+    let retries: u64 = stats.iter().map(|s| s.transient_retries).sum();
+    let delays: u64 = stats.iter().map(|s| s.delays).sum();
+    assert!(retries > 0, "no retries with 20% failure probability: {stats:?}");
+    assert!(delays > 0, "no delays with 10% delay probability: {stats:?}");
+    assert_eq!(stats.iter().map(|s| s.failed_sends).sum::<u64>(), 0);
+}
+
+/// A persistent fault exhausts the retry budget and surfaces SendFailed
+/// on the faulty rank; the peer sees PeerFailed.
+#[test]
+fn persistent_fault_surfaces_send_failed() {
+    let mut p = short_timeout(5.0);
+    p = p.with_fault_plan(FaultPlan::quiet(3).with_persistent_failure(0, 64, 64));
+    let results = Universe::run_supervised(p, 2, |comm| {
+        for step in 0..4usize {
+            ring_step(comm, step)?;
+        }
+        Ok(())
+    });
+    assert!(
+        matches!(
+            results[0],
+            Err(CoreError::SendFailed { dst: 1, attempts }) if attempts == MAX_SEND_ATTEMPTS
+        ),
+        "rank 0 outcome: {:?}",
+        results[0]
+    );
+    assert!(
+        matches!(results[1], Err(CoreError::PeerFailed { rank: 0 }) | Ok(())),
+        "rank 1 outcome: {:?}",
+        results[1]
+    );
+}
+
+/// Injected corruption really flips payload bytes in flight (the model
+/// moves data for real, so the receiver can observe it).
+#[test]
+fn corruption_flips_payload_bytes() {
+    let mut p = short_timeout(5.0);
+    p = p.with_fault_plan(FaultPlan::quiet(11).with_corruption(1.0));
+    let results = Universe::run_supervised(p, 2, |comm| {
+        if comm.rank() == 0 {
+            comm.send_bytes(&[0xAAu8; 32], 1, 0)?;
+            Ok(comm.fault_stats().corruptions)
+        } else {
+            let mut buf = [0u8; 32];
+            comm.recv_bytes(&mut buf, Some(0), Some(0))?;
+            let flipped = buf.iter().filter(|&&b| b != 0xAA).count();
+            Ok(flipped as u64)
+        }
+    });
+    assert_eq!(results[0].as_ref().unwrap(), &1, "sender corruption count");
+    assert_eq!(results[1].as_ref().unwrap(), &1, "exactly one byte flipped");
+}
+
+/// The same fault seed yields a bit-identical fault schedule: fault
+/// counters and final virtual clocks agree across runs.
+#[test]
+fn fault_schedule_is_deterministic() {
+    let run = || {
+        let mut p = short_timeout(5.0);
+        p.jitter_sigma = 0.0;
+        p = p.with_fault_plan(
+            FaultPlan::quiet(123)
+                .with_send_failures(0.15)
+                .with_delays(0.1, 10e-6)
+                .with_corruption(0.05),
+        );
+        Universe::run_supervised(p, 2, |comm| {
+            for step in 0..100usize {
+                ring_step(comm, step)?;
+            }
+            Ok((comm.fault_stats(), comm.wtime()))
+        })
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect::<Vec<_>>()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "fault schedule not reproducible");
+}
+
+/// NONCTG_DEADLOCK_TIMEOUT env override is honored by the fabric (checked
+/// via the platform accessor to avoid polluting process env in tests).
+#[test]
+fn deadlock_timeout_configurable() {
+    let p = short_timeout(1.5);
+    assert_eq!(p.effective_deadlock_timeout(), Duration::from_secs_f64(1.5));
+    let q = Platform::skx_impi();
+    assert_eq!(
+        q.effective_deadlock_timeout(),
+        Duration::from_secs_f64(nonctg_simnet::DEFAULT_DEADLOCK_TIMEOUT_S)
+    );
+}

@@ -1,0 +1,294 @@
+//! JSON checkpointing of sweeps, hand-rolled against a fixed schema (the
+//! workspace deliberately has no serialization dependency).
+//!
+//! Format:
+//!
+//! ```json
+//! {
+//!   "platform": "skx-impi",
+//!   "points": [
+//!     {"scheme": "vector", "msg_bytes": 1024, "time": 1.2e-5,
+//!      "bandwidth": 8.5e7, "slowdown": 1.3, "status": "ok"}
+//!   ]
+//! }
+//! ```
+//!
+//! Non-finite values (failed/skipped points) are written as `null` and
+//! read back as NaN. Finite values use Rust's shortest round-trip float
+//! formatting, so a rewrite of a parsed checkpoint is bit-identical.
+
+use std::str::FromStr;
+
+use nonctg_simnet::PlatformId;
+
+use crate::scheme::Scheme;
+use crate::sweep::{PointStatus, Sweep, SweepPoint};
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialize a sweep to checkpoint JSON.
+pub fn to_json(sweep: &Sweep) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"platform\": \"");
+    out.push_str(sweep.platform.name());
+    out.push_str("\",\n  \"points\": [");
+    for (i, p) in sweep.points.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"msg_bytes\": {}, \"time\": {}, \
+             \"bandwidth\": {}, \"slowdown\": {}, \"status\": \"{}\"}}",
+            p.scheme.key(),
+            p.msg_bytes,
+            num(p.time),
+            num(p.bandwidth),
+            num(p.slowdown),
+            p.status.key(),
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// A minimal recursive-descent parser for the checkpoint schema.
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser { s: s.as_bytes(), i: 0 }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("checkpoint parse error at byte {}: {what}", self.i)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.s.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.i;
+        while let Some(&c) = self.s.get(self.i) {
+            if c == b'"' {
+                let out = std::str::from_utf8(&self.s[start..self.i])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?
+                    .to_string();
+                self.i += 1;
+                return Ok(out);
+            }
+            if c == b'\\' {
+                return Err(self.err("escapes are not used by this schema"));
+            }
+            self.i += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    /// A JSON number, or `null` read as NaN.
+    fn number_or_null(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        if self.s[self.i..].starts_with(b"null") {
+            self.i += 4;
+            return Ok(f64::NAN);
+        }
+        let start = self.i;
+        while let Some(&c) = self.s.get(self.i) {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .ok_or_else(|| self.err("expected a number or null"))
+    }
+
+    fn point(&mut self) -> Result<SweepPoint, String> {
+        self.expect(b'{')?;
+        let mut scheme = None;
+        let mut msg_bytes = None;
+        let mut time = f64::NAN;
+        let mut bandwidth = f64::NAN;
+        let mut slowdown = f64::NAN;
+        let mut status = None;
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "scheme" => {
+                    let v = self.string()?;
+                    scheme = Some(Scheme::from_str(&v)?);
+                }
+                "msg_bytes" => {
+                    let v = self.number_or_null()?;
+                    if !(v.is_finite() && v >= 0.0) {
+                        return Err(self.err("msg_bytes must be a non-negative integer"));
+                    }
+                    msg_bytes = Some(v as usize);
+                }
+                "time" => time = self.number_or_null()?,
+                "bandwidth" => bandwidth = self.number_or_null()?,
+                "slowdown" => slowdown = self.number_or_null()?,
+                "status" => {
+                    let v = self.string()?;
+                    status = Some(PointStatus::from_str(&v)?);
+                }
+                other => return Err(self.err(&format!("unknown point key '{other}'"))),
+            }
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected ',' or '}' in point")),
+            }
+        }
+        Ok(SweepPoint {
+            scheme: scheme.ok_or_else(|| self.err("point missing 'scheme'"))?,
+            msg_bytes: msg_bytes.ok_or_else(|| self.err("point missing 'msg_bytes'"))?,
+            time,
+            bandwidth,
+            slowdown,
+            status: status.ok_or_else(|| self.err("point missing 'status'"))?,
+        })
+    }
+}
+
+/// Parse checkpoint JSON back into a [`Sweep`].
+pub fn from_json(s: &str) -> Result<Sweep, String> {
+    let mut p = Parser::new(s);
+    p.expect(b'{')?;
+    let mut platform = None;
+    let mut points = Vec::new();
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "platform" => {
+                let v = p.string()?;
+                platform = Some(PlatformId::from_str(&v)?);
+            }
+            "points" => {
+                p.expect(b'[')?;
+                if p.peek() == Some(b']') {
+                    p.i += 1;
+                } else {
+                    loop {
+                        points.push(p.point()?);
+                        match p.peek() {
+                            Some(b',') => p.i += 1,
+                            Some(b']') => {
+                                p.i += 1;
+                                break;
+                            }
+                            _ => return Err(p.err("expected ',' or ']' in points")),
+                        }
+                    }
+                }
+            }
+            other => return Err(p.err(&format!("unknown top-level key '{other}'"))),
+        }
+        match p.peek() {
+            Some(b',') => p.i += 1,
+            Some(b'}') => break,
+            _ => return Err(p.err("expected ',' or '}' at top level")),
+        }
+    }
+    Ok(Sweep {
+        platform: platform.ok_or_else(|| "checkpoint missing 'platform'".to_string())?,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Sweep {
+        Sweep {
+            platform: PlatformId::SkxImpi,
+            points: vec![
+                SweepPoint {
+                    scheme: Scheme::Reference,
+                    msg_bytes: 1024,
+                    time: 1.25e-5,
+                    bandwidth: 8.192e7,
+                    slowdown: 1.0,
+                    status: PointStatus::Ok,
+                },
+                SweepPoint {
+                    scheme: Scheme::VectorType,
+                    msg_bytes: 1024,
+                    time: f64::NAN,
+                    bandwidth: 0.0,
+                    slowdown: f64::NAN,
+                    status: PointStatus::Failed,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_including_nan() {
+        let json = to_json(&sample());
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.platform, PlatformId::SkxImpi);
+        assert_eq!(back.points.len(), 2);
+        let a = &back.points[0];
+        assert_eq!((a.scheme, a.msg_bytes, a.status), (Scheme::Reference, 1024, PointStatus::Ok));
+        assert_eq!(a.time, 1.25e-5);
+        assert_eq!(a.slowdown, 1.0);
+        let b = &back.points[1];
+        assert_eq!(b.status, PointStatus::Failed);
+        assert!(b.time.is_nan() && b.slowdown.is_nan());
+        // A rewrite of the parsed sweep is bit-identical.
+        assert_eq!(to_json(&back), json);
+    }
+
+    #[test]
+    fn empty_points_round_trip() {
+        let sweep = Sweep { platform: PlatformId::KnlImpi, points: Vec::new() };
+        let back = from_json(&to_json(&sweep)).unwrap();
+        assert!(back.points.is_empty());
+        assert_eq!(back.platform, PlatformId::KnlImpi);
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_context() {
+        assert!(from_json("").is_err());
+        assert!(from_json("{}").unwrap_or(sample()).points.is_empty() || from_json("{}").is_err());
+        assert!(from_json("{\"platform\": \"mars\", \"points\": []}").is_err());
+        let err = from_json("{\"platform\": \"skx-impi\", \"points\": [{\"bogus\": 1}]}")
+            .unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+    }
+}

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod pingpong;
 mod scheme;
 pub mod stats;
@@ -17,10 +18,13 @@ mod sweep;
 mod workload;
 
 pub use pingpong::{
-    run_datatype_send, run_scheme, run_scheme_pairs, PingPongConfig, PingPongResult, PING_TAG,
-    PONG_TAG,
+    run_datatype_send, run_scheme, run_scheme_pairs, try_run_scheme, try_run_scheme_pairs,
+    MeasureError, PingPongConfig, PingPongResult, PING_TAG, PONG_TAG,
 };
 pub use scheme::Scheme;
 pub use stats::Stats;
-pub use sweep::{run_sweep, run_sweep_parallel, run_sweep_with, Sweep, SweepConfig, SweepPoint};
+pub use sweep::{
+    run_sweep, run_sweep_parallel, run_sweep_resilient, run_sweep_resilient_with, run_sweep_with,
+    PointStatus, Resilience, Sweep, SweepConfig, SweepPoint,
+};
 pub use workload::{IrregularWorkload, Workload};

@@ -9,7 +9,7 @@
 //! * receivers verify payload bytes (sampled), so every timing result is
 //!   also a correctness check.
 
-use nonctg_core::{Comm, Universe};
+use nonctg_core::{Comm, CoreError, Result, Universe};
 use nonctg_datatype::{as_bytes, Datatype};
 use nonctg_simnet::{Access, Platform};
 
@@ -93,7 +93,45 @@ fn access_of(w: &Workload) -> Access {
     }
 }
 
+/// Why a measurement failed: the errors of every rank that did not
+/// complete (a panicking rank shows up as
+/// [`CoreError::RankPanicked`]; its peers typically as
+/// [`CoreError::PeerFailed`]).
+#[derive(Debug, Clone)]
+pub struct MeasureError {
+    /// `(rank, error)` of every failed rank, in rank order.
+    pub failures: Vec<(usize, CoreError)>,
+}
+
+impl MeasureError {
+    /// The most informative failure: the first that is not a secondary
+    /// [`CoreError::PeerFailed`], falling back to the first overall.
+    pub fn root_cause(&self) -> &(usize, CoreError) {
+        self.failures
+            .iter()
+            .find(|(_, e)| !matches!(e, CoreError::PeerFailed { .. }))
+            .unwrap_or(&self.failures[0])
+    }
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (rank, e) = self.root_cause();
+        write!(f, "measurement failed on rank {rank}: {e}")?;
+        if self.failures.len() > 1 {
+            write!(f, " ({} ranks failed in total)", self.failures.len())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
 /// Measure one scheme on one workload. Spawns a fresh two-rank universe.
+///
+/// # Panics
+/// Panics if the measurement fails (injected faults, deadlock); use
+/// [`try_run_scheme`] to handle failures.
 pub fn run_scheme(
     platform: &Platform,
     scheme: Scheme,
@@ -103,10 +141,25 @@ pub fn run_scheme(
     run_scheme_pairs(platform, scheme, workload, cfg, 1)
 }
 
+/// Fallible [`run_scheme`]: a failing rank (injected fault, deadlock,
+/// corruption caught by verification) yields an error instead of a panic.
+pub fn try_run_scheme(
+    platform: &Platform,
+    scheme: Scheme,
+    workload: &Workload,
+    cfg: &PingPongConfig,
+) -> std::result::Result<PingPongResult, MeasureError> {
+    try_run_scheme_pairs(platform, scheme, workload, cfg, 1)
+}
+
 /// Measure one scheme with `npairs` simultaneously-communicating rank
 /// pairs on one node (rank 2i pings rank 2i+1) — the paper's §4.7
 /// "all processes on a node communicate" check. Returns the times of
 /// pair 0; with no modeled NIC contention, all pairs agree.
+///
+/// # Panics
+/// Panics if the measurement fails; use [`try_run_scheme_pairs`] to
+/// handle failures.
 pub fn run_scheme_pairs(
     platform: &Platform,
     scheme: Scheme,
@@ -114,24 +167,49 @@ pub fn run_scheme_pairs(
     cfg: &PingPongConfig,
     npairs: usize,
 ) -> PingPongResult {
+    try_run_scheme_pairs(platform, scheme, workload, cfg, npairs)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_scheme_pairs`]: runs the universe supervised, so a
+/// failing rank poisons the fabric and every rank returns promptly; the
+/// collected per-rank errors come back as a [`MeasureError`].
+pub fn try_run_scheme_pairs(
+    platform: &Platform,
+    scheme: Scheme,
+    workload: &Workload,
+    cfg: &PingPongConfig,
+    npairs: usize,
+) -> std::result::Result<PingPongResult, MeasureError> {
     assert!(npairs >= 1);
     let platform = platform.clone();
     let w = *workload;
     let cfg = cfg.clone();
-    let results = Universe::run(platform, 2 * npairs, move |comm| {
+    let results = Universe::run_supervised(platform, 2 * npairs, move |comm| {
         let rank = comm.rank();
         if rank % 2 == 0 {
             sender(comm, scheme, &w, &cfg, rank + 1)
         } else {
-            receiver(comm, scheme, &w, &cfg, rank - 1);
-            Vec::new()
+            receiver(comm, scheme, &w, &cfg, rank - 1)?;
+            Ok(Vec::new())
         }
     });
-    PingPongResult {
-        scheme,
-        msg_bytes: workload.msg_bytes(),
-        times: results.into_iter().next().expect("pair 0 result"),
+    let mut failures = Vec::new();
+    let mut pair0 = Vec::new();
+    for (rank, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(times) => {
+                if rank == 0 {
+                    pair0 = times;
+                }
+            }
+            Err(e) => failures.push((rank, e)),
+        }
     }
+    if !failures.is_empty() {
+        return Err(MeasureError { failures });
+    }
+    Ok(PingPongResult { scheme, msg_bytes: workload.msg_bytes(), times: pair0 })
 }
 
 /// Measure a direct send of an arbitrary committed datatype (one
@@ -188,7 +266,13 @@ fn flush_both(comm: &mut Comm, cfg: &PingPongConfig) {
 }
 
 /// Sending rank: prepare buffers, run the timed loop against `peer`.
-fn sender(comm: &mut Comm, scheme: Scheme, w: &Workload, cfg: &PingPongConfig, peer: usize) -> Vec<f64> {
+fn sender(
+    comm: &mut Comm,
+    scheme: Scheme,
+    w: &Workload,
+    cfg: &PingPongConfig,
+    peer: usize,
+) -> Result<Vec<f64>> {
     let n = w.elems();
     let mut times = Vec::with_capacity(cfg.reps);
 
@@ -200,29 +284,29 @@ fn sender(comm: &mut Comm, scheme: Scheme, w: &Workload, cfg: &PingPongConfig, p
         Scheme::PackingElement | Scheme::PackingVector => w.msg_bytes(),
         _ => 0,
     }];
-    let vec_t = w.vector_type().expect("vector type");
-    let sub_t = w.subarray_type().expect("subarray type");
+    let vec_t = w.vector_type()?;
+    let sub_t = w.subarray_type()?;
     let f64_t = Datatype::f64();
     let access = access_of(w);
 
     if scheme == Scheme::Buffered {
-        let need = Comm::bsend_size(&vec_t, 1).expect("bsend size");
-        comm.buffer_attach(need).expect("attach");
+        let need = Comm::bsend_size(&vec_t, 1)?;
+        comm.buffer_attach(need)?;
     }
     let mut win = if scheme == Scheme::OneSided {
         // Rank 0 exposes nothing; rank 1 exposes the receive region.
-        Some(comm.win_create(0).expect("win"))
+        Some(comm.win_create(0)?)
     } else {
         None
     };
 
-    comm.barrier().expect("start barrier");
+    comm.barrier()?;
 
     for _ in 0..cfg.reps {
         let t0 = comm.wtime();
         match scheme {
             Scheme::Reference => {
-                comm.send_slice(&contig, peer, PING_TAG).expect("send");
+                comm.send_slice(&contig, peer, PING_TAG)?;
             }
             Scheme::Copying => {
                 // The real user-space gather loop...
@@ -231,22 +315,22 @@ fn sender(comm: &mut Comm, scheme: Scheme, w: &Workload, cfg: &PingPongConfig, p
                 }
                 // ...and its modeled cost.
                 comm.charge_copy(w.msg_bytes() as u64, &access);
-                comm.send_slice(&sendbuf, peer, PING_TAG).expect("send");
+                comm.send_slice(&sendbuf, peer, PING_TAG)?;
             }
             Scheme::Buffered => {
-                comm.bsend(as_bytes(&src), 0, &vec_t, 1, peer, PING_TAG).expect("bsend");
+                comm.bsend(as_bytes(&src), 0, &vec_t, 1, peer, PING_TAG)?;
             }
             Scheme::VectorType => {
-                comm.send(as_bytes(&src), 0, &vec_t, 1, peer, PING_TAG).expect("send");
+                comm.send(as_bytes(&src), 0, &vec_t, 1, peer, PING_TAG)?;
             }
             Scheme::Subarray => {
-                comm.send(as_bytes(&src), 0, &sub_t, 1, peer, PING_TAG).expect("send");
+                comm.send(as_bytes(&src), 0, &sub_t, 1, peer, PING_TAG)?;
             }
             Scheme::OneSided => {
                 let win = win.as_mut().expect("window");
-                win.fence(comm).expect("fence");
-                win.put(comm, as_bytes(&src), 0, &vec_t, 1, peer, 0).expect("put");
-                win.fence(comm).expect("fence");
+                win.fence(comm)?;
+                win.put(comm, as_bytes(&src), 0, &vec_t, 1, peer, 0)?;
+                win.fence(comm)?;
             }
             Scheme::PackingElement => {
                 let mut pos = 0usize;
@@ -261,7 +345,7 @@ fn sender(comm: &mut Comm, scheme: Scheme, w: &Workload, cfg: &PingPongConfig, p
                             &mut packbuf,
                             &mut pos,
                         )
-                        .expect("pack");
+                        ?;
                     }
                 } else {
                     // Batched equivalent (same data, same virtual time).
@@ -276,19 +360,19 @@ fn sender(comm: &mut Comm, scheme: Scheme, w: &Workload, cfg: &PingPongConfig, p
                         &mut packbuf,
                         &mut pos,
                     )
-                    .expect("pack_elementwise");
+                    ?;
                 }
-                comm.send_packed(&packbuf, peer, PING_TAG).expect("send");
+                comm.send_packed(&packbuf, peer, PING_TAG)?;
             }
             Scheme::PackingVector => {
                 let mut pos = 0usize;
-                comm.pack(as_bytes(&src), 0, &vec_t, 1, &mut packbuf, &mut pos).expect("pack");
-                comm.send_packed(&packbuf, peer, PING_TAG).expect("send");
+                comm.pack(as_bytes(&src), 0, &vec_t, 1, &mut packbuf, &mut pos)?;
+                comm.send_packed(&packbuf, peer, PING_TAG)?;
             }
         }
         if scheme != Scheme::OneSided {
             let mut pong = [0u8; 0];
-            comm.recv_bytes(&mut pong, Some(peer), Some(PONG_TAG)).expect("pong");
+            comm.recv_bytes(&mut pong, Some(peer), Some(PONG_TAG))?;
         }
         times.push(comm.wtime() - t0);
         flush_both(comm, cfg);
@@ -297,48 +381,55 @@ fn sender(comm: &mut Comm, scheme: Scheme, w: &Workload, cfg: &PingPongConfig, p
     if scheme == Scheme::Buffered {
         // Drain: make sure the last buffered message was matched before
         // detaching (the receiver's pong ordering guarantees it).
-        comm.buffer_detach().expect("detach");
+        comm.buffer_detach()?;
     }
-    comm.barrier().expect("end barrier");
-    times
+    comm.barrier()?;
+    Ok(times)
 }
 
 /// Receiving rank: receive contiguously, verify, pong to `peer`.
-fn receiver(comm: &mut Comm, scheme: Scheme, w: &Workload, cfg: &PingPongConfig, peer: usize) {
+fn receiver(
+    comm: &mut Comm,
+    scheme: Scheme,
+    w: &Workload,
+    cfg: &PingPongConfig,
+    peer: usize,
+) -> Result<()> {
     let n = w.elems();
     let mut recvbuf = vec![0.0f64; n];
     let expected = w.expected();
 
     let mut win = if scheme == Scheme::OneSided {
-        Some(comm.win_create(w.msg_bytes()).expect("win"))
+        Some(comm.win_create(w.msg_bytes())?)
     } else {
         None
     };
 
-    comm.barrier().expect("start barrier");
+    comm.barrier()?;
 
     for _ in 0..cfg.reps {
         match scheme {
             Scheme::OneSided => {
                 let win = win.as_mut().expect("window");
-                win.fence(comm).expect("fence");
-                win.fence(comm).expect("fence");
+                win.fence(comm)?;
+                win.fence(comm)?;
                 if cfg.verify && n > 0 {
                     verify_window(win, &expected);
                 }
             }
             _ => {
-                let st = comm.recv_slice(&mut recvbuf, Some(peer), Some(PING_TAG)).expect("recv");
+                let st = comm.recv_slice(&mut recvbuf, Some(peer), Some(PING_TAG))?;
                 assert_eq!(st.bytes, w.msg_bytes(), "payload size");
                 if cfg.verify && n > 0 {
                     verify_samples(&recvbuf, &expected);
                 }
-                comm.send_bytes(&[], peer, PONG_TAG).expect("pong");
+                comm.send_bytes(&[], peer, PONG_TAG)?;
             }
         }
         flush_both(comm, cfg);
     }
-    comm.barrier().expect("end barrier");
+    comm.barrier()?;
+    Ok(())
 }
 
 /// Check a handful of positions plus the extremes (full check for small n).

@@ -36,11 +36,30 @@ pub fn stddev(samples: &[f64]) -> f64 {
     (samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / samples.len() as f64).sqrt()
 }
 
+impl Stats {
+    /// The summary of zero samples: NaN moments, `n == 0`. Returned by
+    /// [`summarize`] for a measurement that produced no data (e.g. every
+    /// repetition failed under fault injection).
+    pub fn empty() -> Stats {
+        Stats { mean: f64::NAN, stddev: f64::NAN, min: f64::NAN, max: f64::NAN, n: 0, rejected: 0 }
+    }
+
+    /// Whether this summary came from zero samples.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
 /// The paper's procedure: compute mean and standard deviation, dismiss
 /// samples more than one standard deviation from the mean, report the
 /// mean of what remains (all samples, if rejection would empty the set).
+///
+/// Zero samples yield [`Stats::empty`] rather than a panic, so a fully
+/// failed measurement stays representable.
 pub fn summarize(samples: &[f64]) -> Stats {
-    assert!(!samples.is_empty(), "no samples to summarize");
+    if samples.is_empty() {
+        return Stats::empty();
+    }
     let m = mean(samples);
     let sd = stddev(samples);
     let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
@@ -56,8 +75,9 @@ pub fn summarize(samples: &[f64]) -> Stats {
 }
 
 /// Effective bandwidth in bytes/second for a payload moved in `seconds`.
+/// Zero for non-positive or non-finite durations (failed measurements).
 pub fn bandwidth(bytes: usize, seconds: f64) -> f64 {
-    if seconds <= 0.0 {
+    if !seconds.is_finite() || seconds <= 0.0 {
         return 0.0;
     }
     bytes as f64 / seconds
@@ -100,8 +120,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no samples")]
-    fn empty_rejected() {
-        summarize(&[]);
+    fn empty_yields_explicit_empty_stats() {
+        let s = summarize(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.n, 0);
+        assert!(s.mean.is_nan() && s.stddev.is_nan() && s.min.is_nan() && s.max.is_nan());
+        assert_eq!(bandwidth(1024, s.mean), 0.0);
     }
 }

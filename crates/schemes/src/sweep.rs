@@ -1,8 +1,18 @@
 //! Message-size sweeps over schemes — the data behind the paper's figures.
+//!
+//! Three runners share one point format:
+//! [`run_sweep`] (sequential), [`run_sweep_parallel`] (same results, less
+//! wall-clock), and [`run_sweep_resilient`] (fault-tolerant: per-point
+//! retries, failed points marked instead of aborting the sweep, optional
+//! JSON checkpointing and resume).
+
+use std::path::PathBuf;
+use std::str::FromStr;
 
 use nonctg_simnet::{Platform, PlatformId};
 
-use crate::pingpong::{run_scheme, PingPongConfig};
+use crate::checkpoint;
+use crate::pingpong::{run_scheme, try_run_scheme, PingPongConfig};
 use crate::scheme::Scheme;
 use crate::workload::Workload;
 
@@ -50,20 +60,70 @@ impl SweepConfig {
     }
 }
 
-/// One measured (scheme, size) point.
+/// Outcome of one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointStatus {
+    /// Measured successfully.
+    Ok,
+    /// Every measurement attempt failed; time/bandwidth/slowdown are NaN/0.
+    Failed,
+    /// Not measured (scheme disabled after repeated failures); values NaN/0.
+    Skipped,
+}
+
+impl PointStatus {
+    /// Stable lowercase key used in checkpoints and reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            PointStatus::Ok => "ok",
+            PointStatus::Failed => "failed",
+            PointStatus::Skipped => "skipped",
+        }
+    }
+}
+
+impl FromStr for PointStatus {
+    type Err = String;
+    fn from_str(s: &str) -> Result<PointStatus, String> {
+        match s {
+            "ok" => Ok(PointStatus::Ok),
+            "failed" => Ok(PointStatus::Failed),
+            "skipped" => Ok(PointStatus::Skipped),
+            other => Err(format!("unknown point status '{other}'")),
+        }
+    }
+}
+
+/// One (scheme, size) point of a sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepPoint {
     /// The scheme measured.
     pub scheme: Scheme,
     /// Message payload in bytes.
     pub msg_bytes: usize,
-    /// Mean ping-pong time (outlier-rejected), seconds.
+    /// Mean ping-pong time (outlier-rejected), seconds. NaN if not Ok.
     pub time: f64,
-    /// Effective bandwidth, bytes/second.
+    /// Effective bandwidth, bytes/second. 0.0 if not Ok.
     pub bandwidth: f64,
     /// Time relative to the reference scheme at the same size
-    /// (1.0 for the reference itself; NaN if the reference was not run).
+    /// (1.0 for the reference itself; NaN if the reference was not run
+    /// or this point was not measured).
     pub slowdown: f64,
+    /// Whether this point was actually measured.
+    pub status: PointStatus,
+}
+
+impl SweepPoint {
+    fn unmeasured(scheme: Scheme, msg_bytes: usize, status: PointStatus) -> SweepPoint {
+        SweepPoint {
+            scheme,
+            msg_bytes,
+            time: f64::NAN,
+            bandwidth: 0.0,
+            slowdown: f64::NAN,
+            status,
+        }
+    }
 }
 
 /// A complete sweep: every scheme over every size.
@@ -96,9 +156,34 @@ impl Sweep {
     pub fn get(&self, scheme: Scheme, msg_bytes: usize) -> Option<&SweepPoint> {
         self.points.iter().find(|p| p.scheme == scheme && p.msg_bytes == msg_bytes)
     }
+
+    /// Serialize to checkpoint JSON (see [`crate::checkpoint`]).
+    pub fn to_checkpoint_json(&self) -> String {
+        checkpoint::to_json(self)
+    }
+
+    /// Parse a checkpoint written by [`Sweep::to_checkpoint_json`].
+    pub fn from_checkpoint_json(s: &str) -> Result<Sweep, String> {
+        checkpoint::from_json(s)
+    }
 }
 
-/// Run a sweep, invoking `progress` after each measured point.
+/// Per-size-group slowdown pass: the reference time is taken from the
+/// group's own measured Reference point (wherever it sits in legend
+/// order), so slowdowns never depend on scheme ordering or on a stale
+/// reference from an earlier size.
+fn apply_slowdowns(group: &mut [SweepPoint]) {
+    let ref_time = group
+        .iter()
+        .find(|p| p.scheme == Scheme::Reference && p.status == PointStatus::Ok)
+        .map(|p| p.time)
+        .unwrap_or(f64::NAN);
+    for p in group.iter_mut() {
+        p.slowdown = if p.status == PointStatus::Ok { p.time / ref_time } else { f64::NAN };
+    }
+}
+
+/// Run a sweep, invoking `progress` after each measured size group.
 pub fn run_sweep_with(
     platform: &Platform,
     cfg: &SweepConfig,
@@ -109,20 +194,20 @@ pub fn run_sweep_with(
         let elems = bytes / Workload::ELEM;
         let w = Workload::every_other(elems);
         let pp = cfg.base.clone().adaptive(bytes);
-        let mut ref_time = f64::NAN;
+        let mut group: Vec<SweepPoint> = Vec::with_capacity(cfg.schemes.len());
         for &scheme in &cfg.schemes {
             let r = run_scheme(platform, scheme, &w, &pp);
-            let time = r.time();
-            if scheme == Scheme::Reference {
-                ref_time = time;
-            }
-            let p = SweepPoint {
+            group.push(SweepPoint {
                 scheme,
                 msg_bytes: w.msg_bytes(),
-                time,
+                time: r.time(),
                 bandwidth: r.bandwidth(),
-                slowdown: time / ref_time,
-            };
+                slowdown: f64::NAN,
+                status: PointStatus::Ok,
+            });
+        }
+        apply_slowdowns(&mut group);
+        for p in group {
             progress(&p);
             points.push(p);
         }
@@ -171,28 +256,143 @@ pub fn run_sweep_parallel(platform: &Platform, cfg: &SweepConfig, jobs: usize) -
         }
     });
 
-    // Assemble points with slowdowns in the canonical order.
+    // Assemble in canonical order, one size group at a time, so every
+    // group's slowdowns come from its own reference point.
     let mut points = Vec::with_capacity(work.len());
-    let mut ref_time = f64::NAN;
-    for (i, &(bytes, scheme)) in work.iter().enumerate() {
-        let (time, bandwidth) = results[i].lock().unwrap().expect("measured point");
-        if scheme == Scheme::Reference {
-            ref_time = time;
+    let mut i = 0;
+    while i < work.len() {
+        let bytes = work[i].0;
+        let mut group = Vec::new();
+        while i < work.len() && work[i].0 == bytes {
+            let (time, bandwidth) = results[i].lock().unwrap().expect("measured point");
+            group.push(SweepPoint {
+                scheme: work[i].1,
+                msg_bytes: bytes,
+                time,
+                bandwidth,
+                slowdown: f64::NAN,
+                status: PointStatus::Ok,
+            });
+            i += 1;
         }
-        points.push(SweepPoint {
-            scheme,
-            msg_bytes: bytes,
-            time,
-            bandwidth,
-            slowdown: time / ref_time,
-        });
+        apply_slowdowns(&mut group);
+        points.extend(group);
     }
     Sweep { platform: platform.id, points }
+}
+
+/// Robustness knobs of a [`run_sweep_resilient`] run.
+#[derive(Debug, Clone, Default)]
+pub struct Resilience {
+    /// Extra measurement attempts per point after the first one fails.
+    /// Retries re-seed the platform's fault plan deterministically
+    /// (`seed + attempt`), so transient chaos does not recur identically
+    /// while genuinely persistent faults still do.
+    pub retries: usize,
+    /// Write the sweep-so-far to this JSON file after every completed
+    /// size group (a checkpoint only ever contains finalized points).
+    pub checkpoint: Option<PathBuf>,
+    /// A prior partial sweep (e.g. parsed from a checkpoint): its Ok
+    /// points are reused instead of re-measured; Failed and Skipped
+    /// points are re-attempted.
+    pub resume: Option<Sweep>,
+    /// Stop measuring a scheme after this many of its points have
+    /// failed; its remaining points are marked Skipped without running.
+    /// `None` keeps trying every point.
+    pub skip_scheme_after: Option<usize>,
+}
+
+/// The platform for a given measurement attempt: attempt 0 runs the plan
+/// as configured, retries shift the fault seed so a transient schedule
+/// does not repeat verbatim.
+fn reseeded(platform: &Platform, attempt: usize) -> Platform {
+    let mut p = platform.clone();
+    if attempt > 0 {
+        if let Some(plan) = &mut p.fault {
+            plan.seed = plan.seed.wrapping_add(attempt as u64);
+        }
+    }
+    p
+}
+
+/// Run a fault-tolerant sweep: points that keep failing are recorded as
+/// [`PointStatus::Failed`] gaps rather than aborting the whole sweep, and
+/// progress survives a crash of the harness itself via the optional
+/// checkpoint file. Invokes `progress` after each finalized point.
+pub fn run_sweep_resilient_with(
+    platform: &Platform,
+    cfg: &SweepConfig,
+    res: &Resilience,
+    mut progress: impl FnMut(&SweepPoint),
+) -> Sweep {
+    let mut points: Vec<SweepPoint> = Vec::new();
+    let mut failures = vec![0usize; cfg.schemes.len()];
+    for bytes in cfg.sizes() {
+        let elems = bytes / Workload::ELEM;
+        let w = Workload::every_other(elems);
+        let pp = cfg.base.clone().adaptive(bytes);
+        let mut group: Vec<SweepPoint> = Vec::with_capacity(cfg.schemes.len());
+        for (si, &scheme) in cfg.schemes.iter().enumerate() {
+            if let Some(prev) = res
+                .resume
+                .as_ref()
+                .and_then(|s| s.get(scheme, w.msg_bytes()))
+                .filter(|p| p.status == PointStatus::Ok)
+            {
+                group.push(*prev);
+                continue;
+            }
+            if res.skip_scheme_after.is_some_and(|limit| failures[si] >= limit) {
+                group.push(SweepPoint::unmeasured(scheme, w.msg_bytes(), PointStatus::Skipped));
+                continue;
+            }
+            let mut measured = None;
+            for attempt in 0..=res.retries {
+                let p = reseeded(platform, attempt);
+                if let Ok(r) = try_run_scheme(&p, scheme, &w, &pp) {
+                    measured = Some((r.time(), r.bandwidth()));
+                    break;
+                }
+            }
+            group.push(match measured {
+                Some((time, bandwidth)) => SweepPoint {
+                    scheme,
+                    msg_bytes: w.msg_bytes(),
+                    time,
+                    bandwidth,
+                    slowdown: f64::NAN,
+                    status: PointStatus::Ok,
+                },
+                None => {
+                    failures[si] += 1;
+                    SweepPoint::unmeasured(scheme, w.msg_bytes(), PointStatus::Failed)
+                }
+            });
+        }
+        apply_slowdowns(&mut group);
+        for p in group {
+            progress(&p);
+            points.push(p);
+        }
+        if let Some(path) = &res.checkpoint {
+            let partial = Sweep { platform: platform.id, points: points.clone() };
+            if let Err(e) = std::fs::write(path, partial.to_checkpoint_json()) {
+                eprintln!("warning: could not write checkpoint {}: {e}", path.display());
+            }
+        }
+    }
+    Sweep { platform: platform.id, points }
+}
+
+/// [`run_sweep_resilient_with`] without a progress callback.
+pub fn run_sweep_resilient(platform: &Platform, cfg: &SweepConfig, res: &Resilience) -> Sweep {
+    run_sweep_resilient_with(platform, cfg, res, |_| {})
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nonctg_simnet::FaultPlan;
 
     fn quiet() -> Platform {
         let mut p = Platform::skx_impi();
@@ -224,6 +424,7 @@ mod tests {
         for s in [Scheme::Reference, Scheme::Copying, Scheme::VectorType] {
             assert_eq!(sweep.series(s).len(), 3);
         }
+        assert!(sweep.points.iter().all(|p| p.status == PointStatus::Ok));
     }
 
     #[test]
@@ -244,6 +445,41 @@ mod tests {
         }
     }
 
+    /// Regression: slowdowns must not depend on where Reference sits in
+    /// legend order (the old single-pass computation used a stale or
+    /// missing reference time when Reference was not first).
+    #[test]
+    fn slowdowns_independent_of_reference_position() {
+        let mut last_cfg = tiny_cfg();
+        last_cfg.schemes = vec![Scheme::Copying, Scheme::VectorType, Scheme::Reference];
+        let canonical = run_sweep(&quiet(), &tiny_cfg());
+        let reordered = run_sweep(&quiet(), &last_cfg);
+        for p in &reordered.points {
+            let q = canonical.get(p.scheme, p.msg_bytes).unwrap();
+            assert!(p.slowdown.is_finite(), "{} @ {}: NaN slowdown", p.scheme, p.msg_bytes);
+            assert_eq!(p.slowdown, q.slowdown, "{} @ {}", p.scheme, p.msg_bytes);
+        }
+        for p in reordered.series(Scheme::Reference) {
+            assert!((p.slowdown - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Without Reference in the scheme set, slowdowns are NaN — never a
+    /// stale value carried over from another size or scheme.
+    #[test]
+    fn missing_reference_yields_nan_slowdowns() {
+        let mut cfg = tiny_cfg();
+        cfg.schemes = vec![Scheme::Copying, Scheme::VectorType];
+        for sweep in [run_sweep(&quiet(), &cfg), run_sweep_parallel(&quiet(), &cfg, 4)] {
+            assert_eq!(sweep.points.len(), 6);
+            for p in &sweep.points {
+                assert_eq!(p.status, PointStatus::Ok);
+                assert!(p.time.is_finite());
+                assert!(p.slowdown.is_nan(), "{} @ {}: {}", p.scheme, p.msg_bytes, p.slowdown);
+            }
+        }
+    }
+
     #[test]
     fn progress_callback_fires_per_point() {
         let mut n = 0;
@@ -253,14 +489,19 @@ mod tests {
 
     #[test]
     fn parallel_sweep_matches_sequential() {
-        let seq = run_sweep(&quiet(), &tiny_cfg());
-        let par = run_sweep_parallel(&quiet(), &tiny_cfg(), 4);
+        // Reference deliberately NOT first: the parallel assembly must
+        // agree with the sequential path anyway.
+        let mut cfg = tiny_cfg();
+        cfg.schemes = vec![Scheme::Copying, Scheme::Reference, Scheme::VectorType];
+        let seq = run_sweep(&quiet(), &cfg);
+        let par = run_sweep_parallel(&quiet(), &cfg, 4);
         assert_eq!(seq.points.len(), par.points.len());
         for (a, b) in seq.points.iter().zip(par.points.iter()) {
             assert_eq!(a.scheme, b.scheme);
             assert_eq!(a.msg_bytes, b.msg_bytes);
             assert_eq!(a.time, b.time, "{} @ {}", a.scheme, a.msg_bytes);
             assert_eq!(a.slowdown, b.slowdown);
+            assert_eq!(a.status, b.status);
         }
     }
 
@@ -269,5 +510,177 @@ mod tests {
         let sweep = run_sweep(&quiet(), &tiny_cfg());
         let series = sweep.series(Scheme::Reference);
         assert!(series.last().unwrap().bandwidth > series.first().unwrap().bandwidth);
+    }
+
+    /// A persistent fault on one (rank, size band) marks exactly the
+    /// affected points Failed — the sweep completes, with gaps.
+    #[test]
+    fn resilient_sweep_marks_persistent_faults_failed() {
+        // Pings of 1024 payload bytes from rank 0 always fail; pongs are
+        // zero-byte so the other sizes are untouched.
+        let p = quiet().with_fault_plan(FaultPlan::quiet(5).with_persistent_failure(0, 1, 2048));
+        let mut cfg = tiny_cfg();
+        cfg.schemes = vec![Scheme::Reference, Scheme::Copying];
+        let res = Resilience { retries: 1, ..Resilience::default() };
+        let sweep = run_sweep_resilient(&p, &cfg, &res);
+        assert_eq!(sweep.points.len(), 6);
+        for point in &sweep.points {
+            if point.msg_bytes <= 2048 {
+                assert_eq!(point.status, PointStatus::Failed, "{point:?}");
+                assert!(point.time.is_nan() && point.slowdown.is_nan());
+                assert_eq!(point.bandwidth, 0.0);
+            } else {
+                assert_eq!(point.status, PointStatus::Ok, "{point:?}");
+                assert!(point.time.is_finite());
+            }
+        }
+    }
+
+    /// Resume re-runs only the points missing or failed in the prior
+    /// sweep; Ok points are reused verbatim without re-measuring. Reused
+    /// points carry a sentinel time, so any re-measured point is
+    /// detectable — the test counts exactly which points re-executed.
+    #[test]
+    fn resume_reruns_only_missing_points() {
+        const SENTINEL: f64 = 1e9;
+        let platform = quiet();
+        let cfg = tiny_cfg();
+        let full = run_sweep_resilient(&platform, &cfg, &Resilience::default());
+
+        // Prior run: drop one size group entirely, fail one point, and
+        // stamp everything that remains Ok with the sentinel.
+        let mut prior = full.clone();
+        prior.points.retain(|p| p.msg_bytes != 4096);
+        let fail_at = prior
+            .points
+            .iter()
+            .position(|p| p.scheme == Scheme::VectorType && p.msg_bytes == 1024)
+            .unwrap();
+        prior.points[fail_at] =
+            SweepPoint::unmeasured(Scheme::VectorType, 1024, PointStatus::Failed);
+        for p in &mut prior.points {
+            if p.status == PointStatus::Ok {
+                p.time = SENTINEL;
+            }
+        }
+
+        let res = Resilience { resume: Some(prior), ..Resilience::default() };
+        let resumed = run_sweep_resilient(&platform, &cfg, &res);
+
+        assert_eq!(resumed.points.len(), full.points.len());
+        let reexecuted: Vec<(Scheme, usize)> = resumed
+            .points
+            .iter()
+            .filter(|p| p.time != SENTINEL)
+            .map(|p| (p.scheme, p.msg_bytes))
+            .collect();
+        let expected: Vec<(Scheme, usize)> = full
+            .points
+            .iter()
+            .filter(|p| p.msg_bytes == 4096 || (p.scheme == Scheme::VectorType && p.msg_bytes == 1024))
+            .map(|p| (p.scheme, p.msg_bytes))
+            .collect();
+        assert_eq!(reexecuted, expected, "wrong set of points re-executed");
+        // Re-measured points agree bit-for-bit with the uninterrupted
+        // run (the simulator is deterministic); all points come back Ok.
+        for (a, b) in resumed.points.iter().zip(full.points.iter()) {
+            assert_eq!(a.status, PointStatus::Ok);
+            if a.time != SENTINEL {
+                assert_eq!(a.time, b.time, "{} @ {}", a.scheme, a.msg_bytes);
+            }
+        }
+    }
+
+    /// The resume path must not re-measure reused points: give the resumed
+    /// sweep doctored times and verify they survive verbatim.
+    #[test]
+    fn resume_does_not_remeasure_ok_points() {
+        let platform = quiet();
+        let mut cfg = tiny_cfg();
+        cfg.schemes = vec![Scheme::Reference, Scheme::Copying];
+        let mut prior = run_sweep_resilient(&platform, &cfg, &Resilience::default());
+        for p in &mut prior.points {
+            p.time = 42.0;
+            p.bandwidth = 7.0;
+        }
+        let res = Resilience { resume: Some(prior), ..Resilience::default() };
+        let resumed = run_sweep_resilient(&platform, &cfg, &res);
+        for p in &resumed.points {
+            assert_eq!(p.time, 42.0, "{} @ {} was re-measured", p.scheme, p.msg_bytes);
+            assert_eq!(p.bandwidth, 7.0);
+            // Slowdowns are recomputed from the (doctored) group times.
+            assert_eq!(p.slowdown, 1.0);
+        }
+    }
+
+    /// Checkpoints are written after every size group and the final file
+    /// round-trips through the resume path.
+    #[test]
+    fn checkpoint_file_tracks_progress_and_round_trips() {
+        let dir = std::env::temp_dir().join(format!("nonctg-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        let platform = quiet();
+        let mut cfg = tiny_cfg();
+        cfg.schemes = vec![Scheme::Reference, Scheme::Copying];
+        let res = Resilience { checkpoint: Some(path.clone()), ..Resilience::default() };
+        let sweep = run_sweep_resilient(&platform, &cfg, &res);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = Sweep::from_checkpoint_json(&text).unwrap();
+        assert_eq!(back.points.len(), sweep.points.len());
+        for (a, b) in back.points.iter().zip(sweep.points.iter()) {
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.msg_bytes, b.msg_bytes);
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.status, b.status);
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    /// skip_scheme_after stops burning retries on a scheme that keeps
+    /// failing: later sizes of that scheme come back Skipped.
+    #[test]
+    fn failing_scheme_is_skipped_after_budget() {
+        // Rank 0's sends of any size always fail → every scheme's pings
+        // fail, every point of every scheme fails or is skipped.
+        let p = quiet()
+            .with_fault_plan(FaultPlan::quiet(9).with_persistent_failure(0, 1, u64::MAX));
+        let mut cfg = tiny_cfg();
+        cfg.schemes = vec![Scheme::Copying];
+        let res = Resilience { skip_scheme_after: Some(1), ..Resilience::default() };
+        let sweep = run_sweep_resilient(&p, &cfg, &res);
+        let series = sweep.series(Scheme::Copying);
+        assert_eq!(series[0].status, PointStatus::Failed);
+        assert!(series[1..].iter().all(|pt| pt.status == PointStatus::Skipped), "{series:?}");
+    }
+
+    /// The same fault seed produces bit-identical resilient sweeps.
+    #[test]
+    fn resilient_sweep_deterministic_for_same_seed() {
+        let run = || {
+            let p = quiet().with_fault_plan(
+                FaultPlan::quiet(77).with_send_failures(0.05).with_delays(0.05, 5e-6),
+            );
+            let res = Resilience { retries: 2, ..Resilience::default() };
+            run_sweep_resilient(&p, &tiny_cfg(), &res)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.points.len(), b.points.len());
+        for (x, y) in a.points.iter().zip(b.points.iter()) {
+            assert_eq!(x.scheme, y.scheme);
+            assert_eq!(x.msg_bytes, y.msg_bytes);
+            assert_eq!(x.status, y.status);
+            assert!(
+                x.time == y.time || (x.time.is_nan() && y.time.is_nan()),
+                "{} @ {}: {} vs {}",
+                x.scheme,
+                x.msg_bytes,
+                x.time,
+                y.time
+            );
+        }
     }
 }

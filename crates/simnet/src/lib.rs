@@ -16,6 +16,7 @@
 mod clock;
 mod cost;
 mod explain;
+mod fault;
 mod jitter;
 mod platform;
 mod spec;
@@ -23,6 +24,10 @@ mod spec;
 pub use clock::{VirtualClock, WallClock};
 pub use cost::Access;
 pub use explain::{SendBreakdown, SendPath};
+pub use fault::{CrashPoint, FaultPlan, PersistentFault, SendFault};
 pub use jitter::Jitter;
-pub use platform::{CpuModel, MemModel, NetModel, Platform, PlatformId, ProtocolModel, RmaModel};
+pub use platform::{
+    CpuModel, MemModel, NetModel, Platform, PlatformId, ProtocolModel, RmaModel,
+    DEFAULT_DEADLOCK_TIMEOUT_S,
+};
 pub use spec::SpecError;

@@ -13,6 +13,11 @@
 use std::fmt;
 use std::str::FromStr;
 
+use crate::fault::FaultPlan;
+
+/// Default per-wait deadlock timeout, seconds.
+pub const DEFAULT_DEADLOCK_TIMEOUT_S: f64 = 60.0;
+
 /// Identifier of a modeled installation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlatformId {
@@ -187,9 +192,42 @@ pub struct Platform {
     pub jitter_sigma: f64,
     /// Seed for the jitter stream.
     pub seed: u64,
+    /// Injected fault schedule, if any. `None` disables fault injection
+    /// entirely; the presets all start fault-free.
+    pub fault: Option<FaultPlan>,
+    /// How long a rank may block on one fabric wait (message match,
+    /// barrier, rendezvous completion) before the watchdog declares a
+    /// deadlock, seconds. Overridable per run via the
+    /// `NONCTG_DEADLOCK_TIMEOUT` environment variable (see
+    /// [`Platform::effective_deadlock_timeout`]).
+    pub deadlock_timeout_s: f64,
 }
 
 impl Platform {
+    /// Builder: attach a fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Platform {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Builder: set the deadlock timeout in seconds.
+    pub fn with_deadlock_timeout(mut self, seconds: f64) -> Platform {
+        self.deadlock_timeout_s = seconds;
+        self
+    }
+
+    /// The deadlock timeout actually in force: the
+    /// `NONCTG_DEADLOCK_TIMEOUT` environment variable (seconds, float)
+    /// when set and parseable, else [`Platform::deadlock_timeout_s`].
+    /// Values are clamped below to 1 ms so a typo cannot make every wait
+    /// fail instantly.
+    pub fn effective_deadlock_timeout(&self) -> std::time::Duration {
+        let seconds = std::env::var("NONCTG_DEADLOCK_TIMEOUT")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(self.deadlock_timeout_s);
+        std::time::Duration::from_secs_f64(seconds.max(1e-3))
+    }
     /// Look up a platform preset by id.
     pub fn get(id: PlatformId) -> Platform {
         match id {
@@ -239,6 +277,8 @@ impl Platform {
             },
             jitter_sigma: 0.03,
             seed: 0x5b_1001,
+            fault: None,
+            deadlock_timeout_s: DEFAULT_DEADLOCK_TIMEOUT_S,
         }
     }
 
@@ -278,6 +318,8 @@ impl Platform {
             },
             jitter_sigma: 0.03,
             seed: 0x5b_1002,
+            fault: None,
+            deadlock_timeout_s: DEFAULT_DEADLOCK_TIMEOUT_S,
         }
     }
 
@@ -319,6 +361,8 @@ impl Platform {
             },
             jitter_sigma: 0.035,
             seed: 0x5b_1003,
+            fault: None,
+            deadlock_timeout_s: DEFAULT_DEADLOCK_TIMEOUT_S,
         }
     }
 
@@ -359,6 +403,8 @@ impl Platform {
             },
             jitter_sigma: 0.04,
             seed: 0x5b_1004,
+            fault: None,
+            deadlock_timeout_s: DEFAULT_DEADLOCK_TIMEOUT_S,
         }
     }
 }

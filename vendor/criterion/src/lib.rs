@@ -1,0 +1,259 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Provides the group/bencher API surface the workspace's benches use
+//! and reports median wall-clock time per iteration (plus throughput
+//! when declared) to stdout. No statistics engine, no HTML reports —
+//! just enough to keep `cargo bench` meaningful offline. Unknown CLI
+//! flags (e.g. `--quick`, test-harness flags) are accepted and ignored
+//! so `cargo bench -- --quick` and `cargo test --benches` both work.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    /// Upper bound on measuring time per benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { measure_for: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup { criterion: self, throughput: None, sample_size: 10 }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("(ungrouped)");
+        g.bench_function(name, f);
+        g.finish();
+    }
+}
+
+/// Declared work-per-iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time a closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.criterion.measure_for,
+            samples: self.sample_size,
+            per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        report(&id.to_string(), b.per_iter, self.throughput);
+        self
+    }
+
+    /// Time a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    let ns = per_iter.as_secs_f64() * 1e9;
+    match throughput {
+        Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
+            let gib = bytes as f64 / per_iter.as_secs_f64() / (1u64 << 30) as f64;
+            println!("  {id:<40} {ns:>12.1} ns/iter  {gib:>8.2} GiB/s");
+        }
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let meps = n as f64 / per_iter.as_secs_f64() / 1e6;
+            println!("  {id:<40} {ns:>12.1} ns/iter  {meps:>8.2} Melem/s");
+        }
+        _ => println!("  {id:<40} {ns:>12.1} ns/iter"),
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, recording the median-of-samples per-iteration
+    /// cost. Stops early once the measuring budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One warmup call, then timed samples.
+        std::hint::black_box(routine());
+        let mut samples = Vec::with_capacity(self.samples);
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(t0.elapsed());
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+        samples.sort();
+        self.per_iter = samples[samples.len() / 2];
+    }
+
+    /// Like [`Bencher::iter`] with untimed per-sample setup.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut samples = Vec::with_capacity(self.samples);
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(t0.elapsed());
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+        samples.sort();
+        self.per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Bundle benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups; CLI flags are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Swallow harness flags like `--quick` or `--bench`.
+            let _args: Vec<String> = std::env::args().collect();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(5);
+        g.throughput(Throughput::Bytes(1024));
+        let mut ran = 0u32;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box((0..100u64).sum::<u64>())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(ran >= 6, "warmup + samples should have run");
+    }
+
+    #[test]
+    fn iter_with_setup_separates_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("setup");
+        g.sample_size(3);
+        g.bench_function("clone_vec", |b| {
+            b.iter_with_setup(|| vec![1u8; 64], |v| v.len())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

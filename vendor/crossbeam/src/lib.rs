@@ -1,0 +1,109 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel` is provided, and only the pieces the
+//! runtime uses: `bounded` channels with `send` / `recv_timeout` /
+//! `try_recv`. Backed by `std::sync::mpsc::sync_channel`, which has the
+//! same bounded-rendezvous behaviour the fabric's reply channels need.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Sending half of a bounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// All senders dropped and the buffer is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Timeout elapsed with no message.
+        Timeout,
+        /// All senders dropped and the buffer is drained.
+        Disconnected,
+    }
+
+    /// Create a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued or the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block for at most `timeout` waiting for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Block until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+            self.inner.recv().map_err(|_| RecvTimeoutError::Disconnected)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_roundtrip() {
+        let (tx, rx) = bounded(1);
+        tx.send(41).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(41));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = bounded::<i32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

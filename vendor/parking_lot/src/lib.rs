@@ -1,0 +1,194 @@
+//! Minimal offline stand-in for the `parking_lot` crate.
+//!
+//! Wraps `std::sync` primitives behind `parking_lot`'s non-poisoning
+//! API: `lock()` returns a guard directly (no `Result`), and a panic
+//! while holding a lock does not wedge later lockers. That last point
+//! matters here — the supervised universe intentionally lets rank
+//! threads panic, and peers must still be able to take the fabric locks
+//! afterwards, so std poisoning is explicitly swallowed with
+//! `into_inner`.
+
+use std::sync::PoisonError;
+use std::time::Duration;
+
+/// A mutual-exclusion lock whose guard is returned without a `Result`.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]. The inner std guard lives in an `Option`
+/// only so [`Condvar::wait_for`] can temporarily take ownership of it;
+/// it is `Some` at every other moment.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until it is available. Poison from a
+    /// panicked holder is ignored, matching parking_lot semantics.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard { inner: Some(guard) }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.try_lock() {
+            Ok(v) => f.debug_tuple("Mutex").field(&&*v).finish(),
+            Err(_) => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+/// Result of a timed wait on a [`Condvar`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Block until notified, re-acquiring the lock before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard taken");
+        let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard taken");
+        let (inner, res) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        WaitTimeoutResult { timed_out: res.timed_out() }
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        let mut g = m.lock();
+        let t0 = Instant::now();
+        let r = c.wait_for(&mut g, Duration::from_millis(20));
+        assert!(r.timed_out());
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn poison_is_ignored() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn notify_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, c) = &*pair2;
+            let mut g = m.lock();
+            while !*g {
+                let r = c.wait_for(&mut g, Duration::from_secs(5));
+                assert!(!r.timed_out());
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (m, c) = &*pair;
+        *m.lock() = true;
+        c.notify_all();
+        h.join().unwrap();
+    }
+}

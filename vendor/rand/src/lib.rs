@@ -1,0 +1,117 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Provides `rngs::StdRng` with `SeedableRng::seed_from_u64` and
+//! `Rng::gen_range` over integer ranges — the surface `nonctg-schemes`
+//! uses to lay out irregular workloads. The generator is SplitMix64,
+//! which is deterministic per seed like the real `StdRng` (the exact
+//! stream differs from upstream, which callers must not rely on anyway).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can seed an [`Rng`] implementation.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling from a range, used by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform value in the range from `rng`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Core random-word source.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing random-value methods.
+pub trait Rng: RngCore + Sized {
+    /// Uniform value in `range` (half-open or inclusive integer range).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u128 + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(usize, u64, u32, u16, u8);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator (SplitMix64 under the hood).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5usize..=9);
+            assert!((5..=9).contains(&v));
+            let w = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&w));
+        }
+    }
+
+    #[test]
+    fn inclusive_zero_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(rng.gen_range(0usize..=0), 0);
+    }
+}
