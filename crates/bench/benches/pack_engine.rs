@@ -5,7 +5,9 @@
 //! within a small factor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use nonctg_datatype::{as_bytes, pack_into, ArrayOrder, Datatype};
+use nonctg_datatype::{
+    as_bytes, pack_into, pack_into_uncompiled, pack_threads, ArrayOrder, Datatype, PackPlan,
+};
 use std::hint::black_box;
 
 fn hand_gather_stride2(src: &[f64], dst: &mut [f64]) {
@@ -79,6 +81,83 @@ fn bench_pack_paths(c: &mut Criterion) {
     g.finish();
 }
 
+/// Compiled plan (cached kernel program) vs. the per-call uncompiled
+/// engine, across the paper's three non-contiguous shapes.
+fn bench_plan_vs_uncompiled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_vs_uncompiled");
+    g.sample_size(20);
+    for &n in &[1usize << 12, 1 << 16, 1 << 20] {
+        let src: Vec<f64> = (0..2 * n).map(|i| i as f64).collect();
+        let vec_t = Datatype::vector(n, 1, 2, &Datatype::f64()).unwrap().commit();
+        let mut out = vec![0u8; n * 8];
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("strided_uncompiled", n), &n, |b, _| {
+            b.iter(|| {
+                pack_into_uncompiled(black_box(as_bytes(&src)), 0, &vec_t, 1, &mut out).unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("strided_plan_cached", n), &n, |b, _| {
+            b.iter(|| {
+                pack_into(black_box(as_bytes(&src)), 0, &vec_t, 1, &mut out).unwrap()
+            });
+        });
+    }
+
+    // Subarray and struct shapes at 2^16 elements.
+    let n = 1usize << 16;
+    let src: Vec<f64> = (0..2 * n).map(|i| i as f64).collect();
+    let mut out = vec![0u8; n * 8];
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    let sub_t = Datatype::subarray(&[n / 64, 128], &[n / 64, 64], &[0, 32], ArrayOrder::C, &Datatype::f64())
+        .unwrap()
+        .commit();
+    g.bench_function("subarray_uncompiled", |b| {
+        b.iter(|| pack_into_uncompiled(black_box(as_bytes(&src)), 0, &sub_t, 1, &mut out).unwrap());
+    });
+    g.bench_function("subarray_plan_cached", |b| {
+        b.iter(|| pack_into(black_box(as_bytes(&src)), 0, &sub_t, 1, &mut out).unwrap());
+    });
+    let st_t = Datatype::structure(&[(1, 0, Datatype::i32()), (1, 8, Datatype::f64())])
+        .unwrap()
+        .commit();
+    let st_count = n * 8 / 12;
+    let st_src: Vec<u8> = (0..st_count * 16).map(|i| i as u8).collect();
+    g.throughput(Throughput::Bytes((st_count * 12) as u64));
+    g.bench_function("struct_uncompiled", |b| {
+        b.iter(|| {
+            pack_into_uncompiled(black_box(&st_src), 0, &st_t, st_count, &mut out).unwrap()
+        });
+    });
+    g.bench_function("struct_plan_cached", |b| {
+        b.iter(|| pack_into(black_box(&st_src), 0, &st_t, st_count, &mut out).unwrap());
+    });
+    g.finish();
+}
+
+/// Partitioned parallel pack: one worker vs. the configured pool on a
+/// 64 MB strided payload. On a single-core runner the two coincide; the
+/// >= 1.5x win needs a multi-core machine.
+fn bench_pack_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack_threads");
+    g.sample_size(10);
+    let n = 8usize << 20; // 8M f64 = 64 MB packed out of a 128 MB source
+    let src: Vec<f64> = (0..2 * n).map(|i| i as f64).collect();
+    let vec_t = Datatype::vector(n, 1, 2, &Datatype::f64()).unwrap();
+    let plan = PackPlan::compile(&vec_t, 1).unwrap();
+    let mut out = vec![0u8; n * 8];
+    let workers = pack_threads().max(2);
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    g.bench_function("threads_1", |b| {
+        b.iter(|| plan.pack_into_with(black_box(as_bytes(&src)), 0, &mut out, 1).unwrap());
+    });
+    g.bench_function(format!("threads_{workers}"), |b| {
+        b.iter(|| {
+            plan.pack_into_with(black_box(as_bytes(&src)), 0, &mut out, workers).unwrap()
+        });
+    });
+    g.finish();
+}
+
 fn bench_unpack(c: &mut Criterion) {
     let mut g = c.benchmark_group("unpack");
     g.sample_size(20);
@@ -95,5 +174,12 @@ fn bench_unpack(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pack_vs_hand_loop, bench_pack_paths, bench_unpack);
+criterion_group!(
+    benches,
+    bench_pack_vs_hand_loop,
+    bench_pack_paths,
+    bench_plan_vs_uncompiled,
+    bench_pack_threads,
+    bench_unpack
+);
 criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Baseline wall-clock pack throughput, recorded as `BENCH_pack.json`.
+//!
+//! Measures the public (plan-cached) pack engine on the three
+//! non-contiguous shapes the paper sweeps — strided vector, 2-D
+//! subarray, and a mixed struct — at 1 KB, 1 MB and 64 MB packed
+//! payloads, and writes bytes/sec per shape so later changes to the
+//! engine can be compared against a committed reference point.
+//!
+//! Usage: `pack_baseline [OUT.json]` (default `BENCH_pack.json`).
+
+use nonctg_datatype::{as_bytes, pack_into, pack_size, ArrayOrder, Datatype};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Case {
+    shape: &'static str,
+    dtype: Datatype,
+    count: usize,
+    src: Vec<u8>,
+}
+
+fn strided(packed: usize) -> Case {
+    let n = packed / 8;
+    let src: Vec<f64> = (0..2 * n).map(|i| i as f64).collect();
+    Case {
+        shape: "strided",
+        dtype: Datatype::vector(n, 1, 2, &Datatype::f64()).unwrap().commit(),
+        count: 1,
+        src: as_bytes(&src).to_vec(),
+    }
+}
+
+fn subarray(packed: usize) -> Case {
+    // Half the columns of a rows x 128 f64 matrix: packed = rows * 64 * 8.
+    let rows = (packed / 512).max(1);
+    let src: Vec<f64> = (0..rows * 128).map(|i| i as f64).collect();
+    Case {
+        shape: "subarray",
+        dtype: Datatype::subarray(&[rows, 128], &[rows, 64], &[0, 32], ArrayOrder::C, &Datatype::f64())
+            .unwrap()
+            .commit(),
+        count: 1,
+        src: as_bytes(&src).to_vec(),
+    }
+}
+
+fn structure(packed: usize) -> Case {
+    // One i32 + one f64 per instance: 12 packed bytes out of a 16-byte extent.
+    let count = (packed / 12).max(1);
+    let src: Vec<u8> = (0..count * 16).map(|i| i as u8).collect();
+    Case {
+        shape: "struct",
+        dtype: Datatype::structure(&[(1, 0, Datatype::i32()), (1, 8, Datatype::f64())])
+            .unwrap()
+            .commit(),
+        count,
+        src,
+    }
+}
+
+/// Mean seconds per pack over enough repetitions to fill ~0.3 s of
+/// wall-clock, after one untimed warm-up (which also compiles the plan).
+fn measure(case: &Case, out: &mut [u8]) -> f64 {
+    pack_into(&case.src, 0, &case.dtype, case.count, out).unwrap();
+    let mut iters = 1usize;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(pack_into(black_box(&case.src), 0, &case.dtype, case.count, out).unwrap());
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        if secs >= 0.3 || iters >= 1 << 20 {
+            return secs / iters as f64;
+        }
+        iters = (iters * 2).max((iters as f64 * 0.35 / secs.max(1e-9)) as usize);
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pack.json".into());
+    let sizes = [("1KB", 1usize << 10), ("1MB", 1 << 20), ("64MB", 64 << 20)];
+    let mut entries: Vec<String> = Vec::new();
+
+    for (label, bytes) in sizes {
+        for case in [strided(bytes), subarray(bytes), structure(bytes)] {
+            let packed = pack_size(&case.dtype, case.count).unwrap();
+            let mut out = vec![0u8; packed];
+            let secs = measure(&case, &mut out);
+            let bps = packed as f64 / secs;
+            println!(
+                "{:>8} {:>5}  {:>12} B packed  {:>10.3e} s/pack  {:>9.3} MB/s",
+                case.shape,
+                label,
+                packed,
+                secs,
+                bps / 1e6
+            );
+            entries.push(format!(
+                "    {{\"shape\": \"{}\", \"payload\": \"{}\", \"packed_bytes\": {}, \"seconds_per_pack\": {:.6e}, \"bytes_per_sec\": {:.6e}}}",
+                case.shape, label, packed, secs, bps
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pack_baseline\",\n  \"engine\": \"compiled-plan\",\n  \"threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        nonctg_datatype::pack_threads(),
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write baseline json");
+    println!("wrote {out_path}");
+}

@@ -158,10 +158,13 @@ impl Comm {
         tag: i32,
     ) -> Result<usize> {
         // Two-phase: match any source, then place by the status source.
-        let mut staging = vec![0u8; n * std::mem::size_of::<T>()];
-        let st = self.recv_bytes_as::<T>(&mut staging, None, Some(tag))?;
-        let off = st.source * n * std::mem::size_of::<T>();
-        bytes[off..off + staging.len()].copy_from_slice(&staging);
+        // Staged in the communicator's reusable scratch buffer.
+        let nbytes = n * std::mem::size_of::<T>();
+        let mut staging = self.take_scratch(nbytes);
+        let st = self.recv_bytes_as::<T>(&mut staging[..nbytes], None, Some(tag))?;
+        let off = st.source * nbytes;
+        bytes[off..off + nbytes].copy_from_slice(&staging[..nbytes]);
+        self.put_scratch(staging);
         Ok(st.source)
     }
 
@@ -194,38 +197,26 @@ impl Comm {
         let tag = COLL_TAG + 5;
         if self.rank() == root {
             recv[displs[root]..displs[root] + counts[root]].copy_from_slice(send);
+            // Stage each contribution by source in the reusable scratch
+            // buffer, then place it at that source's displacement. The
+            // payload length tells us nothing we don't already know from
+            // counts, but the source drives placement.
+            let sz = std::mem::size_of::<T>();
+            let max_bytes = counts.iter().copied().max().unwrap_or(0) * sz;
             for _ in 0..size - 1 {
-                // Stage by source, then place at that source's displacement.
-                let probe_all = self.recv_any_staged::<T>(counts, tag)?;
-                let (src, data) = probe_all;
-                recv[displs[src]..displs[src] + counts[src]].copy_from_slice(&data);
+                let mut staging = self.take_scratch(max_bytes);
+                let st = self.recv_bytes_as::<T>(&mut staging[..max_bytes], None, Some(tag))?;
+                let src = st.source;
+                assert_eq!(st.bytes, counts[src] * sz, "gatherv: count mismatch from {src}");
+                let off = displs[src] * sz;
+                as_bytes_mut(recv)[off..off + counts[src] * sz]
+                    .copy_from_slice(&staging[..counts[src] * sz]);
+                self.put_scratch(staging);
             }
             Ok(())
         } else {
             self.send_slice(send, root, tag)
         }
-    }
-
-    /// Receive one contribution from any source into a staging vector.
-    fn recv_any_staged<T: Scalar>(
-        &mut self,
-        counts: &[usize],
-        tag: i32,
-    ) -> Result<(usize, Vec<T>)> {
-        // Match any source; the payload length tells us nothing we don't
-        // already know from counts, but the source drives placement.
-        let max_count = counts.iter().copied().max().unwrap_or(0);
-        let mut staging = vec![send_default::<T>(); max_count];
-        let st = {
-            let bytes = nonctg_datatype::as_bytes_mut(&mut staging);
-            let t = nonctg_datatype::Datatype::of::<T>();
-            let n = max_count;
-            self.recv(bytes, 0, &t, n, None, Some(tag))?
-        };
-        let n = st.bytes / std::mem::size_of::<T>();
-        staging.truncate(n);
-        assert_eq!(n, counts[st.source], "gatherv: count mismatch from {}", st.source);
-        Ok((st.source, staging))
     }
 
     /// Variable-count scatter (`MPI_Scatterv`): rank `r` receives

@@ -48,6 +48,9 @@ pub struct Comm {
     pub(crate) bsend: Option<crate::p2p::BsendBuffer>,
     pub(crate) next_win_id: usize,
     pub(crate) tracer: Tracer,
+    /// Rank-local growable staging buffer, reused across collective calls
+    /// (gather/gatherv receive staging) instead of allocating per receive.
+    pub(crate) scratch: Vec<u8>,
 }
 
 impl Comm {
@@ -68,6 +71,26 @@ impl Comm {
             bsend: None,
             next_win_id: 0,
             tracer: Tracer::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Take the rank-local scratch buffer, grown (never shrunk) to at
+    /// least `len` bytes. Return it with [`Comm::put_scratch`] so the
+    /// allocation is reused by the next caller. Taking instead of
+    /// borrowing keeps `&mut self` free for the operation that fills it.
+    pub(crate) fn take_scratch(&mut self, len: usize) -> Vec<u8> {
+        let mut s = std::mem::take(&mut self.scratch);
+        if s.len() < len {
+            s.resize(len, 0);
+        }
+        s
+    }
+
+    /// Return a buffer taken with [`Comm::take_scratch`].
+    pub(crate) fn put_scratch(&mut self, s: Vec<u8>) {
+        if s.capacity() > self.scratch.capacity() {
+            self.scratch = s;
         }
     }
 
@@ -358,6 +381,7 @@ impl Comm {
             bsend: None,
             next_win_id: 0,
             tracer: Tracer::default(),
+            scratch: Vec::new(),
         }))
     }
 

@@ -216,7 +216,11 @@ impl Comm {
         );
         let op = sup.next_op(me);
 
-        // Real data movement: stage the payload contiguously.
+        // Real data movement: stage the payload contiguously. The type is
+        // committed, so this runs the cached compiled plan and fills the
+        // staging Vec's reserved capacity directly (no zeroing memset);
+        // ownership of the staging then moves into the message, so the
+        // allocation itself cannot be pooled here.
         let mut packed = dt::pack(buf, origin, dtype, count)?;
         if let Some(plan) = &p.fault {
             if plan.should_crash(me, op) {

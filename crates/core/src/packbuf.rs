@@ -19,6 +19,16 @@ impl Comm {
         Ok(dt::pack_size(dtype, count)?)
     }
 
+    /// Warm the compiled pack-plan cache for `(dtype, count)` without
+    /// moving data or advancing virtual time.
+    ///
+    /// Call before a timed loop so the first timed pack/send does not pay
+    /// plan compilation — a wall-clock-only effect; the virtual-time cost
+    /// model charges identically either way.
+    pub fn pack_prepare(&self, dtype: &Datatype, count: usize) {
+        let _ = dt::plan_for(dtype, count);
+    }
+
     /// Pack `count` instances of `dtype` (read from `src` at byte
     /// `origin`) into `outbuf`, advancing `position` (`MPI_Pack`).
     ///
@@ -65,8 +75,10 @@ impl Comm {
     ) -> Result<()> {
         elem.require_committed()?;
         let sz = elem.size() as usize;
-        // Real data movement, identical to n individual packs.
-        let strided = Datatype::hvector(n, 1, stride_bytes as i64, elem)?.commit();
+        // Real data movement, identical to n individual packs. Left
+        // uncommitted on purpose: a fresh type per call would churn the
+        // compiled-plan cache; the uncompiled strided path is used instead.
+        let strided = Datatype::hvector(n, 1, stride_bytes as i64, elem)?;
         dt::pack_with_position(src, first_origin, &strided, 1, outbuf, position)?;
         // Virtual time: n library calls, each gathering one element. A
         // single element of a primitive type classifies as contiguous,

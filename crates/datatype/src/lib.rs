@@ -39,12 +39,16 @@ mod segiter;
 mod signature;
 
 pub mod pack;
+pub mod plan;
 
 pub use error::{DatatypeError, Result};
 pub use node::{ArrayOrder, Block, Datatype, Kind, StructField};
 pub use pack::{
-    pack, pack_into, pack_size, pack_with_position, strided_form, unpack_from,
-    unpack_with_position, Strided,
+    pack, pack_into, pack_into_uncompiled, pack_size, pack_with_position, strided_form,
+    unpack_from, unpack_from_uncompiled, unpack_with_position, Strided,
+};
+pub use plan::{
+    pack_threads, parallel_threshold, plan_cache_stats, plan_for, PackPlan, PlanCacheStats,
 };
 pub use darray::{DistArg, Distribution};
 pub use describe::{layout_eq, TypeMapEntry};

@@ -6,7 +6,7 @@
 //! construction and cached on the node, so queries are O(1) regardless of
 //! how deeply types are nested.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crate::error::{DatatypeError, Result};
@@ -108,6 +108,14 @@ pub struct TypeNode {
     pub(crate) flattened: OnceLock<Option<Arc<[Block]>>>,
     /// Depth of the type tree (primitives are depth 1).
     pub(crate) depth: u32,
+    /// Process-unique node id; keys the compiled pack-plan cache.
+    pub(crate) uid: u64,
+}
+
+/// Next process-unique [`TypeNode`] id.
+fn next_uid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// A handle on an immutable derived-datatype tree.
@@ -230,6 +238,7 @@ impl TypeNode {
                     committed: AtomicBool::new(true),
                     flattened: OnceLock::new(),
                     depth: 1,
+                    uid: next_uid(),
                     kind: kind.clone(),
                 }
             }
@@ -286,6 +295,7 @@ impl TypeNode {
                     committed: AtomicBool::new(false),
                     flattened: OnceLock::new(),
                     depth: child.node.depth + 1,
+                    uid: next_uid(),
                     kind: kind.clone(),
                 }
             }
@@ -367,6 +377,7 @@ impl TypeNode {
             committed: AtomicBool::new(false),
             flattened: OnceLock::new(),
             depth: c.depth + 1,
+            uid: next_uid(),
             kind: kind.clone(),
         })
     }
@@ -446,6 +457,7 @@ impl TypeNode {
             committed: AtomicBool::new(false),
             flattened: OnceLock::new(),
             depth: depth + 1,
+            uid: next_uid(),
             kind: kind.clone(),
         })
     }
@@ -564,6 +576,7 @@ impl TypeNode {
             committed: AtomicBool::new(false),
             flattened: OnceLock::new(),
             depth: c.depth + 1,
+            uid: next_uid(),
             kind: kind.clone(),
         })
     }
@@ -713,6 +726,14 @@ impl Datatype {
     /// Structural pointer equality (same node).
     pub fn same_type(&self, other: &Datatype) -> bool {
         Arc::ptr_eq(&self.node, &other.node)
+    }
+
+    /// Process-unique id of the root node. Clones of the same handle share
+    /// an id; structurally equal but separately built types do not. Keys
+    /// the compiled pack-plan cache.
+    #[inline]
+    pub fn type_id(&self) -> u64 {
+        self.node.uid
     }
 }
 

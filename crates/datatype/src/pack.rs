@@ -267,7 +267,28 @@ fn strided_scatter_fixed<const BL: usize>(
 
 /// Pack `count` instances of `dtype` read from `src` (instance 0 origin at
 /// byte `origin`) into `dst`. Returns the number of packed bytes written.
+///
+/// Committed types go through the compiled-plan engine (see
+/// [`crate::plan`]): the kernel program is fetched from the bounded plan
+/// cache (compiled on first use) and executed, parallelized for large
+/// payloads. Everything else falls back to [`pack_into_uncompiled`].
 pub fn pack_into(
+    src: &[u8],
+    origin: usize,
+    dtype: &Datatype,
+    count: usize,
+    dst: &mut [u8],
+) -> Result<usize> {
+    if let Some(plan) = crate::plan::plan_for(dtype, count) {
+        return plan.pack_into(src, origin, dst);
+    }
+    pack_into_uncompiled(src, origin, dtype, count, dst)
+}
+
+/// The uncompiled reference engine: selects the contiguous / strided /
+/// generic path per call without consulting the plan cache. Kept public
+/// for benches and differential tests against the compiled engine.
+pub fn pack_into_uncompiled(
     src: &[u8],
     origin: usize,
     dtype: &Datatype,
@@ -337,7 +358,23 @@ pub fn pack_into(
 
 /// Unpack `count` instances of `dtype` from `packed` into the user buffer
 /// `dst` (instance 0 origin at byte `origin`). Returns bytes consumed.
+///
+/// Committed types use the compiled-plan engine; see [`pack_into`].
 pub fn unpack_from(
+    packed: &[u8],
+    dtype: &Datatype,
+    count: usize,
+    dst: &mut [u8],
+    origin: usize,
+) -> Result<usize> {
+    if let Some(plan) = crate::plan::plan_for(dtype, count) {
+        return plan.unpack_from(packed, dst, origin);
+    }
+    unpack_from_uncompiled(packed, dtype, count, dst, origin)
+}
+
+/// Uncompiled reference unpack; counterpart of [`pack_into_uncompiled`].
+pub fn unpack_from_uncompiled(
     packed: &[u8],
     dtype: &Datatype,
     count: usize,
@@ -413,10 +450,21 @@ pub fn unpack_from(
 }
 
 /// Convenience: pack into a fresh `Vec`.
+///
+/// The output is built in reserved capacity filled directly by the pack
+/// engine — no zero-initializing memset of `total` bytes beforehand.
 pub fn pack(src: &[u8], origin: usize, dtype: &Datatype, count: usize) -> Result<Vec<u8>> {
     let total = pack_size(dtype, count)?;
-    let mut out = vec![0u8; total];
-    pack_into(src, origin, dtype, count, &mut out)?;
+    let mut out = Vec::with_capacity(total);
+    // SAFETY: `spare` views the reserved capacity. Every engine path only
+    // ever *writes* through the destination slice (memcpy-style), never
+    // reads it, and `set_len` runs only after a successful pack has
+    // written all `total` bytes; on error the Vec keeps length 0.
+    let spare = unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr(), total) };
+    let written = pack_into(src, origin, dtype, count, spare)?;
+    debug_assert_eq!(written, total);
+    // SAFETY: `written == total` bytes of the capacity are initialized.
+    unsafe { out.set_len(written) };
     Ok(out)
 }
 
