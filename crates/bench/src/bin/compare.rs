@@ -5,10 +5,13 @@
 //! ```text
 //! cargo run --release -p nonctg-bench --bin compare -- old/fig1.csv new/fig1.csv
 //! cargo run --release -p nonctg-bench --bin compare -- a.csv b.csv --tolerance 0.1
+//! cargo run --release -p nonctg-bench --bin compare -- old/phases_fig1.csv new/phases_fig1.csv --phases
 //! ```
 //!
 //! Exits nonzero if any (scheme, size) time ratio leaves
-//! `[1-tolerance, 1+tolerance]`.
+//! `[1-tolerance, 1+tolerance]`. With `--phases` the inputs are
+//! phase-attribution CSVs and every phase column (pack/transfer/sync/
+//! unpack) is compared instead of just the total time.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -16,9 +19,9 @@ use std::process::ExitCode;
 use nonctg_report::csv::parse_csv;
 use nonctg_report::{fmt_bytes, Table};
 
-type Key = (String, usize); // (scheme, msg_bytes)
+type Key = (String, usize, &'static str); // (scheme, msg_bytes, metric column)
 
-fn load(path: &str) -> Result<BTreeMap<Key, f64>, String> {
+fn load(path: &str, metrics: &[&'static str]) -> Result<BTreeMap<Key, f64>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut rows = parse_csv(&text);
     if rows.is_empty() {
@@ -31,13 +34,17 @@ fn load(path: &str) -> Result<BTreeMap<Key, f64>, String> {
             .position(|h| h == name)
             .ok_or_else(|| format!("{path}: missing column '{name}'"))
     };
-    let (c_scheme, c_bytes, c_time) = (col("scheme")?, col("msg_bytes")?, col("time_s")?);
+    let (c_scheme, c_bytes) = (col("scheme")?, col("msg_bytes")?);
+    let c_metrics: Vec<(usize, &'static str)> =
+        metrics.iter().map(|&m| col(m).map(|c| (c, m))).collect::<Result<_, _>>()?;
     let mut out = BTreeMap::new();
     for r in rows {
         let scheme = r[c_scheme].clone();
         let bytes: usize = r[c_bytes].parse().map_err(|e| format!("{path}: {e}"))?;
-        let time: f64 = r[c_time].parse().map_err(|e| format!("{path}: {e}"))?;
-        out.insert((scheme, bytes), time);
+        for &(c, m) in &c_metrics {
+            let v: f64 = r[c].parse().map_err(|e| format!("{path}: {e}"))?;
+            out.insert((scheme.clone(), bytes, m), v);
+        }
     }
     Ok(out)
 }
@@ -46,6 +53,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut tolerance = 0.05f64;
+    let mut phases = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -58,18 +66,24 @@ fn main() -> ExitCode {
                         std::process::exit(2);
                     })
             }
+            "--phases" => phases = true,
             "--help" | "-h" => {
-                eprintln!("usage: compare <old.csv> <new.csv> [--tolerance F]");
+                eprintln!("usage: compare <old.csv> <new.csv> [--tolerance F] [--phases]");
                 return ExitCode::from(2);
             }
             f => files.push(f.to_string()),
         }
     }
     if files.len() != 2 {
-        eprintln!("usage: compare <old.csv> <new.csv> [--tolerance F]");
+        eprintln!("usage: compare <old.csv> <new.csv> [--tolerance F] [--phases]");
         return ExitCode::from(2);
     }
-    let (old, new) = match (load(&files[0]), load(&files[1])) {
+    let metrics: &[&'static str] = if phases {
+        &["time_s", "pack_s", "transfer_s", "sync_s", "unpack_s"]
+    } else {
+        &["time_s"]
+    };
+    let (old, new) = match (load(&files[0], metrics), load(&files[1], metrics)) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("{e}");
@@ -77,7 +91,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut t = Table::new(["scheme", "size", "old", "new", "ratio", ""]);
+    let mut t = Table::new(["scheme", "size", "metric", "old", "new", "ratio", ""]);
     let mut worst: f64 = 1.0;
     let mut drifted = 0usize;
     let mut missing = 0usize;
@@ -85,16 +99,19 @@ fn main() -> ExitCode {
         match new.get(key) {
             None => missing += 1,
             Some(&t_new) => {
-                let ratio = t_new / t_old;
+                // Phase columns can be exactly zero (e.g. sync on a
+                // contiguous send); identical zeros are never drift.
+                let ratio = if t_old == t_new { 1.0 } else { t_new / t_old };
                 let flag = if (ratio - 1.0).abs() > tolerance { "DRIFT" } else { "" };
                 if !flag.is_empty() {
                     drifted += 1;
-                    if (ratio - 1.0).abs() > (worst - 1.0).abs() {
+                    if (ratio - 1.0).abs() > (worst - 1.0).abs() || !ratio.is_finite() {
                         worst = ratio;
                     }
                     t.row([
                         key.0.clone(),
                         fmt_bytes(key.1),
+                        key.2.to_string(),
                         format!("{t_old:.3e}"),
                         format!("{t_new:.3e}"),
                         format!("{ratio:.3}"),

@@ -3,10 +3,16 @@
 //!
 //! ```text
 //! cargo run --release -p nonctg-bench --bin explain -- --platform skx-impi
+//! cargo run --release -p nonctg-bench --bin explain -- --phases   # measured, not modeled
 //! ```
+//!
+//! With `--phases` the analytic table is followed by a *measured* phase
+//! table: every scheme is run with tracing on and its ping-pong time is
+//! attributed to pack / transfer / sync / unpack from the event stream.
 
 use nonctg_bench::Options;
-use nonctg_report::{fmt_bytes, Table};
+use nonctg_report::{fmt_bytes, fmt_time, Table};
+use nonctg_schemes::{run_scheme_phases, PingPongConfig, Scheme, Workload};
 use nonctg_simnet::{Access, SendPath};
 
 fn main() {
@@ -51,5 +57,44 @@ fn main() {
         println!("{}", t.render());
         println!("  (all columns in microseconds; 'x wire' = total over latency+wire,");
         println!("   the paper's proportionality constant)\n");
+
+        if opts.phases {
+            let cfg = PingPongConfig { reps: opts.reps, verify: !opts.no_verify, ..Default::default() };
+            for &bytes in &[4usize << 10, 1 << 20] {
+                let w = Workload::every_other(bytes / Workload::ELEM);
+                println!(
+                    "== measured phases on {} at {} (traced ping-pong) ==",
+                    platform.id,
+                    fmt_bytes(w.msg_bytes())
+                );
+                let mut t =
+                    Table::new(["scheme", "total", "pack", "transfer", "sync", "unpack"]);
+                for scheme in Scheme::ALL {
+                    match run_scheme_phases(&platform, scheme, &w, &cfg) {
+                        Ok(p) => {
+                            t.row([
+                                scheme.label().to_string(),
+                                fmt_time(p.time),
+                                fmt_time(p.phases.pack),
+                                fmt_time(p.phases.transfer),
+                                fmt_time(p.phases.sync),
+                                fmt_time(p.phases.unpack),
+                            ]);
+                        }
+                        Err(e) => {
+                            t.row([
+                                scheme.label().to_string(),
+                                format!("failed: {e}"),
+                                String::new(),
+                                String::new(),
+                                String::new(),
+                                String::new(),
+                            ]);
+                        }
+                    }
+                }
+                println!("{}", t.render());
+            }
+        }
     }
 }

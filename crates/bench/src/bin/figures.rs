@@ -9,11 +9,11 @@
 
 use std::time::Instant;
 
-use nonctg_bench::{ascii_figure, write_figure, Options};
+use nonctg_bench::{ascii_figure, write_figure, write_observability, write_phases, Options};
 use nonctg_report::{fmt_bytes, fmt_time, Table};
 use nonctg_schemes::{
-    run_sweep_parallel, run_sweep_resilient_with, run_sweep_with, PointStatus, Resilience, Scheme,
-    Sweep, SweepPoint,
+    run_phase_sweep_with, run_sweep_parallel, run_sweep_resilient_with, run_sweep_with,
+    PointStatus, Resilience, Scheme, Sweep, SweepPoint,
 };
 
 fn progress_line(p: &SweepPoint) {
@@ -127,5 +127,33 @@ fn main() {
         if opts.ascii {
             println!("{}", ascii_figure(&sweep));
         }
+
+        if opts.phases {
+            eprintln!("  attributing phases...");
+            let ps = run_phase_sweep_with(&platform, &cfg, |p| {
+                eprintln!(
+                    "  {:>10}  {:<12} pack {:>10} xfer {:>10} sync {:>10} unpack {:>10}",
+                    fmt_bytes(p.msg_bytes),
+                    p.scheme.key(),
+                    fmt_time(p.phases.pack),
+                    fmt_time(p.phases.transfer),
+                    fmt_time(p.phases.sync),
+                    fmt_time(p.phases.unpack),
+                );
+            });
+            let csv = write_phases(&opts.out_dir, &stem, &ps);
+            eprintln!("  wrote {} (+ .json)", csv.display());
+        }
+    }
+
+    // The instrumented trace/metrics run is a single two-rank ping-pong,
+    // independent of the sweeps above; run it once on the first platform.
+    if let Some(platform) = opts.platforms().first() {
+        write_observability(
+            platform,
+            opts.trace_out.as_deref(),
+            opts.metrics_out.as_deref(),
+            opts.ascii,
+        );
     }
 }

@@ -81,6 +81,10 @@ fn main() {
     let sizes = [("1KB", 1usize << 10), ("1MB", 1 << 20), ("64MB", 64 << 20)];
     let mut entries: Vec<String> = Vec::new();
 
+    // Start the plan-cache counters from zero so the recorded stats
+    // describe exactly this run.
+    nonctg_datatype::reset_cache_stats();
+
     for (label, bytes) in sizes {
         for case in [strided(bytes), subarray(bytes), structure(bytes)] {
             let packed = pack_size(&case.dtype, case.count).unwrap();
@@ -102,9 +106,15 @@ fn main() {
         }
     }
 
+    let cache = nonctg_datatype::cache_stats();
     let json = format!(
-        "{{\n  \"bench\": \"pack_baseline\",\n  \"engine\": \"compiled-plan\",\n  \"threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"pack_baseline\",\n  \"engine\": \"compiled-plan\",\n  \"threads\": {},\n  \"plan_cache\": {{\"size\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"compile_s\": {:.6e}}},\n  \"results\": [\n{}\n  ]\n}}\n",
         nonctg_datatype::pack_threads(),
+        cache.size,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.compile_nanos as f64 * 1e-9,
         entries.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write baseline json");

@@ -10,8 +10,13 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use nonctg_report::{render_figure, PanelGeom, PlotSpec, Series};
-use nonctg_schemes::{Scheme, Sweep, SweepPoint};
+use nonctg_core::TraceEvent;
+use nonctg_report::{chrome_trace_json, render_figure, PanelGeom, PlotSpec, Series, Span};
+use nonctg_schemes::{
+    try_run_scheme_observed, Observe, PhaseSweep, PingPongConfig, Scheme, Sweep, SweepPoint,
+    Workload,
+};
+use nonctg_simnet::Platform;
 
 pub use cli::Options;
 
@@ -105,6 +110,83 @@ pub fn write_figure(out_dir: &Path, stem: &str, title: &str, sweep: &Sweep) -> P
     svg_path
 }
 
+/// Convert per-rank traced events (outer index = rank) into report
+/// spans: one track per rank, named by the operation's label.
+pub fn events_to_spans(events: &[Vec<TraceEvent>]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    for (rank, evs) in events.iter().enumerate() {
+        for e in evs {
+            spans.push(Span {
+                track: rank,
+                name: e.kind.label().to_string(),
+                t_start: e.t_start,
+                t_end: e.t_end,
+                bytes: e.bytes,
+                peer: e.peer,
+                tag: e.tag.map(i64::from),
+            });
+        }
+    }
+    spans
+}
+
+/// Number of elements in the instrumented observability ping-pong
+/// (2^20 doubles, an 8 MiB payload — the paper's large-message regime).
+pub const OBS_ELEMS: usize = 1 << 20;
+
+/// Run an instrumented two-rank vector-type ping-pong ([`OBS_ELEMS`]
+/// elements) and write the requested artifacts: a Chrome-tracing /
+/// Perfetto JSON to `trace_out` and the merged per-rank metrics JSON to
+/// `metrics_out`. Does nothing when both are `None`; with `ascii` set,
+/// also prints the per-rank timeline to stdout.
+pub fn write_observability(
+    platform: &Platform,
+    trace_out: Option<&Path>,
+    metrics_out: Option<&Path>,
+    ascii: bool,
+) {
+    if trace_out.is_none() && metrics_out.is_none() {
+        return;
+    }
+    let obs = Observe { trace: trace_out.is_some(), metrics: metrics_out.is_some() };
+    let w = Workload::every_other(OBS_ELEMS);
+    let cfg = PingPongConfig { reps: 3, ..PingPongConfig::default() };
+    let run = try_run_scheme_observed(platform, Scheme::VectorType, &w, &cfg, obs)
+        .expect("instrumented ping-pong failed");
+    if let Some(path) = trace_out {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).expect("create trace output dir");
+        }
+        let spans = events_to_spans(&run.events);
+        let names: Vec<String> = (0..run.events.len()).map(|r| format!("rank {r}")).collect();
+        let process = format!("nonctg {} vector ping-pong", platform.id);
+        fs::write(path, chrome_trace_json(&spans, &process, &names)).expect("write trace json");
+        eprintln!("  wrote {} ({} spans)", path.display(), spans.len());
+        if ascii {
+            println!("{}", nonctg_report::ascii_spans(&spans, 100));
+        }
+    }
+    if let Some(path) = metrics_out {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir).expect("create metrics output dir");
+        }
+        let m = run.metrics.expect("metrics requested but not collected");
+        fs::write(path, m.to_json()).expect("write metrics json");
+        eprintln!("  wrote {}", path.display());
+    }
+}
+
+/// Write `phases_<stem>.csv` and `phases_<stem>.json`; returns the CSV
+/// path.
+pub fn write_phases(out_dir: &Path, stem: &str, phases: &PhaseSweep) -> PathBuf {
+    fs::create_dir_all(out_dir).expect("create output dir");
+    let csv_path = out_dir.join(format!("phases_{stem}.csv"));
+    fs::write(&csv_path, phases.to_csv()).expect("write phases csv");
+    fs::write(out_dir.join(format!("phases_{stem}.json")), phases.to_json())
+        .expect("write phases json");
+    csv_path
+}
+
 /// ASCII rendering of a sweep's three panels for the terminal.
 pub fn ascii_figure(sweep: &Sweep) -> String {
     let mut out = String::new();
@@ -151,6 +233,15 @@ mod cli {
         /// Extra measurement attempts per point before marking it Failed
         /// (only used by the resilient runner).
         pub retries: usize,
+        /// Write a Chrome-tracing / Perfetto JSON of an instrumented
+        /// two-rank ping-pong to this file (None = tracing off).
+        pub trace_out: Option<std::path::PathBuf>,
+        /// Write the instrumented run's merged metrics JSON to this file
+        /// (None = metrics off).
+        pub metrics_out: Option<std::path::PathBuf>,
+        /// Also run the phase-attribution sweep and write
+        /// `phases_<stem>.csv` / `.json` next to each figure.
+        pub phases: bool,
     }
 
     impl Default for Options {
@@ -169,6 +260,9 @@ mod cli {
                 deadlock_timeout: None,
                 resume: None,
                 retries: 1,
+                trace_out: None,
+                metrics_out: None,
+                phases: false,
             }
         }
     }
@@ -237,6 +331,9 @@ mod cli {
                             .parse()
                             .map_err(|e| format!("--retries: {e}"))?
                     }
+                    "--trace-out" => o.trace_out = Some(val("--trace-out")?.into()),
+                    "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?.into()),
+                    "--phases" => o.phases = true,
                     "--no-verify" => o.no_verify = true,
                     "--no-ascii" => o.ascii = false,
                     "--help" | "-h" => return Err(Self::usage().into()),
@@ -254,7 +351,7 @@ mod cli {
             "options: --platform <skx-impi|skx-mvapich2|ls5-craympich|knl-impi|all> \
              --min-bytes N --max-bytes N --step K --reps N --out DIR --jobs J --quick \
              --full --no-verify --no-ascii --fault-seed N --deadlock-timeout SECS \
-             --resume FILE --retries N"
+             --resume FILE --retries N --trace-out FILE --metrics-out FILE --phases"
         }
 
         /// The sweep configuration these options describe.
@@ -403,6 +500,7 @@ mod tests {
         let sweep = Sweep {
             platform: PlatformId::SkxImpi,
             points: vec![ok(Scheme::Reference, 1024, 1e-5), failed, ok(Scheme::Reference, 4096, 2e-5)],
+            faults: Default::default(),
         };
         let series = sweep_series(&sweep, |p| p.time);
         assert_eq!(series.len(), 1);

@@ -11,7 +11,8 @@ use nonctg_simnet::{Access, Jitter, Platform, VirtualClock};
 
 use crate::error::{CoreError, Result};
 use crate::fabric::{Fabric, FaultStats, SimBarrier, SplitSlot, WORLD_CONTEXT};
-use crate::trace::{EventKind, TraceEvent, Tracer};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::trace::{EventKind, TraceConfig, TraceEvent, TraceStats, Tracer};
 
 /// Tracks whether recently-touched user data is still cache-resident.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,9 @@ pub struct Comm {
     pub(crate) bsend: Option<crate::p2p::BsendBuffer>,
     pub(crate) next_win_id: usize,
     pub(crate) tracer: Tracer,
+    /// Aggregate counters/histograms; boxed so the disabled (`None`) case
+    /// costs one pointer in the struct and one branch per operation.
+    pub(crate) metrics: Option<Box<MetricsRegistry>>,
     /// Rank-local growable staging buffer, reused across collective calls
     /// (gather/gatherv receive staging) instead of allocating per receive.
     pub(crate) scratch: Vec<u8>,
@@ -71,6 +75,7 @@ impl Comm {
             bsend: None,
             next_win_id: 0,
             tracer: Tracer::default(),
+            metrics: None,
             scratch: Vec::new(),
         }
     }
@@ -238,14 +243,47 @@ impl Comm {
         self.fabric.supervision.fault_stats(self.world_rank())
     }
 
-    /// Start recording a [`TraceEvent`] per operation on this rank.
+    /// Start recording a [`TraceEvent`] per operation on this rank, with
+    /// ring capacity and sampling read from the environment
+    /// (`NONCTG_TRACE_CAP`, `NONCTG_TRACE_SAMPLE`).
     pub fn enable_trace(&mut self) {
         self.tracer.enable();
+    }
+
+    /// Start tracing with an explicit [`TraceConfig`].
+    pub fn enable_trace_with(&mut self, cfg: TraceConfig) {
+        self.tracer.enable_with(cfg);
     }
 
     /// Stop tracing and return the recorded events.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
         self.tracer.take()
+    }
+
+    /// Recording counters of the tracer (zeros when tracing is off).
+    pub fn trace_stats(&self) -> TraceStats {
+        self.tracer.stats()
+    }
+
+    /// Start collecting aggregate metrics on this rank (no-op if already
+    /// enabled). Costs one branch per operation while enabled or not.
+    pub fn enable_metrics(&mut self) {
+        if self.metrics.is_none() {
+            self.metrics = Some(Box::new(MetricsRegistry::new()));
+        }
+    }
+
+    /// Whether metrics collection is enabled.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Stop collecting and return this rank's [`MetricsSnapshot`]
+    /// (including its fault counters and the plan-cache delta since
+    /// [`Comm::enable_metrics`]), or `None` if collection was off.
+    pub fn take_metrics(&mut self) -> Option<MetricsSnapshot> {
+        let faults = self.fault_stats();
+        self.metrics.take().map(|r| r.snapshot(faults))
     }
 
     /// Record an event ending now (no-op when tracing is off).
@@ -261,6 +299,9 @@ impl Comm {
         if self.tracer.enabled() {
             let t_end = self.clock.now();
             self.tracer.record(TraceEvent { kind, t_start, t_end, peer, bytes, tag });
+        }
+        if let Some(m) = &mut self.metrics {
+            m.record(kind, self.clock.now() - t_start, bytes);
         }
     }
 
@@ -381,6 +422,7 @@ impl Comm {
             bsend: None,
             next_win_id: 0,
             tracer: Tracer::default(),
+            metrics: None,
             scratch: Vec::new(),
         }))
     }

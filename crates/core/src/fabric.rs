@@ -54,6 +54,21 @@ pub struct FaultStats {
     pub failed_sends: u64,
 }
 
+impl FaultStats {
+    /// Add another rank's counters into this one.
+    pub fn absorb(&mut self, other: FaultStats) {
+        self.transient_retries += other.transient_retries;
+        self.delays += other.delays;
+        self.corruptions += other.corruptions;
+        self.failed_sends += other.failed_sends;
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
+}
+
 /// Shared health state of one universe: the poison flag set when a rank
 /// fails, the configured deadlock timeout, and per-rank bookkeeping the
 /// watchdog dumps into [`CoreError::Deadlock`] reports.

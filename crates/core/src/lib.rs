@@ -36,6 +36,7 @@ mod coll;
 mod comm;
 mod error;
 mod fabric;
+pub mod metrics;
 mod nonblocking;
 mod p2p;
 mod persistent;
@@ -49,11 +50,12 @@ pub use coll::{Reducible, ReduceOp};
 pub use comm::{CacheState, Comm};
 pub use error::{CoreError, Result};
 pub use fabric::FaultStats;
+pub use metrics::{Histogram, MetricsSnapshot};
 pub use nonblocking::{RecvRequest, SendRequest};
 pub use persistent::{PersistentRecv, PersistentSend};
 pub use p2p::{RecvStatus, BSEND_OVERHEAD_BYTES, MAX_SEND_ATTEMPTS};
 pub use rma::{Window, WindowState};
-pub use trace::{EventKind, TraceEvent};
+pub use trace::{EventKind, TraceConfig, TraceEvent, TraceStats};
 pub use universe::Universe;
 
 // Re-export the layers users need alongside the runtime.

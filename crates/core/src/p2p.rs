@@ -294,7 +294,9 @@ impl Comm {
             SendMode::Standard | SendMode::Synchronous => {
                 // Derived-type path: MPI gathers into its internal buffer
                 // (no overlap with the wire), then sends contiguously.
+                let t_stage = self.clock.now();
                 self.charge(p.staging_time(bytes, &access, warm));
+                self.trace(crate::trace::EventKind::Stage, t_stage, None, bytes as usize, None);
                 self.charge_exact(p.send_overhead(eager));
                 self.cache = CacheState::Warm;
                 let wire = p.wire_time(bytes, 1.0) * self.jitter.factor();
@@ -319,10 +321,12 @@ impl Comm {
                 // Stage through the attached buffer: same gather arithmetic
                 // as the internal path (the user buffer does not avoid the
                 // large-message bookkeeping, §4.2)...
+                let t_stage = self.clock.now();
                 let stage = p.staging_time(bytes, &access, warm);
                 self.charge(stage);
                 // ...plus Bsend's own accounting and extra internal copy.
                 self.charge(p.bsend_extra(bytes));
+                self.trace(crate::trace::EventKind::Stage, t_stage, None, bytes as usize, None);
                 self.charge_exact(p.send_overhead(true));
                 self.cache = CacheState::Warm;
                 let wire = p.wire_time(bytes, 1.0) * self.jitter.factor();
@@ -526,8 +530,16 @@ impl Comm {
         dt::unpack_from(&env.payload, dtype, incoming_count, buf, origin)?;
         if !dtype.is_contiguous_run(incoming_count as u64) {
             let access = Access::classify(dtype);
+            let t_scatter = self.clock.now();
             let t = p.scatter_time(env.payload.len() as u64, &access, self.is_warm());
             self.charge(t);
+            self.trace(
+                crate::trace::EventKind::Unstage,
+                t_scatter,
+                Some(env.src),
+                env.payload.len(),
+                Some(env.tag),
+            );
         }
         self.cache = CacheState::Warm;
 

@@ -180,7 +180,18 @@ impl Window {
             Access::Contiguous => 0.0,
             ref a => p.gather_time(bytes as u64, a, warm),
         };
+        let t_work = comm.clock.now();
         comm.charge(p.rma.put_overhead + gather);
+        if gather > 0.0 {
+            // The overhead and the gather are charged as one jittered
+            // quantity (splitting would draw two jitter factors and change
+            // every figure); the Stage event takes the gather's
+            // proportional share of the jittered interval.
+            let t_now = comm.clock.now();
+            let frac = gather / (p.rma.put_overhead + gather);
+            let t_stage = t_now - (t_now - t_work) * frac;
+            comm.trace(crate::trace::EventKind::Stage, t_stage, Some(target), bytes, None);
+        }
         comm.cache = CacheState::Warm;
 
         let mut wire = p.wire_time(bytes as u64, p.rma.bw_factor);
@@ -237,7 +248,15 @@ impl Window {
             Access::Contiguous => 0.0,
             ref a => p.scatter_time(bytes as u64, a, comm.is_warm()),
         };
+        let t_work = comm.clock.now();
         comm.charge(p.rma.put_overhead + scatter);
+        if scatter > 0.0 {
+            // Proportional share of the single jittered charge, as in put.
+            let t_now = comm.clock.now();
+            let frac = scatter / (p.rma.put_overhead + scatter);
+            let t_scatter = t_now - (t_now - t_work) * frac;
+            comm.trace(crate::trace::EventKind::Unstage, t_scatter, Some(target), bytes, None);
+        }
         comm.cache = CacheState::Warm;
 
         let mut wire = p.wire_time(bytes as u64, p.rma.bw_factor);

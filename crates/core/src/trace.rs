@@ -6,6 +6,9 @@
 //! and debug cost-model questions ("where did those 40 µs go?").
 //!
 //! Tracing is off by default and costs one branch per operation when off.
+//! Recording is bounded: events land in a ring buffer whose capacity (and
+//! an optional keep-1-in-N sampling stride) come from a [`TraceConfig`],
+//! so a multi-gigabyte sweep cannot exhaust memory by leaving tracing on.
 
 use std::fmt;
 
@@ -36,9 +39,37 @@ pub enum EventKind {
     Copy,
     /// Cache flush between measurements.
     Flush,
+    /// Internal-buffer staging gather inside a derived-type or buffered
+    /// send (the no-overlap memory phase of the paper's §4.1); nests
+    /// inside the enclosing `Send`/`Bsend`/`Put` event.
+    Stage,
+    /// Receive-side scatter of a non-contiguous delivery into the user
+    /// datatype; nests inside the enclosing `Recv` event.
+    Unstage,
 }
 
 impl EventKind {
+    /// Every kind, in discriminant order (`ALL[k as usize] == k`).
+    pub const ALL: [EventKind; 14] = [
+        EventKind::Send,
+        EventKind::Bsend,
+        EventKind::Isend,
+        EventKind::Recv,
+        EventKind::Put,
+        EventKind::Get,
+        EventKind::Fence,
+        EventKind::Barrier,
+        EventKind::Pack,
+        EventKind::Unpack,
+        EventKind::Copy,
+        EventKind::Flush,
+        EventKind::Stage,
+        EventKind::Unstage,
+    ];
+
+    /// Number of kinds — the length of per-kind accumulator arrays.
+    pub const COUNT: usize = Self::ALL.len();
+
     /// Short fixed-width label for timeline rendering.
     pub fn label(self) -> &'static str {
         match self {
@@ -54,6 +85,8 @@ impl EventKind {
             EventKind::Unpack => "unpack",
             EventKind::Copy => "copy",
             EventKind::Flush => "flush",
+            EventKind::Stage => "stage",
+            EventKind::Unstage => "unstage",
         }
     }
 }
@@ -88,32 +121,124 @@ impl TraceEvent {
     }
 }
 
+/// Bounds on what a [`Tracer`] retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Maximum events retained per rank; once full, the oldest event is
+    /// overwritten (ring buffer). Clamped to at least 1.
+    pub capacity: usize,
+    /// Keep one event in `sample` (1 = keep everything). Sampling is by
+    /// record order, deterministic, and applied before the ring.
+    pub sample: u64,
+}
+
+impl TraceConfig {
+    /// Default ring capacity (events), ~48 MB of `TraceEvent`s.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Read `NONCTG_TRACE_CAP` and `NONCTG_TRACE_SAMPLE` from the
+    /// environment, falling back to the defaults on absence or parse
+    /// failure.
+    pub fn from_env() -> TraceConfig {
+        fn env_u64(name: &str, default: u64) -> u64 {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(default)
+        }
+        TraceConfig {
+            capacity: env_u64("NONCTG_TRACE_CAP", Self::DEFAULT_CAPACITY as u64) as usize,
+            sample: env_u64("NONCTG_TRACE_SAMPLE", 1),
+        }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig { capacity: Self::DEFAULT_CAPACITY, sample: 1 }
+    }
+}
+
+/// Recording counters of a [`Tracer`] (all zero when tracing is off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Events offered to the tracer while enabled.
+    pub seen: u64,
+    /// Events discarded by the sampling stride.
+    pub sampled_out: u64,
+    /// Events overwritten after the ring filled.
+    pub dropped: u64,
+}
+
 /// The (optional) per-rank event recorder.
 #[derive(Debug, Default)]
 pub(crate) struct Tracer {
-    events: Option<Vec<TraceEvent>>,
+    buf: Option<TraceBuf>,
+}
+
+#[derive(Debug)]
+struct TraceBuf {
+    events: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    cfg: TraceConfig,
+    stats: TraceStats,
 }
 
 impl Tracer {
     #[inline]
     pub fn enabled(&self) -> bool {
-        self.events.is_some()
+        self.buf.is_some()
     }
 
     pub fn enable(&mut self) {
-        if self.events.is_none() {
-            self.events = Some(Vec::new());
+        self.enable_with(TraceConfig::from_env());
+    }
+
+    pub fn enable_with(&mut self, mut cfg: TraceConfig) {
+        if self.buf.is_none() {
+            cfg.capacity = cfg.capacity.max(1);
+            cfg.sample = cfg.sample.max(1);
+            self.buf = Some(TraceBuf {
+                events: Vec::new(),
+                head: 0,
+                cfg,
+                stats: TraceStats::default(),
+            });
         }
     }
 
+    /// Recording counters; zeros when tracing was never enabled.
+    pub fn stats(&self) -> TraceStats {
+        self.buf.as_ref().map(|b| b.stats).unwrap_or_default()
+    }
+
+    /// Disable and return the retained events in chronological order.
     pub fn take(&mut self) -> Vec<TraceEvent> {
-        self.events.take().unwrap_or_default()
+        match self.buf.take() {
+            Some(mut b) => {
+                b.events.rotate_left(b.head);
+                b.events
+            }
+            None => Vec::new(),
+        }
     }
 
     #[inline]
     pub fn record(&mut self, ev: TraceEvent) {
-        if let Some(v) = &mut self.events {
-            v.push(ev);
+        let Some(b) = &mut self.buf else { return };
+        b.stats.seen += 1;
+        if b.cfg.sample > 1 && (b.stats.seen - 1) % b.cfg.sample != 0 {
+            b.stats.sampled_out += 1;
+            return;
+        }
+        if b.events.len() < b.cfg.capacity {
+            b.events.push(ev);
+        } else {
+            b.events[b.head] = ev;
+            b.head = (b.head + 1) % b.cfg.capacity;
+            b.stats.dropped += 1;
         }
     }
 }
@@ -144,7 +269,7 @@ pub struct TraceSummary {
     /// Total payload bytes across events.
     pub bytes: usize,
     /// `(busy seconds, count)` per [`EventKind`] discriminant.
-    pub per_kind: [(f64, usize); 12],
+    pub per_kind: [(f64, usize); EventKind::COUNT],
 }
 
 impl TraceSummary {
@@ -182,6 +307,8 @@ pub fn ascii_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
         EventKind::Pack | EventKind::Copy => 'c',
         EventKind::Unpack => 'u',
         EventKind::Flush => '.',
+        EventKind::Stage => 'g',
+        EventKind::Unstage => 'y',
     };
     let mut out = String::new();
     for (rank, events) in traces.iter().enumerate() {
@@ -202,7 +329,7 @@ pub fn ascii_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
         format!("{:.1} us", t_max * 1e6),
         width = width - 1
     ));
-    out.push_str("         S=send B=bsend R=recv P=put G=get F=fence |=barrier c=copy/pack u=unpack .=flush\n");
+    out.push_str("         S=send B=bsend R=recv P=put G=get F=fence |=barrier c=copy/pack u=unpack g=stage y=unstage .=flush\n");
     out
 }
 
@@ -266,5 +393,43 @@ mod tests {
     #[test]
     fn empty_timeline_graceful() {
         assert_eq!(ascii_timeline(&[], 40), "empty trace\n");
+    }
+
+    #[test]
+    fn ring_keeps_newest_in_order() {
+        let mut t = Tracer::default();
+        t.enable_with(TraceConfig { capacity: 3, sample: 1 });
+        for i in 0..7 {
+            t.record(ev(EventKind::Send, i as f64, i as f64 + 0.5));
+        }
+        let st = t.stats();
+        assert_eq!(st.seen, 7);
+        assert_eq!(st.dropped, 4);
+        let evs = t.take();
+        let starts: Vec<f64> = evs.iter().map(|e| e.t_start).collect();
+        assert_eq!(starts, vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_n() {
+        let mut t = Tracer::default();
+        t.enable_with(TraceConfig { capacity: 100, sample: 3 });
+        for i in 0..9 {
+            t.record(ev(EventKind::Pack, i as f64, i as f64 + 0.1));
+        }
+        let st = t.stats();
+        assert_eq!(st.sampled_out, 6);
+        let evs = t.take();
+        let starts: Vec<f64> = evs.iter().map(|e| e.t_start).collect();
+        assert_eq!(starts, vec![0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn all_covers_every_discriminant() {
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i);
+        }
+        let s = summarize(&[ev(EventKind::Unstage, 0.0, 1.0)]);
+        assert_eq!(s.count_of(EventKind::Unstage), 1);
     }
 }

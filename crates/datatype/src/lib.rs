@@ -48,7 +48,8 @@ pub use pack::{
     unpack_from, unpack_from_uncompiled, unpack_with_position, Strided,
 };
 pub use plan::{
-    pack_threads, parallel_threshold, plan_cache_stats, plan_for, PackPlan, PlanCacheStats,
+    cache_stats, pack_threads, parallel_threshold, plan_cache_stats, plan_for, reset_cache_stats,
+    PackPlan, PlanCacheStats,
 };
 pub use darray::{DistArg, Distribution};
 pub use describe::{layout_eq, TypeMapEntry};

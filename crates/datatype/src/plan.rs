@@ -826,6 +826,7 @@ struct PlanCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    compile_nanos: u64,
 }
 
 fn cache() -> &'static Mutex<PlanCache> {
@@ -858,9 +859,12 @@ pub fn plan_for(dtype: &Datatype, count: usize) -> Option<Arc<PackPlan>> {
         }
         c.misses += 1;
     }
+    let t0 = std::time::Instant::now();
     let plan = PackPlan::compile(dtype, count).map(Arc::new);
+    let spent = t0.elapsed().as_nanos() as u64;
     let out = plan.clone();
     let mut c = cache().lock().expect("plan cache poisoned");
+    c.compile_nanos += spent;
     c.tick += 1;
     let t = c.tick;
     c.map.entry(key).or_insert(CacheEntry { plan, last_used: t });
@@ -888,12 +892,53 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
+    /// Wall-clock nanoseconds spent inside `PackPlan::compile` (including
+    /// duplicate compiles that lost the insert race).
+    pub compile_nanos: u64,
+}
+
+impl PlanCacheStats {
+    /// Counter deltas since an earlier snapshot (`size` stays absolute —
+    /// it is a level, not a counter). Saturating, so a reset between the
+    /// snapshots yields zeros rather than wrapping.
+    pub fn delta_since(self, base: PlanCacheStats) -> PlanCacheStats {
+        PlanCacheStats {
+            size: self.size,
+            hits: self.hits.saturating_sub(base.hits),
+            misses: self.misses.saturating_sub(base.misses),
+            evictions: self.evictions.saturating_sub(base.evictions),
+            compile_nanos: self.compile_nanos.saturating_sub(base.compile_nanos),
+        }
+    }
 }
 
 /// Snapshot the plan-cache counters.
-pub fn plan_cache_stats() -> PlanCacheStats {
+pub fn cache_stats() -> PlanCacheStats {
     let c = cache().lock().expect("plan cache poisoned");
-    PlanCacheStats { size: c.map.len(), hits: c.hits, misses: c.misses, evictions: c.evictions }
+    PlanCacheStats {
+        size: c.map.len(),
+        hits: c.hits,
+        misses: c.misses,
+        evictions: c.evictions,
+        compile_nanos: c.compile_nanos,
+    }
+}
+
+/// Zero the hit/miss/eviction/compile-time counters without touching the
+/// cached plans themselves (warmed plans stay warm). For harnesses that
+/// want per-phase attribution of cache activity.
+pub fn reset_cache_stats() {
+    let mut c = cache().lock().expect("plan cache poisoned");
+    c.hits = 0;
+    c.misses = 0;
+    c.evictions = 0;
+    c.compile_nanos = 0;
+}
+
+/// Snapshot the plan-cache counters (alias of [`cache_stats`], kept for
+/// existing callers).
+pub fn plan_cache_stats() -> PlanCacheStats {
+    cache_stats()
 }
 
 #[cfg(test)]
@@ -1015,8 +1060,16 @@ mod tests {
         ));
     }
 
+    /// Serializes tests that assert on the process-global cache counters
+    /// (the reset in `stats_delta_and_compile_time` would race them).
+    fn stats_lock() -> &'static std::sync::Mutex<()> {
+        static L: OnceLock<std::sync::Mutex<()>> = OnceLock::new();
+        L.get_or_init(|| std::sync::Mutex::new(()))
+    }
+
     #[test]
     fn cache_is_bounded_and_hits_on_reuse() {
+        let _g = stats_lock().lock().unwrap();
         let d = Datatype::vector(4, 1, 2, &Datatype::f64()).unwrap().commit();
         let before = plan_cache_stats();
         let a = plan_for(&d, 1).expect("plannable");
@@ -1038,5 +1091,28 @@ mod tests {
     fn uncommitted_types_bypass_cache() {
         let d = Datatype::vector(4, 1, 2, &Datatype::f64()).unwrap();
         assert!(plan_for(&d, 1).is_none());
+    }
+
+    #[test]
+    fn stats_delta_and_compile_time() {
+        let _g = stats_lock().lock().unwrap();
+        let base = cache_stats();
+        let d = Datatype::vector(6, 3, 5, &Datatype::f64()).unwrap().commit();
+        let _ = plan_for(&d, 2).expect("plannable");
+        let _ = plan_for(&d, 2).expect("plannable");
+        let delta = cache_stats().delta_since(base);
+        assert!(delta.misses >= 1);
+        assert!(delta.hits >= 1);
+        // the miss compiled, so compile time moved (monotonic clock may
+        // round to zero on coarse timers; accept either but require the
+        // counter not to wrap)
+        assert!(cache_stats().compile_nanos >= base.compile_nanos);
+        // a reset between snapshots saturates instead of wrapping
+        let high = cache_stats();
+        reset_cache_stats();
+        let after = cache_stats().delta_since(high);
+        assert_eq!(after.hits, 0);
+        assert_eq!(after.misses, 0);
+        assert_eq!(after.compile_nanos, 0);
     }
 }

@@ -15,7 +15,9 @@ pub mod html;
 mod series;
 mod svg;
 mod table;
+pub mod traceviz;
 
 pub use series::{PlotSpec, Scale, Series, GLYPHS, PALETTE};
+pub use traceviz::{ascii_spans, chrome_trace_json, Span};
 pub use svg::{legend_group, panel_group, render_figure, render_svg, PanelGeom};
 pub use table::{fmt_bytes, fmt_gbps, fmt_time, Table};

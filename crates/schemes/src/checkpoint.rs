@@ -22,7 +22,7 @@ use std::str::FromStr;
 use nonctg_simnet::PlatformId;
 
 use crate::scheme::Scheme;
-use crate::sweep::{PointStatus, Sweep, SweepPoint};
+use crate::sweep::{PointStatus, Sweep, SweepFaults, SweepPoint};
 
 fn num(x: f64) -> String {
     if x.is_finite() {
@@ -51,7 +51,14 @@ pub fn to_json(sweep: &Sweep) -> String {
             p.status.key(),
         ));
     }
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ],\n");
+    let f = &sweep.faults;
+    out.push_str(&format!(
+        "  \"fault_stats\": {{\"transient_retries\": {}, \"delays\": {}, \
+         \"corruptions\": {}, \"failed_sends\": {}, \"poisoned_peers\": {}}}\n",
+        f.transient_retries, f.delays, f.corruptions, f.failed_sends, f.poisoned_peers,
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -181,6 +188,41 @@ impl<'a> Parser<'a> {
             status: status.ok_or_else(|| self.err("point missing 'status'"))?,
         })
     }
+
+    /// A non-negative integer counter.
+    fn counter(&mut self) -> Result<u64, String> {
+        let v = self.number_or_null()?;
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(self.err("counter must be a non-negative integer"));
+        }
+        Ok(v as u64)
+    }
+
+    fn fault_stats(&mut self) -> Result<SweepFaults, String> {
+        self.expect(b'{')?;
+        let mut f = SweepFaults::default();
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "transient_retries" => f.transient_retries = self.counter()?,
+                "delays" => f.delays = self.counter()?,
+                "corruptions" => f.corruptions = self.counter()?,
+                "failed_sends" => f.failed_sends = self.counter()?,
+                "poisoned_peers" => f.poisoned_peers = self.counter()?,
+                other => return Err(self.err(&format!("unknown fault_stats key '{other}'"))),
+            }
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected ',' or '}' in fault_stats")),
+            }
+        }
+        Ok(f)
+    }
 }
 
 /// Parse checkpoint JSON back into a [`Sweep`].
@@ -189,6 +231,8 @@ pub fn from_json(s: &str) -> Result<Sweep, String> {
     p.expect(b'{')?;
     let mut platform = None;
     let mut points = Vec::new();
+    // Absent in checkpoints written before fault accounting: zeros.
+    let mut faults = SweepFaults::default();
     loop {
         let key = p.string()?;
         p.expect(b':')?;
@@ -215,6 +259,7 @@ pub fn from_json(s: &str) -> Result<Sweep, String> {
                     }
                 }
             }
+            "fault_stats" => faults = p.fault_stats()?,
             other => return Err(p.err(&format!("unknown top-level key '{other}'"))),
         }
         match p.peek() {
@@ -226,6 +271,7 @@ pub fn from_json(s: &str) -> Result<Sweep, String> {
     Ok(Sweep {
         platform: platform.ok_or_else(|| "checkpoint missing 'platform'".to_string())?,
         points,
+        faults,
     })
 }
 
@@ -254,6 +300,13 @@ mod tests {
                     status: PointStatus::Failed,
                 },
             ],
+            faults: SweepFaults {
+                transient_retries: 3,
+                delays: 1,
+                corruptions: 0,
+                failed_sends: 2,
+                poisoned_peers: 4,
+            },
         }
     }
 
@@ -270,16 +323,31 @@ mod tests {
         let b = &back.points[1];
         assert_eq!(b.status, PointStatus::Failed);
         assert!(b.time.is_nan() && b.slowdown.is_nan());
+        assert_eq!(back.faults, sample().faults);
         // A rewrite of the parsed sweep is bit-identical.
         assert_eq!(to_json(&back), json);
     }
 
     #[test]
     fn empty_points_round_trip() {
-        let sweep = Sweep { platform: PlatformId::KnlImpi, points: Vec::new() };
+        let sweep = Sweep {
+            platform: PlatformId::KnlImpi,
+            points: Vec::new(),
+            faults: SweepFaults::default(),
+        };
         let back = from_json(&to_json(&sweep)).unwrap();
         assert!(back.points.is_empty());
         assert_eq!(back.platform, PlatformId::KnlImpi);
+        assert!(back.faults.is_zero());
+    }
+
+    /// Checkpoints written before fault accounting (no "fault_stats"
+    /// key) still parse, with zero counters.
+    #[test]
+    fn missing_fault_stats_defaults_to_zero() {
+        let json = "{\"platform\": \"skx-impi\", \"points\": []}";
+        let back = from_json(json).unwrap();
+        assert!(back.faults.is_zero());
     }
 
     #[test]

@@ -11,20 +11,26 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+mod phases;
 mod pingpong;
 mod scheme;
 pub mod stats;
 mod sweep;
 mod workload;
 
+pub use phases::{
+    attribute, run_phase_sweep, run_phase_sweep_with, run_scheme_phases, Phase, PhasePoint,
+    PhaseSweep, PhaseTimes,
+};
 pub use pingpong::{
-    run_datatype_send, run_scheme, run_scheme_pairs, try_run_scheme, try_run_scheme_pairs,
-    MeasureError, PingPongConfig, PingPongResult, PING_TAG, PONG_TAG,
+    run_datatype_send, run_scheme, run_scheme_pairs, try_run_scheme, try_run_scheme_observed,
+    try_run_scheme_pairs, MeasureError, Observe, ObservedRun, PingPongConfig, PingPongResult,
+    PING_TAG, PONG_TAG,
 };
 pub use scheme::Scheme;
 pub use stats::Stats;
 pub use sweep::{
     run_sweep, run_sweep_parallel, run_sweep_resilient, run_sweep_resilient_with, run_sweep_with,
-    PointStatus, Resilience, Sweep, SweepConfig, SweepPoint,
+    PointStatus, Resilience, Sweep, SweepConfig, SweepFaults, SweepPoint,
 };
 pub use workload::{IrregularWorkload, Workload};

@@ -9,7 +9,9 @@
 //! * receivers verify payload bytes (sampled), so every timing result is
 //!   also a correctness check.
 
-use nonctg_core::{Comm, CoreError, Result, Universe};
+use nonctg_core::{
+    Comm, CoreError, FaultStats, MetricsSnapshot, Result, TraceEvent, Universe,
+};
 use nonctg_datatype::{as_bytes, Datatype};
 use nonctg_simnet::{Access, Platform};
 
@@ -65,6 +67,9 @@ pub struct PingPongResult {
     pub msg_bytes: usize,
     /// Individually-timed ping-pong durations (virtual seconds).
     pub times: Vec<f64>,
+    /// Injected-fault counters summed across every rank of the
+    /// measurement universe (all zeros without a fault plan).
+    pub faults: FaultStats,
 }
 
 impl PingPongResult {
@@ -181,26 +186,121 @@ pub fn try_run_scheme_pairs(
     cfg: &PingPongConfig,
     npairs: usize,
 ) -> std::result::Result<PingPongResult, MeasureError> {
+    try_run_scheme_pairs_observed(platform, scheme, workload, cfg, npairs, Observe::OFF)
+        .map(|run| run.result)
+}
+
+/// What [`try_run_scheme_observed`] collects alongside the timings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Observe {
+    /// Record a [`TraceEvent`] per operation on every rank.
+    pub trace: bool,
+    /// Collect aggregate metrics (counters/histograms) on every rank.
+    pub metrics: bool,
+}
+
+impl Observe {
+    /// Collect nothing — behaves exactly like [`try_run_scheme`].
+    pub const OFF: Observe = Observe { trace: false, metrics: false };
+    /// Collect event traces only.
+    pub const TRACE: Observe = Observe { trace: true, metrics: false };
+    /// Collect traces and metrics.
+    pub const ALL: Observe = Observe { trace: true, metrics: true };
+}
+
+/// A measurement plus the observability artifacts it produced.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// The timings, as [`try_run_scheme`] would return them.
+    pub result: PingPongResult,
+    /// Per-rank event streams (empty unless [`Observe::trace`]); index =
+    /// rank in the measurement universe.
+    pub events: Vec<Vec<TraceEvent>>,
+    /// Rank 0's timed windows, one per rep: `(t_start, t_end)` in virtual
+    /// seconds, exactly the spans whose lengths are
+    /// [`PingPongResult::times`].
+    pub windows: Vec<(f64, f64)>,
+    /// Merged metrics of every rank (`None` unless [`Observe::metrics`]).
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+/// [`try_run_scheme`] with tracing and/or metrics enabled on every rank.
+///
+/// Virtual-time results are identical to the unobserved run: recording
+/// only captures clock movements, it never causes them.
+pub fn try_run_scheme_observed(
+    platform: &Platform,
+    scheme: Scheme,
+    workload: &Workload,
+    cfg: &PingPongConfig,
+    obs: Observe,
+) -> std::result::Result<ObservedRun, MeasureError> {
+    try_run_scheme_pairs_observed(platform, scheme, workload, cfg, 1, obs)
+}
+
+/// What each rank hands back from the measurement closure.
+struct RankOut {
+    times: Vec<f64>,
+    starts: Vec<f64>,
+    events: Vec<TraceEvent>,
+    metrics: Option<MetricsSnapshot>,
+    faults: FaultStats,
+}
+
+fn try_run_scheme_pairs_observed(
+    platform: &Platform,
+    scheme: Scheme,
+    workload: &Workload,
+    cfg: &PingPongConfig,
+    npairs: usize,
+    obs: Observe,
+) -> std::result::Result<ObservedRun, MeasureError> {
     assert!(npairs >= 1);
     let platform = platform.clone();
     let w = *workload;
     let cfg = cfg.clone();
     let results = Universe::run_supervised(platform, 2 * npairs, move |comm| {
+        if obs.trace {
+            comm.enable_trace();
+        }
+        if obs.metrics {
+            comm.enable_metrics();
+        }
         let rank = comm.rank();
-        if rank % 2 == 0 {
-            sender(comm, scheme, &w, &cfg, rank + 1)
+        let (times, starts) = if rank % 2 == 0 {
+            sender(comm, scheme, &w, &cfg, rank + 1)?
         } else {
             receiver(comm, scheme, &w, &cfg, rank - 1)?;
-            Ok(Vec::new())
-        }
+            (Vec::new(), Vec::new())
+        };
+        Ok(RankOut {
+            times,
+            starts,
+            events: comm.take_trace(),
+            metrics: comm.take_metrics(),
+            faults: comm.fault_stats(),
+        })
     });
     let mut failures = Vec::new();
     let mut pair0 = Vec::new();
+    let mut starts0 = Vec::new();
+    let mut events = Vec::new();
+    let mut faults = FaultStats::default();
+    let mut metrics: Option<MetricsSnapshot> = None;
     for (rank, r) in results.into_iter().enumerate() {
         match r {
-            Ok(times) => {
+            Ok(out) => {
                 if rank == 0 {
-                    pair0 = times;
+                    pair0 = out.times;
+                    starts0 = out.starts;
+                }
+                faults.absorb(out.faults);
+                events.push(out.events);
+                if let Some(m) = out.metrics {
+                    match &mut metrics {
+                        Some(acc) => acc.merge(&m),
+                        None => metrics = Some(m),
+                    }
                 }
             }
             Err(e) => failures.push((rank, e)),
@@ -209,7 +309,13 @@ pub fn try_run_scheme_pairs(
     if !failures.is_empty() {
         return Err(MeasureError { failures });
     }
-    Ok(PingPongResult { scheme, msg_bytes: workload.msg_bytes(), times: pair0 })
+    let windows = starts0.iter().zip(pair0.iter()).map(|(&s, &t)| (s, s + t)).collect();
+    Ok(ObservedRun {
+        result: PingPongResult { scheme, msg_bytes: workload.msg_bytes(), times: pair0, faults },
+        events,
+        windows,
+        metrics,
+    })
 }
 
 /// Measure a direct send of an arbitrary committed datatype (one
@@ -227,7 +333,7 @@ pub fn run_datatype_send(
     let dtype = dtype.clone();
     let msg_bytes = dtype.size() as usize;
     assert_eq!(msg_bytes, expected.len() * Workload::ELEM, "expected length mismatch");
-    let (times, _) = Universe::run_pair(platform, move |comm| {
+    let ((times, faults0), (_, faults1)) = Universe::run_pair(platform, move |comm| {
         if comm.rank() == 0 {
             let mut times = Vec::with_capacity(cfg.reps);
             comm.barrier().expect("start barrier");
@@ -240,7 +346,7 @@ pub fn run_datatype_send(
                 flush_both(comm, &cfg);
             }
             comm.barrier().expect("end barrier");
-            times
+            (times, comm.fault_stats())
         } else {
             let mut buf = vec![0.0f64; expected.len()];
             comm.barrier().expect("start barrier");
@@ -253,10 +359,12 @@ pub fn run_datatype_send(
                 flush_both(comm, &cfg);
             }
             comm.barrier().expect("end barrier");
-            Vec::new()
+            (Vec::new(), comm.fault_stats())
         }
     });
-    PingPongResult { scheme: Scheme::VectorType, msg_bytes, times }
+    let mut faults = faults0;
+    faults.absorb(faults1);
+    PingPongResult { scheme: Scheme::VectorType, msg_bytes, times, faults }
 }
 
 fn flush_both(comm: &mut Comm, cfg: &PingPongConfig) {
@@ -266,15 +374,18 @@ fn flush_both(comm: &mut Comm, cfg: &PingPongConfig) {
 }
 
 /// Sending rank: prepare buffers, run the timed loop against `peer`.
+/// Returns each rep's duration and its start time (the timed windows
+/// phase attribution folds events into).
 fn sender(
     comm: &mut Comm,
     scheme: Scheme,
     w: &Workload,
     cfg: &PingPongConfig,
     peer: usize,
-) -> Result<Vec<f64>> {
+) -> Result<(Vec<f64>, Vec<f64>)> {
     let n = w.elems();
     let mut times = Vec::with_capacity(cfg.reps);
+    let mut starts = Vec::with_capacity(cfg.reps);
 
     // All allocations outside the timing loop (§3.2).
     let src = w.make_source();
@@ -309,6 +420,7 @@ fn sender(
 
     for _ in 0..cfg.reps {
         let t0 = comm.wtime();
+        starts.push(t0);
         match scheme {
             Scheme::Reference => {
                 comm.send_slice(&contig, peer, PING_TAG)?;
@@ -389,7 +501,7 @@ fn sender(
         comm.buffer_detach()?;
     }
     comm.barrier()?;
-    Ok(times)
+    Ok((times, starts))
 }
 
 /// Receiving rank: receive contiguously, verify, pong to `peer`.

@@ -74,6 +74,26 @@ pub fn summarize(samples: &[f64]) -> Stats {
     Stats { mean: final_mean, stddev: sd, min, max, n: samples.len(), rejected }
 }
 
+/// Which samples the rejection procedure of [`summarize`] keeps, as a
+/// mask parallel to `samples`. When rejection would dismiss every sample
+/// (possible only with non-finite input, where the deviation test is
+/// false for everything), the mask keeps everything — matching the
+/// all-samples fallback mean [`summarize`] reports in that case.
+///
+/// Phase attribution averages per-rep phase breakdowns over exactly this
+/// mask so phase sums reproduce the reported mean instead of drifting
+/// whenever a rep is dismissed.
+pub fn kept_mask(samples: &[f64]) -> Vec<bool> {
+    let m = mean(samples);
+    let sd = stddev(samples);
+    let mask: Vec<bool> = samples.iter().map(|x| (x - m).abs() <= sd).collect();
+    if mask.iter().any(|&k| k) {
+        mask
+    } else {
+        vec![true; samples.len()]
+    }
+}
+
 /// Effective bandwidth in bytes/second for a payload moved in `seconds`.
 /// Zero for non-positive or non-finite durations (failed measurements).
 pub fn bandwidth(bytes: usize, seconds: f64) -> f64 {
@@ -126,5 +146,57 @@ mod tests {
         assert_eq!(s.n, 0);
         assert!(s.mean.is_nan() && s.stddev.is_nan() && s.min.is_nan() && s.max.is_nan());
         assert_eq!(bandwidth(1024, s.mean), 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_its_own_summary() {
+        let s = summarize(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!((s.min, s.max), (3.5, 3.5));
+        assert_eq!(s.n, 1);
+        assert_eq!(s.rejected, 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn all_identical_never_reject() {
+        // sd == 0, so the keep test is |x - m| <= 0 — exactly satisfied by
+        // every sample; nothing may be dismissed.
+        let s = summarize(&[7.0; 16]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.n, 16);
+    }
+
+    #[test]
+    fn rejection_removing_every_sample_falls_back_to_plain_mean() {
+        // With an infinite sample both mean and stddev are non-finite, so
+        // |x - m| <= sd holds for no sample: the kept set is empty and
+        // summarize must fall back to the all-samples mean (reporting
+        // zero rejections) instead of panicking or returning NaN counts.
+        let v = [1.0, f64::INFINITY];
+        let s = summarize(&v);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.n, 2);
+        assert!(s.mean.is_infinite());
+        // the NaN flavor of the same degenerate case
+        let s = summarize(&[2.0, f64::NAN]);
+        assert_eq!(s.rejected, 0);
+        assert!(s.mean.is_nan());
+        // and the mask helper mirrors the fallback by keeping everything
+        assert_eq!(kept_mask(&v), vec![true, true]);
+    }
+
+    #[test]
+    fn kept_mask_matches_summarize_mean() {
+        let mut v = vec![1.0; 19];
+        v.push(100.0);
+        let mask = kept_mask(&v);
+        let kept: Vec<f64> =
+            v.iter().zip(&mask).filter(|(_, &k)| k).map(|(&x, _)| x).collect();
+        let s = summarize(&v);
+        assert_eq!(s.n - s.rejected, kept.len());
+        assert!((mean(&kept) - s.mean).abs() < 1e-12);
     }
 }

@@ -9,6 +9,7 @@
 use std::path::PathBuf;
 use std::str::FromStr;
 
+use nonctg_core::FaultStats;
 use nonctg_simnet::{Platform, PlatformId};
 
 use crate::checkpoint;
@@ -126,6 +127,49 @@ impl SweepPoint {
     }
 }
 
+/// Cumulative fault-injection counters over every measurement a sweep
+/// performed, including failed attempts. Checkpointed alongside the
+/// points, so a resumed run keeps counting from where the interrupted
+/// one stopped instead of resetting to zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepFaults {
+    /// Transient send failures absorbed by retry-with-backoff.
+    pub transient_retries: u64,
+    /// Injected delivery delays charged to virtual clocks.
+    pub delays: u64,
+    /// Payloads corrupted in flight.
+    pub corruptions: u64,
+    /// Sends abandoned after the bounded retry budget.
+    pub failed_sends: u64,
+    /// Ranks that came back in error from failed measurement attempts
+    /// (each poisons its universe's fabric; see `nonctg_core::fabric`).
+    pub poisoned_peers: u64,
+}
+
+impl SweepFaults {
+    /// Fold one measurement's per-rank counters into the sweep totals.
+    pub fn absorb(&mut self, f: FaultStats) {
+        self.transient_retries += f.transient_retries;
+        self.delays += f.delays;
+        self.corruptions += f.corruptions;
+        self.failed_sends += f.failed_sends;
+    }
+
+    /// Add another sweep's totals into this one (checkpoint resume).
+    pub fn merge(&mut self, other: SweepFaults) {
+        self.transient_retries += other.transient_retries;
+        self.delays += other.delays;
+        self.corruptions += other.corruptions;
+        self.failed_sends += other.failed_sends;
+        self.poisoned_peers += other.poisoned_peers;
+    }
+
+    /// Whether every counter is zero (a fault-free sweep).
+    pub fn is_zero(&self) -> bool {
+        *self == SweepFaults::default()
+    }
+}
+
 /// A complete sweep: every scheme over every size.
 #[derive(Debug, Clone)]
 pub struct Sweep {
@@ -133,6 +177,8 @@ pub struct Sweep {
     pub platform: PlatformId,
     /// Points in (size-major, legend-order) sequence.
     pub points: Vec<SweepPoint>,
+    /// Fault counters accumulated over every measurement.
+    pub faults: SweepFaults,
 }
 
 impl Sweep {
@@ -190,6 +236,7 @@ pub fn run_sweep_with(
     mut progress: impl FnMut(&SweepPoint),
 ) -> Sweep {
     let mut points = Vec::new();
+    let mut faults = SweepFaults::default();
     for bytes in cfg.sizes() {
         let elems = bytes / Workload::ELEM;
         let w = Workload::every_other(elems);
@@ -197,6 +244,7 @@ pub fn run_sweep_with(
         let mut group: Vec<SweepPoint> = Vec::with_capacity(cfg.schemes.len());
         for &scheme in &cfg.schemes {
             let r = run_scheme(platform, scheme, &w, &pp);
+            faults.absorb(r.faults);
             group.push(SweepPoint {
                 scheme,
                 msg_bytes: w.msg_bytes(),
@@ -212,7 +260,7 @@ pub fn run_sweep_with(
             points.push(p);
         }
     }
-    Sweep { platform: platform.id, points }
+    Sweep { platform: platform.id, points, faults }
 }
 
 /// Run a sweep silently.
@@ -236,7 +284,7 @@ pub fn run_sweep_parallel(platform: &Platform, cfg: &SweepConfig, jobs: usize) -
         .map(|bytes| Workload::every_other(bytes / Workload::ELEM).msg_bytes())
         .flat_map(|bytes| cfg.schemes.iter().map(move |&s| (bytes, s)))
         .collect();
-    let results: Vec<std::sync::Mutex<Option<(f64, f64)>>> =
+    let results: Vec<std::sync::Mutex<Option<(f64, f64, FaultStats)>>> =
         (0..work.len()).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
 
@@ -251,7 +299,7 @@ pub fn run_sweep_parallel(platform: &Platform, cfg: &SweepConfig, jobs: usize) -
                 let w = Workload::every_other(bytes / Workload::ELEM);
                 let pp = cfg.base.clone().adaptive(bytes);
                 let r = run_scheme(platform, scheme, &w, &pp);
-                *results[i].lock().unwrap() = Some((r.time(), r.bandwidth()));
+                *results[i].lock().unwrap() = Some((r.time(), r.bandwidth(), r.faults));
             });
         }
     });
@@ -259,12 +307,14 @@ pub fn run_sweep_parallel(platform: &Platform, cfg: &SweepConfig, jobs: usize) -
     // Assemble in canonical order, one size group at a time, so every
     // group's slowdowns come from its own reference point.
     let mut points = Vec::with_capacity(work.len());
+    let mut faults = SweepFaults::default();
     let mut i = 0;
     while i < work.len() {
         let bytes = work[i].0;
         let mut group = Vec::new();
         while i < work.len() && work[i].0 == bytes {
-            let (time, bandwidth) = results[i].lock().unwrap().expect("measured point");
+            let (time, bandwidth, f) = results[i].lock().unwrap().expect("measured point");
+            faults.absorb(f);
             group.push(SweepPoint {
                 scheme: work[i].1,
                 msg_bytes: bytes,
@@ -278,7 +328,7 @@ pub fn run_sweep_parallel(platform: &Platform, cfg: &SweepConfig, jobs: usize) -
         apply_slowdowns(&mut group);
         points.extend(group);
     }
-    Sweep { platform: platform.id, points }
+    Sweep { platform: platform.id, points, faults }
 }
 
 /// Robustness knobs of a [`run_sweep_resilient`] run.
@@ -326,6 +376,9 @@ pub fn run_sweep_resilient_with(
     mut progress: impl FnMut(&SweepPoint),
 ) -> Sweep {
     let mut points: Vec<SweepPoint> = Vec::new();
+    // Resume carries the interrupted run's fault totals forward, so the
+    // final sweep reports cumulative counts across both runs.
+    let mut faults = res.resume.as_ref().map(|s| s.faults).unwrap_or_default();
     let mut failures = vec![0usize; cfg.schemes.len()];
     for bytes in cfg.sizes() {
         let elems = bytes / Workload::ELEM;
@@ -349,9 +402,13 @@ pub fn run_sweep_resilient_with(
             let mut measured = None;
             for attempt in 0..=res.retries {
                 let p = reseeded(platform, attempt);
-                if let Ok(r) = try_run_scheme(&p, scheme, &w, &pp) {
-                    measured = Some((r.time(), r.bandwidth()));
-                    break;
+                match try_run_scheme(&p, scheme, &w, &pp) {
+                    Ok(r) => {
+                        faults.absorb(r.faults);
+                        measured = Some((r.time(), r.bandwidth()));
+                        break;
+                    }
+                    Err(e) => faults.poisoned_peers += e.failures.len() as u64,
                 }
             }
             group.push(match measured {
@@ -375,13 +432,13 @@ pub fn run_sweep_resilient_with(
             points.push(p);
         }
         if let Some(path) = &res.checkpoint {
-            let partial = Sweep { platform: platform.id, points: points.clone() };
+            let partial = Sweep { platform: platform.id, points: points.clone(), faults };
             if let Err(e) = std::fs::write(path, partial.to_checkpoint_json()) {
                 eprintln!("warning: could not write checkpoint {}: {e}", path.display());
             }
         }
     }
-    Sweep { platform: platform.id, points }
+    Sweep { platform: platform.id, points, faults }
 }
 
 /// [`run_sweep_resilient_with`] without a progress callback.
