@@ -1,0 +1,117 @@
+//! Baseline wall-clock numbers for the pipelined datapath, recorded as
+//! `BENCH_datapath.json`.
+//!
+//! Two experiments, both with virtual-time output proven identical
+//! elsewhere (`chunk_props`, `sharded_sweep_matches_sequential_bit_for_bit`):
+//!
+//! 1. A 2^27-byte strided-vector ping-pong, monolithic vs. chunked
+//!    rendezvous — the chunked path overlaps sender-side packing of chunk
+//!    k+1 with receiver-side in-place unpacking of chunk k.
+//! 2. A reduced scheme sweep, serial vs. four statically-partitioned
+//!    shards on concurrent rank pairs.
+//!
+//! Speedups depend on host parallelism: with a single hardware thread the
+//! overlap cannot pay and the recorded ratio hovers near (or below) 1.
+//! The JSON records `host_threads` so a reader can tell.
+//!
+//! Usage: `datapath_baseline [OUT.json]` (default `BENCH_datapath.json`).
+
+use std::time::Instant;
+
+use nonctg_core::Universe;
+use nonctg_datatype::{as_bytes, Datatype};
+use nonctg_schemes::{run_sweep, run_sweep_sharded, PingPongConfig, Scheme, SweepConfig};
+use nonctg_simnet::Platform;
+
+const PING_BYTES: usize = 1 << 27;
+const SWEEP_SHARDS: usize = 4;
+
+/// Wall seconds for `reps` strided rendezvous pings in one universe.
+fn pingpong_wall(platform: &Platform, bytes: usize, reps: usize) -> f64 {
+    let elems = bytes / 8;
+    let t0 = Instant::now();
+    Universe::run_pair(platform.clone(), move |comm| {
+        if comm.rank() == 0 {
+            let src = vec![1.0f64; 2 * elems];
+            let t = Datatype::vector(elems, 1, 2, &Datatype::f64()).unwrap().commit();
+            let mut ack = [0.0f64; 0];
+            for _ in 0..reps {
+                comm.send(as_bytes(&src), 0, &t, 1, 1, 1).unwrap();
+                comm.recv_slice(&mut ack, Some(1), Some(2)).unwrap();
+            }
+        } else {
+            let mut dst = vec![0.0f64; elems];
+            for _ in 0..reps {
+                comm.recv_slice(&mut dst, Some(0), Some(1)).unwrap();
+                comm.send_slice::<f64>(&[], 0, 2).unwrap();
+            }
+        }
+        comm.wtime()
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+/// Best of two timed runs (first run also warms the page cache / pools).
+fn best_of_two(mut f: impl FnMut() -> f64) -> f64 {
+    f().min(f())
+}
+
+fn sweep_config() -> SweepConfig {
+    SweepConfig {
+        schemes: vec![Scheme::Reference, Scheme::Copying, Scheme::VectorType, Scheme::PackingVector],
+        min_bytes: 1 << 10,
+        max_bytes: 1 << 20,
+        step: 4,
+        base: PingPongConfig { reps: 5, flush: false, flush_bytes: 0, verify: false },
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_datapath.json".into());
+    let platform = Platform::skx_impi();
+
+    // -- experiment 1: monolithic vs chunked 2^27-byte vector ping-pong --
+    let mono = platform.clone().without_pipeline();
+    let mono_s = best_of_two(|| pingpong_wall(&mono, PING_BYTES, 3));
+    let chunk_s = best_of_two(|| pingpong_wall(&platform, PING_BYTES, 3));
+    let ping_speedup = mono_s / chunk_s;
+    println!(
+        "pingpong 2^27: monolithic {mono_s:.3}s  chunked {chunk_s:.3}s  speedup {ping_speedup:.2}x"
+    );
+
+    // -- experiment 2: serial vs sharded sweep ------------------------
+    let cfg = sweep_config();
+    let t0 = Instant::now();
+    let serial = run_sweep(&platform, &cfg);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let sharded = run_sweep_sharded(&platform, &cfg, SWEEP_SHARDS);
+    let sharded_s = t0.elapsed().as_secs_f64();
+    let sweep_speedup = serial_s / sharded_s;
+    println!(
+        "sweep ({} points): serial {serial_s:.3}s  {SWEEP_SHARDS} shards {sharded_s:.3}s  speedup {sweep_speedup:.2}x",
+        serial.points.len()
+    );
+
+    // The sharded run must be bit-identical to the serial one; this bin
+    // doubles as a cheap end-to-end check of that invariant.
+    assert_eq!(serial.points.len(), sharded.points.len(), "sharded sweep dropped points");
+    for (a, b) in serial.points.iter().zip(&sharded.points) {
+        assert_eq!(a.scheme, b.scheme);
+        assert_eq!(a.msg_bytes, b.msg_bytes);
+        assert_eq!(a.time.to_bits(), b.time.to_bits(), "virtual time diverged");
+    }
+    println!("sharded sweep bit-identical to serial: ok");
+
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"datapath_baseline\",\n  \"host_threads\": {host_threads},\n  \
+         \"pingpong\": {{\"bytes\": {PING_BYTES}, \"reps\": 3, \"monolithic_s\": {mono_s:.6e}, \
+         \"chunked_s\": {chunk_s:.6e}, \"speedup\": {ping_speedup:.3}}},\n  \
+         \"sweep\": {{\"points\": {}, \"shards\": {SWEEP_SHARDS}, \"serial_s\": {serial_s:.6e}, \
+         \"sharded_s\": {sharded_s:.6e}, \"speedup\": {sweep_speedup:.3}, \"bit_identical\": true}}\n}}\n",
+        serial.points.len()
+    );
+    std::fs::write(&out_path, json).expect("write baseline json");
+    println!("wrote {out_path}");
+}

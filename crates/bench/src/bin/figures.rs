@@ -12,8 +12,8 @@ use std::time::Instant;
 use nonctg_bench::{ascii_figure, write_figure, write_observability, write_phases, Options};
 use nonctg_report::{fmt_bytes, fmt_time, Table};
 use nonctg_schemes::{
-    run_phase_sweep_with, run_sweep_parallel, run_sweep_resilient_with, run_sweep_with,
-    PointStatus, Resilience, Scheme, Sweep, SweepPoint,
+    run_phase_sweep_with, run_sweep_parallel, run_sweep_resilient_with, run_sweep_sharded,
+    run_sweep_with, PointStatus, Resilience, Scheme, Sweep, SweepPoint,
 };
 
 fn progress_line(p: &SweepPoint) {
@@ -82,6 +82,8 @@ fn main() {
                 skip_scheme_after: None,
             };
             run_sweep_resilient_with(&platform, &cfg, &res, progress_line)
+        } else if opts.shards > 1 {
+            run_sweep_sharded(&platform, &cfg, opts.shards)
         } else if opts.jobs > 1 {
             run_sweep_parallel(&platform, &cfg, opts.jobs)
         } else {

@@ -222,6 +222,10 @@ mod cli {
         pub ascii: bool,
         /// Concurrently-measured sweep points (1 = sequential).
         pub jobs: usize,
+        /// Statically-partitioned sweep shards (1 = sequential). Each
+        /// shard measures every N-th point of the canonical work list on
+        /// its own rank pair; output is bit-equal to the serial run.
+        pub shards: usize,
         /// Inject a chaos fault plan with this seed (None = fault-free).
         pub fault_seed: Option<u64>,
         /// Override the watchdog deadlock timeout, seconds.
@@ -256,6 +260,7 @@ mod cli {
                 no_verify: false,
                 ascii: true,
                 jobs: 1,
+                shards: 1,
                 fault_seed: None,
                 deadlock_timeout: None,
                 resume: None,
@@ -300,6 +305,11 @@ mod cli {
                         o.jobs = val("--jobs")?
                             .parse()
                             .map_err(|e| format!("--jobs: {e}"))?
+                    }
+                    "--shards" => {
+                        o.shards = val("--shards")?
+                            .parse()
+                            .map_err(|e| format!("--shards: {e}"))?
                     }
                     "--quick" => {
                         o.max_bytes = 1 << 22;
@@ -349,9 +359,10 @@ mod cli {
         /// Usage text.
         pub fn usage() -> &'static str {
             "options: --platform <skx-impi|skx-mvapich2|ls5-craympich|knl-impi|all> \
-             --min-bytes N --max-bytes N --step K --reps N --out DIR --jobs J --quick \
-             --full --no-verify --no-ascii --fault-seed N --deadlock-timeout SECS \
-             --resume FILE --retries N --trace-out FILE --metrics-out FILE --phases"
+             --min-bytes N --max-bytes N --step K --reps N --out DIR --jobs J \
+             --shards N --quick --full --no-verify --no-ascii --fault-seed N \
+             --deadlock-timeout SECS --resume FILE --retries N --trace-out FILE \
+             --metrics-out FILE --phases"
         }
 
         /// The sweep configuration these options describe.

@@ -84,7 +84,7 @@ impl Comm {
     /// least `len` bytes. Return it with [`Comm::put_scratch`] so the
     /// allocation is reused by the next caller. Taking instead of
     /// borrowing keeps `&mut self` free for the operation that fills it.
-    pub(crate) fn take_scratch(&mut self, len: usize) -> Vec<u8> {
+    pub fn take_scratch(&mut self, len: usize) -> Vec<u8> {
         let mut s = std::mem::take(&mut self.scratch);
         if s.len() < len {
             s.resize(len, 0);
@@ -93,7 +93,7 @@ impl Comm {
     }
 
     /// Return a buffer taken with [`Comm::take_scratch`].
-    pub(crate) fn put_scratch(&mut self, s: Vec<u8>) {
+    pub fn put_scratch(&mut self, s: Vec<u8>) {
         if s.capacity() > self.scratch.capacity() {
             self.scratch = s;
         }

@@ -9,23 +9,159 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use nonctg_datatype::Signature;
 use nonctg_simnet::Platform;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::error::{CoreError, Result};
 use crate::rma::WindowState;
 
 /// Longest slice a fabric wait sleeps before re-checking the poison flag.
 /// Bounds how long a blocked peer can take to observe a rank failure, so
-/// keep it well under a second; condvar notifications still end waits
-/// immediately on the happy path.
-pub(crate) const POLL_SLICE: Duration = Duration::from_millis(20);
+/// it stays well under a second; condvar notifications still end waits
+/// immediately on the happy path. Configurable via `NONCTG_POLL_SLICE_MS`
+/// (milliseconds, clamped to >= 1), resolved once per process.
+pub(crate) fn poll_slice() -> Duration {
+    static V: OnceLock<Duration> = OnceLock::new();
+    *V.get_or_init(|| {
+        let ms = std::env::var("NONCTG_POLL_SLICE_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(20)
+            .max(1);
+        Duration::from_millis(ms)
+    })
+}
+
+/// Bounded spin budget a fabric wait burns before its first park. Matches
+/// arrive within microseconds on the hot path, so a short spin avoids
+/// most condvar sleeps; the budget is small enough that a genuinely idle
+/// wait parks almost immediately.
+pub(crate) const SPIN_ROUNDS: u32 = 64;
+
+/// One spin round between lock re-acquisitions.
+#[inline]
+pub(crate) fn spin_round() {
+    for _ in 0..32 {
+        std::hint::spin_loop();
+    }
+}
+
+/// Bounded pool of reusable payload buffers, shared by every rank of one
+/// fabric. Message staging (sends, bsend, streamed chunks) draws from it,
+/// and buffers flow back automatically when the receiver drops the
+/// envelope — including on error paths.
+pub(crate) struct PayloadPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+}
+
+impl PayloadPool {
+    /// Buffers retained for reuse; beyond this, returned allocations are
+    /// simply freed (bounds worst-case memory at a few in-flight payloads).
+    const MAX_RETAINED: usize = 8;
+
+    pub(crate) fn new() -> Arc<PayloadPool> {
+        Arc::new(PayloadPool { bufs: Mutex::new(Vec::new()) })
+    }
+
+    /// A buffer of exactly `len` bytes (contents unspecified beyond being
+    /// initialized), reusing a pooled allocation when one is available.
+    pub fn take(self: &Arc<Self>, len: usize) -> PooledBuf {
+        let mut buf = self.bufs.lock().pop().unwrap_or_default();
+        if buf.len() < len {
+            buf.resize(len, 0);
+        } else {
+            buf.truncate(len);
+        }
+        PooledBuf { buf, pool: Some(Arc::clone(self)) }
+    }
+
+    fn put(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        // Length is kept: `take` truncates or extends, so reusing a buffer
+        // for an equal-or-smaller payload never pays a memset.
+        let mut bufs = self.bufs.lock();
+        if bufs.len() < Self::MAX_RETAINED {
+            bufs.push(buf);
+        }
+    }
+}
+
+/// A payload buffer that returns its allocation to its [`PayloadPool`]
+/// on drop. Derefs to `[u8]`.
+pub(crate) struct PooledBuf {
+    buf: Vec<u8>,
+    pool: Option<Arc<PayloadPool>>,
+}
+
+impl PooledBuf {
+    /// Wrap a plain vector without pool backing.
+    #[cfg(test)]
+    pub fn detached(buf: Vec<u8>) -> PooledBuf {
+        PooledBuf { buf, pool: None }
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PooledBuf({} B)", self.buf.len())
+    }
+}
+
+/// Packed payload of a message: fully materialized, or streamed as a
+/// sequence of chunk buffers the sender is still producing.
+#[derive(Debug)]
+pub(crate) enum Payload {
+    /// The whole packed message.
+    Whole(PooledBuf),
+    /// Chunked stream (pipelined rendezvous): the receiver drains `rx`
+    /// until it has `total` bytes. Chunk boundaries are pack-plan block
+    /// aligned on the sender, but receivers must not rely on that.
+    Chunked {
+        /// Total packed bytes across all chunks.
+        total: usize,
+        /// Chunk buffers, in message order; the channel's bound is the
+        /// ring depth that throttles the sender.
+        rx: Receiver<PooledBuf>,
+    },
+}
+
+impl Payload {
+    /// Total packed bytes of the message (known up front either way).
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Whole(b) => b.len(),
+            Payload::Chunked { total, .. } => *total,
+        }
+    }
+}
 
 /// The last tracked operation a rank started, kept for watchdog reports.
 #[derive(Debug, Clone, Copy)]
@@ -193,8 +329,8 @@ pub(crate) struct Envelope {
     /// Sender's rank *within that context*.
     pub src: usize,
     pub tag: i32,
-    /// Packed (contiguous) payload bytes.
-    pub payload: Bytes,
+    /// Packed (contiguous) payload bytes, whole or streamed.
+    pub payload: Payload,
     /// Total signature (already scaled by the send count).
     pub sig: Signature,
     pub protocol: Protocol,
@@ -240,6 +376,7 @@ impl Mailbox {
         tag: Option<i32>,
     ) -> Result<Envelope> {
         let deadline = Instant::now() + self.sup.timeout();
+        let mut spins = SPIN_ROUNDS;
         let mut inner = self.inner.lock();
         loop {
             let pos = inner.queue.iter().position(|e| {
@@ -257,7 +394,14 @@ impl Mailbox {
             if now >= deadline {
                 return Err(CoreError::deadlock("a matching message"));
             }
-            let slice = (deadline - now).min(POLL_SLICE);
+            // Spin-then-park: burn the bounded spin budget (lock released)
+            // before the first condvar sleep.
+            if spins > 0 {
+                spins -= 1;
+                MutexGuard::unlocked(&mut inner, spin_round);
+                continue;
+            }
+            let slice = (deadline - now).min(poll_slice());
             let _ = self.cond.wait_for(&mut inner, slice);
         }
     }
@@ -329,6 +473,7 @@ impl SimBarrier {
             self.cond.notify_all();
             return Ok(st.result);
         }
+        let mut spins = SPIN_ROUNDS;
         while st.generation == my_gen {
             if let Some(rank) = self.sup.failed_rank() {
                 return Err(CoreError::PeerFailed { rank });
@@ -337,7 +482,13 @@ impl SimBarrier {
             if now >= deadline {
                 return Err(CoreError::deadlock("barrier participants"));
             }
-            let slice = (deadline - now).min(POLL_SLICE);
+            // Spin-then-park, as in `Mailbox::match_recv`.
+            if spins > 0 {
+                spins -= 1;
+                MutexGuard::unlocked(&mut st, spin_round);
+                continue;
+            }
+            let slice = (deadline - now).min(poll_slice());
             let _ = self.cond.wait_for(&mut st, slice);
         }
         Ok(st.result)
@@ -367,6 +518,8 @@ pub(crate) struct Fabric {
     pub splits: Mutex<HashMap<(u64, u64), SplitSlot>>,
     /// Health state: poison flag, deadlock timeout, watchdog bookkeeping.
     pub supervision: Arc<Supervision>,
+    /// Reusable payload staging buffers shared by all ranks.
+    pub pool: Arc<PayloadPool>,
 }
 
 impl Fabric {
@@ -385,6 +538,7 @@ impl Fabric {
             splits: Mutex::new(HashMap::new()),
             supervision,
             platform,
+            pool: PayloadPool::new(),
         })
     }
 
@@ -464,11 +618,31 @@ mod tests {
             context: WORLD_CONTEXT,
             src,
             tag,
-            payload: Bytes::new(),
+            payload: Payload::Whole(PooledBuf::detached(Vec::new())),
             sig: Signature::empty(),
             protocol: Protocol::Eager { avail: 0.0 },
             bsend_release: None,
         }
+    }
+
+    #[test]
+    fn payload_pool_reuses_allocations() {
+        let pool = PayloadPool::new();
+        let mut a = pool.take(1024);
+        a[5] = 7;
+        let ptr = a.as_ptr();
+        let cap_ok = a.len() == 1024;
+        assert!(cap_ok);
+        drop(a);
+        // Next take of equal-or-smaller size reuses the same allocation.
+        let b = pool.take(512);
+        assert_eq!(b.as_ptr(), ptr);
+        assert_eq!(b.len(), 512);
+        drop(b);
+        // Detached buffers never enter the pool.
+        drop(PooledBuf::detached(vec![1, 2, 3]));
+        let c = pool.take(8);
+        assert_eq!(c.as_ptr(), ptr);
     }
 
     #[test]

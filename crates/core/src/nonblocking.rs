@@ -14,7 +14,7 @@ use nonctg_datatype::{self as dt, Datatype, Scalar};
 
 use crate::comm::Comm;
 use crate::error::{CoreError, Result};
-use crate::fabric::POLL_SLICE;
+use crate::fabric::{poll_slice, spin_round, SPIN_ROUNDS};
 use crate::p2p::RecvStatus;
 
 /// Handle on an in-flight nonblocking send.
@@ -52,6 +52,7 @@ impl SendRequest {
                 let me = comm.world_rank();
                 let deadline = Instant::now() + sup.timeout();
                 sup.set_blocked(me, Some("rendezvous completion"));
+                let mut spins = SPIN_ROUNDS;
                 let res = loop {
                     let now = Instant::now();
                     if let Some(rank) = sup.failed_rank() {
@@ -64,7 +65,17 @@ impl SendRequest {
                     if now >= deadline {
                         break Err(CoreError::deadlock("rendezvous completion"));
                     }
-                    let slice = (deadline - now).min(POLL_SLICE);
+                    // Spin briefly before parking: rendezvous replies
+                    // usually land within microseconds of the wait.
+                    if spins > 0 {
+                        spins -= 1;
+                        if let Ok(done) = rx.try_recv() {
+                            break Ok(done);
+                        }
+                        spin_round();
+                        continue;
+                    }
+                    let slice = (deadline - now).min(poll_slice());
                     match rx.recv_timeout(slice) {
                         Ok(done) => break Ok(done),
                         Err(RecvTimeoutError::Timeout) => continue,
@@ -172,7 +183,9 @@ impl Comm {
         let t0 = self.wtime();
         let bytes = dt::pack_size(dtype, count)?;
         let req =
-            self.send_impl(buf, origin, dtype, count, dst, tag, crate::p2p::SendMode::Standard)?;
+            // `may_stream: false` — an isend must not block pumping chunks
+            // (sendrecv posts the receive only after the isend returns).
+            self.send_impl(buf, origin, dtype, count, dst, tag, crate::p2p::SendMode::Standard, false)?;
         self.trace(crate::trace::EventKind::Isend, t0, Some(dst), bytes, Some(tag));
         Ok(req)
     }

@@ -16,14 +16,15 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use bytes::Bytes;
-use nonctg_datatype::{self as dt, Datatype, Primitive, Scalar};
-use nonctg_simnet::Access;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError};
+use nonctg_datatype::{self as dt, Datatype, PackPlan, Primitive, Scalar};
+use nonctg_simnet::{Access, Platform};
 
 use crate::comm::{CacheState, Comm};
 use crate::error::{CoreError, Result};
-use crate::fabric::{reply_channel, Envelope, OpRecord, Protocol};
+use crate::fabric::{poll_slice, reply_channel, Envelope, OpRecord, Payload, PooledBuf, Protocol};
 use crate::nonblocking::{SendRequest, SendState};
 
 /// Bytes of bookkeeping the attached buffer pays per buffered message
@@ -37,6 +38,11 @@ pub const MAX_SEND_ATTEMPTS: u32 = 5;
 
 /// First retry backoff in virtual seconds; doubles per failed attempt.
 const SEND_BACKOFF_BASE_S: f64 = 2e-6;
+
+/// Chunks in flight on a pipelined rendezvous: the sender may run this
+/// many chunks ahead of the receiver before its ring push blocks. Depth 2
+/// is enough for full pack/unpack overlap; more only adds memory.
+const CHUNK_RING_DEPTH: usize = 2;
 
 /// Completion information of a receive.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,7 +127,7 @@ impl Comm {
     ) -> Result<()> {
         let t0 = self.clock.now();
         let bytes = dt::pack_size(dtype, count)?;
-        let req = self.send_impl(buf, origin, dtype, count, dst, tag, SendMode::Standard)?;
+        let req = self.send_impl(buf, origin, dtype, count, dst, tag, SendMode::Standard, true)?;
         req.wait(self)?;
         self.trace(crate::trace::EventKind::Send, t0, Some(dst), bytes, Some(tag));
         Ok(())
@@ -140,7 +146,7 @@ impl Comm {
     ) -> Result<()> {
         let t0 = self.clock.now();
         let bytes = dt::pack_size(dtype, count)?;
-        let req = self.send_impl(buf, origin, dtype, count, dst, tag, SendMode::Synchronous)?;
+        let req = self.send_impl(buf, origin, dtype, count, dst, tag, SendMode::Synchronous, true)?;
         req.wait(self)?;
         self.trace(crate::trace::EventKind::Send, t0, Some(dst), bytes, Some(tag));
         Ok(())
@@ -164,7 +170,7 @@ impl Comm {
     ) -> Result<()> {
         let t0 = self.clock.now();
         let bytes = dt::pack_size(dtype, count)?;
-        let req = self.send_impl(buf, origin, dtype, count, dst, tag, SendMode::Buffered)?;
+        let req = self.send_impl(buf, origin, dtype, count, dst, tag, SendMode::Buffered, false)?;
         req.wait(self)?;
         self.trace(crate::trace::EventKind::Bsend, t0, Some(dst), bytes, Some(tag));
         Ok(())
@@ -200,6 +206,7 @@ impl Comm {
         dst: usize,
         tag: i32,
         mode: SendMode,
+        may_stream: bool,
     ) -> Result<SendRequest> {
         self.check_rank(dst)?;
         dtype.require_committed()?;
@@ -216,12 +223,32 @@ impl Comm {
         );
         let op = sup.next_op(me);
 
-        // Real data movement: stage the payload contiguously. The type is
-        // committed, so this runs the cached compiled plan and fills the
-        // staging Vec's reserved capacity directly (no zeroing memset);
-        // ownership of the staging then moves into the message, so the
-        // allocation itself cannot be pooled here.
-        let mut packed = dt::pack(buf, origin, dtype, count)?;
+        let is_packed = dtype.signature().count(Primitive::Packed) > 0;
+        let eager =
+            !matches!(mode, SendMode::Synchronous) && bytes <= p.eager_threshold(is_packed);
+        let contiguous = matches!(access, Access::Contiguous);
+
+        // Wall-clock pipelining: a large derived-type rendezvous streams
+        // its payload as chunks so the receiver unpacks chunk k while we
+        // pack k+1. Decided before staging so the chunked path never
+        // builds the monolithic buffer. Only blocking sends may stream —
+        // an isend that blocked pumping chunks would deadlock a
+        // head-to-head sendrecv.
+        let stream_plan = if may_stream
+            && !eager
+            && !contiguous
+            && matches!(mode, SendMode::Standard | SendMode::Synchronous)
+            && bytes >= p.effective_pipeline().threshold_bytes
+        {
+            dt::plan_for(dtype, count)
+        } else {
+            None
+        };
+
+        // Fault decisions are taken before any staging so both datapaths
+        // share them; all fault charges are exact (no jitter draws), so
+        // the virtual clock is identical whichever path runs.
+        let mut corrupt_idx = None;
         if let Some(plan) = &p.fault {
             if plan.should_crash(me, op) {
                 panic!("fault plan: injected crash of rank {me} at op {op}");
@@ -253,20 +280,28 @@ impl Comm {
                     self.charge_exact(fault.delay);
                     sup.with_faults(me, |s| s.delays += 1);
                 }
-                if fault.corrupt && !packed.is_empty() {
-                    let idx = plan.corrupt_index(me, op, packed.len());
-                    packed[idx] ^= 0xFF;
+                if fault.corrupt && bytes > 0 {
+                    corrupt_idx = Some(plan.corrupt_index(me, op, bytes as usize));
                     sup.with_faults(me, |s| s.corruptions += 1);
                 }
             }
         }
-        let payload = Bytes::from(packed);
         let sig = dtype.signature().scaled(count as u64)?;
 
-        let is_packed = dtype.signature().count(Primitive::Packed) > 0;
-        let eager =
-            !matches!(mode, SendMode::Synchronous) && bytes <= p.eager_threshold(is_packed);
-        let contiguous = matches!(access, Access::Contiguous);
+        if let Some(plan) = stream_plan {
+            return self.stream_send(buf, origin, &plan, bytes, &access, warm, &p, dst, tag, sig, corrupt_idx);
+        }
+
+        // Real data movement: stage the payload contiguously. The type is
+        // committed, so this runs the cached compiled plan; the staging
+        // buffer comes from (and returns to) the fabric's payload pool,
+        // so steady-state sends allocate nothing.
+        let mut packed = self.fabric().pool.take(bytes as usize);
+        dt::pack_into(buf, origin, dtype, count, &mut packed)?;
+        if let Some(idx) = corrupt_idx {
+            packed[idx] ^= 0xFF;
+        }
+        let payload = Payload::Whole(packed);
 
         let mut bsend_release = None;
         let protocol = match mode {
@@ -347,7 +382,7 @@ impl Comm {
         &self,
         dst: usize,
         tag: i32,
-        payload: Bytes,
+        payload: Payload,
         sig: nonctg_datatype::Signature,
         protocol: Protocol,
         bsend_release: Option<(Arc<AtomicU64>, u64)>,
@@ -362,6 +397,97 @@ impl Comm {
             protocol,
             bsend_release,
         });
+    }
+
+    /// Pipelined rendezvous: post a chunk-streaming envelope, then pack
+    /// and push aligned chunks through a bounded ring while the receiver
+    /// unpacks them in place. The virtual-time charges (staging, send
+    /// overhead, jittered wire) are issued in exactly the monolithic
+    /// derived-path order, so the cost model cannot tell the paths apart.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_send(
+        &mut self,
+        buf: &[u8],
+        origin: usize,
+        plan: &PackPlan,
+        bytes: u64,
+        access: &Access,
+        warm: bool,
+        p: &Platform,
+        dst: usize,
+        tag: i32,
+        sig: nonctg_datatype::Signature,
+        corrupt_idx: Option<usize>,
+    ) -> Result<SendRequest> {
+        let t_stage = self.clock.now();
+        self.charge(p.staging_time(bytes, access, warm));
+        self.trace(crate::trace::EventKind::Stage, t_stage, None, bytes as usize, None);
+        self.charge_exact(p.send_overhead(false));
+        self.cache = CacheState::Warm;
+        let wire = p.wire_time(bytes, 1.0) * self.jitter.factor();
+        let (reply_tx, reply_rx) = reply_channel();
+        let (chunk_tx, chunk_rx) = bounded::<PooledBuf>(CHUNK_RING_DEPTH);
+        let proto =
+            Protocol::Rendezvous { sender_ready: self.clock.now(), wire, reply: reply_tx };
+        self.post(dst, tag, Payload::Chunked { total: bytes as usize, rx: chunk_rx }, sig, proto, None);
+
+        let chunk = p.effective_pipeline().chunk_bytes.max(1);
+        let pool = Arc::clone(&self.fabric().pool);
+        let sup = Arc::clone(&self.fabric().supervision);
+        let me = self.world_rank();
+        let deadline = Instant::now() + sup.timeout();
+        sup.set_blocked(me, Some("pipelined chunk delivery"));
+        let mut lo: u64 = 0;
+        let res = 'pump: loop {
+            if lo >= bytes {
+                break Ok(());
+            }
+            // Step to the next instance-aligned cut; a chunk size below
+            // one pack block still makes progress (aligning up to total).
+            let mut step = chunk;
+            let mut hi = plan.align_chunk(lo + step);
+            while hi <= lo {
+                step *= 2;
+                hi = plan.align_chunk(lo + step);
+            }
+            let n = (hi - lo) as usize;
+            let mut cbuf = pool.take(n);
+            if let Err(e) = plan.pack_range_into(buf, origin, &mut cbuf, lo, hi) {
+                break Err(crate::error::CoreError::from(e));
+            }
+            if let Some(idx) = corrupt_idx {
+                if (lo as usize..hi as usize).contains(&idx) {
+                    cbuf[idx - lo as usize] ^= 0xFF;
+                }
+            }
+            let t_now = self.clock.now();
+            self.trace(crate::trace::EventKind::Chunk, t_now, Some(dst), n, Some(tag));
+            let mut item = cbuf;
+            loop {
+                if let Some(rank) = sup.failed_rank() {
+                    break 'pump Err(CoreError::PeerFailed { rank });
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break 'pump Err(CoreError::deadlock("pipelined chunk delivery"));
+                }
+                let slice = (deadline - now).min(poll_slice());
+                match chunk_tx.send_timeout(item, slice) {
+                    Ok(()) => break,
+                    Err(SendTimeoutError::Timeout(back)) => item = back,
+                    Err(SendTimeoutError::Disconnected(_)) => {
+                        // The receiver abandoned the envelope (it errored
+                        // before draining); the rendezvous reply channel
+                        // carries the outcome to `wait`.
+                        break 'pump Ok(());
+                    }
+                }
+            }
+            lo = hi;
+        };
+        sup.set_blocked(me, None);
+        res.map_err(|e| self.fabric().enrich(e))?;
+        Ok(SendRequest::new(SendState::Pending(reply_rx)))
     }
 
     fn reserve_bsend(&mut self, needed: u64) -> Result<(Arc<AtomicU64>, u64)> {
@@ -522,23 +648,33 @@ impl Comm {
         // Real delivery: unpack the payload into the user layout. Derived
         // receive types pay the scatter; contiguous receives are the NIC's
         // direct deposit and cost nothing extra.
+        let total = env.payload.len();
+        let env_src = env.src;
+        let env_tag = env.tag;
         let incoming_count = if dtype.size() == 0 {
             0
         } else {
-            env.payload.len() / dtype.size() as usize
+            total / dtype.size() as usize
         };
-        dt::unpack_from(&env.payload, dtype, incoming_count, buf, origin)?;
+        match env.payload {
+            Payload::Whole(data) => {
+                dt::unpack_from(&data, dtype, incoming_count, buf, origin)?;
+            }
+            Payload::Chunked { rx, .. } => {
+                self.drain_chunks(rx, total, dtype, incoming_count, buf, origin, env_src, env_tag)?;
+            }
+        }
         if !dtype.is_contiguous_run(incoming_count as u64) {
             let access = Access::classify(dtype);
             let t_scatter = self.clock.now();
-            let t = p.scatter_time(env.payload.len() as u64, &access, self.is_warm());
+            let t = p.scatter_time(total as u64, &access, self.is_warm());
             self.charge(t);
             self.trace(
                 crate::trace::EventKind::Unstage,
                 t_scatter,
-                Some(env.src),
-                env.payload.len(),
-                Some(env.tag),
+                Some(env_src),
+                total,
+                Some(env_tag),
             );
         }
         self.cache = CacheState::Warm;
@@ -550,11 +686,114 @@ impl Comm {
         self.trace(
             crate::trace::EventKind::Recv,
             t_post,
-            Some(env.src),
-            env.payload.len(),
-            Some(env.tag),
+            Some(env_src),
+            total,
+            Some(env_tag),
         );
-        Ok(RecvStatus { source: env.src, tag: env.tag, bytes: env.payload.len() })
+        Ok(RecvStatus { source: env_src, tag: env_tag, bytes: total })
+    }
+
+    /// Drain a pipelined payload, unpacking each chunk in place via the
+    /// receive type's compiled plan. Sender chunks are aligned to the
+    /// *send* plan, so a carry buffer bridges cuts that fall mid-instance
+    /// for the receive plan; bytes past the whole instances the posted
+    /// receive consumes are drained and dropped, exactly like the
+    /// monolithic unpack. Purely wall-clock: no virtual charges here.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_chunks(
+        &mut self,
+        rx: Receiver<PooledBuf>,
+        total: usize,
+        dtype: &Datatype,
+        incoming_count: usize,
+        buf: &mut [u8],
+        origin: usize,
+        src: usize,
+        tag: i32,
+    ) -> Result<()> {
+        let plan = dt::plan_for(dtype, incoming_count);
+        // Bytes the posted receive actually delivers into `buf`.
+        let fit = plan.as_ref().map(|pl| pl.packed_len()).unwrap_or(0);
+        let me = self.global_rank(self.rank());
+        let sup = Arc::clone(&self.fabric().supervision);
+        let deadline = Instant::now() + sup.timeout();
+        sup.set_blocked(me, Some("pipelined chunk arrival"));
+        let mut pos = 0usize;
+        let mut carry: Vec<u8> = Vec::new();
+        let mut received = 0usize;
+        let mut out: Result<()> = Ok(());
+        'drain: while received < total {
+            let cbuf = loop {
+                if let Some(rank) = sup.failed_rank() {
+                    if let Ok(c) = rx.try_recv() {
+                        break c;
+                    }
+                    out = Err(CoreError::PeerFailed { rank });
+                    break 'drain;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    out = Err(CoreError::deadlock("pipelined chunk arrival"));
+                    break 'drain;
+                }
+                let slice = (deadline - now).min(poll_slice());
+                match rx.recv_timeout(slice) {
+                    Ok(c) => break c,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        out = Err(match sup.failed_rank() {
+                            Some(rank) => CoreError::PeerFailed { rank },
+                            None => CoreError::deadlock("pipelined chunk arrival"),
+                        });
+                        break 'drain;
+                    }
+                }
+            };
+            let n = cbuf.len();
+            received += n;
+            let t_now = self.clock.now();
+            self.trace(crate::trace::EventKind::Chunk, t_now, Some(src), n, Some(tag));
+            let Some(pl) = &plan else { // no plan: assemble, unpack at the end
+                carry.extend_from_slice(&cbuf);
+                continue;
+            };
+            if pos >= fit {
+                continue; // trailing partial instance: drained, dropped
+            }
+            let take = (fit - pos).min(n);
+            let aligned_end = pl.align_chunk((pos + take) as u64) as usize;
+            if carry.is_empty() && aligned_end == pos + take {
+                // Fast path: the chunk ends on a cut of the receive plan
+                // too — unpack straight from the ring buffer, in place.
+                if aligned_end > pos {
+                    if let Err(e) = pl.unpack_range_from(&cbuf[..take], buf, origin, pos as u64, aligned_end as u64) {
+                        out = Err(e.into());
+                        break 'drain;
+                    }
+                    pos = aligned_end;
+                }
+            } else {
+                carry.extend_from_slice(&cbuf[..take]);
+                let hi = pl.align_chunk((pos + carry.len()) as u64) as usize;
+                if hi > pos {
+                    let used = hi - pos;
+                    if let Err(e) = pl.unpack_range_from(&carry[..used], buf, origin, pos as u64, hi as u64) {
+                        out = Err(e.into());
+                        break 'drain;
+                    }
+                    carry.drain(..used);
+                    pos = hi;
+                }
+            }
+        }
+        sup.set_blocked(me, None);
+        out.map_err(|e| self.fabric().enrich(e))?;
+        if plan.is_none() {
+            dt::unpack_from(&carry, dtype, incoming_count, buf, origin)?;
+        } else {
+            debug_assert!(carry.is_empty() && pos == fit.min(total));
+        }
+        Ok(())
     }
 
     /// Receive into a contiguous byte buffer.

@@ -46,11 +46,16 @@ pub enum EventKind {
     /// Receive-side scatter of a non-contiguous delivery into the user
     /// datatype; nests inside the enclosing `Recv` event.
     Unstage,
+    /// One chunk of a pipelined rendezvous payload crossing the ring
+    /// (sender: packed-and-posted; receiver: drained-and-delivered).
+    /// Zero-width in virtual time — the enclosing `Send`/`Recv` carries
+    /// the cost — so it never perturbs phase attribution.
+    Chunk,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order (`ALL[k as usize] == k`).
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::Send,
         EventKind::Bsend,
         EventKind::Isend,
@@ -65,6 +70,7 @@ impl EventKind {
         EventKind::Flush,
         EventKind::Stage,
         EventKind::Unstage,
+        EventKind::Chunk,
     ];
 
     /// Number of kinds — the length of per-kind accumulator arrays.
@@ -87,6 +93,7 @@ impl EventKind {
             EventKind::Flush => "flush",
             EventKind::Stage => "stage",
             EventKind::Unstage => "unstage",
+            EventKind::Chunk => "chunk",
         }
     }
 }
@@ -309,6 +316,7 @@ pub fn ascii_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
         EventKind::Flush => '.',
         EventKind::Stage => 'g',
         EventKind::Unstage => 'y',
+        EventKind::Chunk => 'k',
     };
     let mut out = String::new();
     for (rank, events) in traces.iter().enumerate() {
@@ -329,7 +337,7 @@ pub fn ascii_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
         format!("{:.1} us", t_max * 1e6),
         width = width - 1
     ));
-    out.push_str("         S=send B=bsend R=recv P=put G=get F=fence |=barrier c=copy/pack u=unpack g=stage y=unstage .=flush\n");
+    out.push_str("         S=send B=bsend R=recv P=put G=get F=fence |=barrier c=copy/pack u=unpack g=stage y=unstage k=chunk .=flush\n");
     out
 }
 

@@ -1,0 +1,194 @@
+//! Differential property tests of the pipelined chunked datapath: for any
+//! strided message, chunk size, receive-side datatype and fault seed, the
+//! chunked rendezvous path must deliver byte-identical payloads and
+//! bit-equal virtual times compared to the monolithic path.
+//!
+//! The chunked path is forced with `Platform::with_pipeline(1, chunk)`
+//! (threshold of one byte streams every eligible rendezvous send) and the
+//! baseline with `Platform::without_pipeline()`. Jitter stays ON: bit-equal
+//! times prove both paths consume the same jitter draws in the same order.
+//! CI additionally runs this suite under `NONCTG_PACK_THREADS=4` so the
+//! threaded sub-range pack/unpack kernels get the same differential check.
+
+use nonctg_core::Universe;
+use nonctg_datatype::{as_bytes, as_bytes_mut, Datatype};
+use nonctg_simnet::{FaultPlan, Platform};
+use proptest::prelude::*;
+
+/// How rank 1 receives the strided payload.
+#[derive(Debug, Clone, Copy)]
+enum RecvMode {
+    /// Contiguous `recv_slice` — the receive plan is dense.
+    Contiguous,
+    /// The sender's vector type — chunk cuts land on receive-plan
+    /// boundaries (in-place fast path).
+    SameVector,
+    /// A coarser vector type with twice the blocklength — the sender's
+    /// chunk alignment is finer than the receiver's, so cuts straddle
+    /// receive blocks and exercise the carry buffer.
+    CoarseVector,
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    /// Number of vector blocks on the sender (always even, for CoarseVector).
+    blocks: usize,
+    /// Sender blocklength in f64 elements.
+    blocklen: usize,
+    /// Extra stride beyond the blocklength (>= 1 keeps the type non-contiguous).
+    gap: usize,
+    /// Pipeline chunk size in bytes; deliberately includes values that are
+    /// not multiples of the block size.
+    chunk: u64,
+    recv_mode: RecvMode,
+    /// Fault seed; `None` runs fault-free.
+    fault_seed: Option<u64>,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (
+        2usize..240,
+        1usize..5,
+        1usize..4,
+        prop_oneof![Just(64u64), 65u64..4096, Just(1u64 << 16)],
+        prop_oneof![
+            Just(RecvMode::Contiguous),
+            Just(RecvMode::SameVector),
+            Just(RecvMode::CoarseVector),
+        ],
+        prop_oneof![Just(None), (0u64..1_000).prop_map(Some)],
+    )
+        .prop_map(|(half, blocklen, gap, chunk, recv_mode, fault_seed)| Case {
+            blocks: 2 * half,
+            blocklen,
+            gap,
+            chunk,
+            recv_mode,
+            fault_seed,
+        })
+}
+
+fn platform_for(case: &Case, chunked: bool) -> Platform {
+    // Jitter stays at the platform default: identical draw sequences are
+    // part of what the differential test proves.
+    let mut p = Platform::skx_impi();
+    p = if chunked {
+        p.with_pipeline(1, case.chunk)
+    } else {
+        p.without_pipeline()
+    };
+    if let Some(seed) = case.fault_seed {
+        // Delays and corruption stress the retry/backoff charges and the
+        // corrupt-byte placement mid-stream; a low transient-failure rate
+        // exercises the pre-send retry loop without ever escalating to a
+        // persistent failure (which would wedge the receiver).
+        p = p.with_fault_plan(
+            FaultPlan::quiet(seed)
+                .with_send_failures(0.05)
+                .with_delays(0.15, 2e-6)
+                .with_corruption(0.15),
+        );
+    }
+    p.with_deadlock_timeout(5.0)
+}
+
+/// Runs one ssend/recv exchange and returns (receiver buffer bytes,
+/// sender wtime bits, receiver wtime bits).
+fn run_case(p: Platform, case: Case) -> (Vec<u8>, u64, u64) {
+    let results = Universe::run(p, 2, move |comm| {
+        let stride = (case.blocklen + case.gap) as i64;
+        let n_elems = case.blocks * case.blocklen;
+        if comm.rank() == 0 {
+            let extent = (case.blocks - 1) * stride as usize + case.blocklen;
+            let src: Vec<f64> = (0..extent).map(|e| e as f64 + 0.25).collect();
+            let t = Datatype::vector(case.blocks, case.blocklen, stride, &Datatype::f64())
+                .unwrap()
+                .commit();
+            // Synchronous mode rendezvouses at every size, so even small
+            // payloads take the streaming path once the threshold is 1.
+            comm.ssend(as_bytes(&src), 0, &t, 1, 1, 7).unwrap();
+            (Vec::new(), comm.wtime().to_bits())
+        } else {
+            let buf_bytes = match case.recv_mode {
+                RecvMode::Contiguous => {
+                    let mut buf = vec![0.0f64; n_elems];
+                    comm.recv_slice(&mut buf, Some(0), Some(7)).unwrap();
+                    as_bytes(&buf).to_vec()
+                }
+                RecvMode::SameVector => {
+                    let extent = (case.blocks - 1) * stride as usize + case.blocklen;
+                    let mut buf = vec![0.0f64; extent];
+                    let t = Datatype::vector(case.blocks, case.blocklen, stride, &Datatype::f64())
+                        .unwrap()
+                        .commit();
+                    comm.recv(as_bytes_mut(&mut buf), 0, &t, 1, Some(0), Some(7))
+                        .unwrap();
+                    as_bytes(&buf).to_vec()
+                }
+                RecvMode::CoarseVector => {
+                    let rb = 2 * case.blocklen;
+                    let rcount = case.blocks / 2;
+                    let rstride = (rb + 1) as i64;
+                    let extent = (rcount - 1) * rstride as usize + rb;
+                    let mut buf = vec![0.0f64; extent];
+                    let t = Datatype::vector(rcount, rb, rstride, &Datatype::f64())
+                        .unwrap()
+                        .commit();
+                    comm.recv(as_bytes_mut(&mut buf), 0, &t, 1, Some(0), Some(7))
+                        .unwrap();
+                    as_bytes(&buf).to_vec()
+                }
+            };
+            (buf_bytes, comm.wtime().to_bits())
+        }
+    });
+    let mut it = results.into_iter();
+    let (_, t0) = it.next().unwrap();
+    let (buf, t1) = it.next().unwrap();
+    (buf, t0, t1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chunked vs. monolithic: identical received bytes (including any
+    /// injected corruption, which must land on the same byte) and
+    /// bit-equal virtual clocks on both ranks.
+    #[test]
+    fn chunked_matches_monolithic(case in arb_case()) {
+        let (buf_c, s_c, r_c) = run_case(platform_for(&case, true), case.clone());
+        let (buf_m, s_m, r_m) = run_case(platform_for(&case, false), case.clone());
+        prop_assert_eq!(buf_c, buf_m, "payload bytes diverged: {:?}", case);
+        prop_assert_eq!(s_c, s_m, "sender wtime diverged: {:?}", case);
+        prop_assert_eq!(r_c, r_m, "receiver wtime diverged: {:?}", case);
+    }
+}
+
+/// The default configuration: a standard `send` above the 4 MiB threshold
+/// streams, and its virtual time is bit-equal to the monolithic path.
+#[test]
+fn default_threshold_send_is_bit_equal() {
+    let elems = 1 << 20; // 8 MiB packed — above NONCTG_PIPELINE_THRESHOLD.
+    let run = |p: Platform| {
+        Universe::run(p, 2, move |comm| {
+            if comm.rank() == 0 {
+                let src: Vec<f64> = (0..2 * elems).map(|e| e as f64).collect();
+                let t = Datatype::vector(elems, 1, 2, &Datatype::f64())
+                    .unwrap()
+                    .commit();
+                comm.send(as_bytes(&src), 0, &t, 1, 1, 3).unwrap();
+                (0u64, comm.wtime().to_bits())
+            } else {
+                let mut buf = vec![0.0f64; elems];
+                comm.recv_slice(&mut buf, Some(0), Some(3)).unwrap();
+                let sum = buf.iter().sum::<f64>();
+                (sum.to_bits(), comm.wtime().to_bits())
+            }
+        })
+    };
+    // Default platform (env-driven threshold, 4 MiB unless overridden) vs.
+    // explicitly disabled pipeline.
+    let chunked = run(Platform::skx_impi());
+    let mono = run(Platform::skx_impi().without_pipeline());
+    assert_eq!(chunked, mono);
+}

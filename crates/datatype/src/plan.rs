@@ -433,20 +433,148 @@ impl PackPlan {
         Ok(total)
     }
 
+    /// Clamp a packed-byte position to the message and round it down to
+    /// the nearest block boundary — the only positions the sub-range API
+    /// ([`Self::pack_range_into`] / [`Self::unpack_range_from`]) accepts.
+    /// Chunked senders pick their chunk ends with this.
+    pub fn align_chunk(&self, pos: u64) -> u64 {
+        let total = self.packed_len() as u64;
+        if pos >= total {
+            return total;
+        }
+        self.align_cut(pos)
+    }
+
+    /// Reject sub-range bounds that are out of order, past the end, or not
+    /// block-aligned (a misaligned cut would gather/scatter wrong bytes:
+    /// the range kernels assume whole blocks).
+    fn check_range(&self, lo: u64, hi: u64) -> Result<()> {
+        let total = self.packed_len() as u64;
+        for &pos in &[lo, hi] {
+            if pos > total || self.align_chunk(pos) != pos {
+                return Err(DatatypeError::InvalidPosition {
+                    position: pos as usize,
+                    buffer_len: total as usize,
+                });
+            }
+        }
+        if lo > hi {
+            return Err(DatatypeError::InvalidPosition {
+                position: lo as usize,
+                buffer_len: hi as usize,
+            });
+        }
+        Ok(())
+    }
+
+    /// Gather packed bytes `[lo, hi)` of the message into `dst` — one
+    /// chunk of a streamed send. Bounds must be [`Self::align_chunk`]
+    /// positions. Parallelizes above [`parallel_threshold`]; returns the
+    /// bytes written (`hi - lo`).
+    pub fn pack_range_into(
+        &self,
+        src: &[u8],
+        origin: usize,
+        dst: &mut [u8],
+        lo: u64,
+        hi: u64,
+    ) -> Result<usize> {
+        let threads =
+            if (hi.saturating_sub(lo)) as usize >= parallel_threshold() { pack_threads() } else { 1 };
+        self.pack_range_into_with(src, origin, dst, lo, hi, threads)
+    }
+
+    /// [`Self::pack_range_into`] with an explicit worker count, ignoring
+    /// the size threshold.
+    pub fn pack_range_into_with(
+        &self,
+        src: &[u8],
+        origin: usize,
+        dst: &mut [u8],
+        lo: u64,
+        hi: u64,
+        threads: usize,
+    ) -> Result<usize> {
+        self.check_range(lo, hi)?;
+        let n = (hi - lo) as usize;
+        if dst.len() < n {
+            return Err(DatatypeError::BufferTooSmall { needed: n, available: dst.len() });
+        }
+        if n == 0 {
+            return Ok(0);
+        }
+        self.validate_user(src.len(), origin)?;
+        let dst = &mut dst[..n];
+        let cuts = self.split_range(lo, hi, threads);
+        if cuts.len() <= 2 {
+            // SAFETY: `validate_user` succeeded above, so every plan block
+            // lies within `src`; bounds are block-aligned per check_range.
+            unsafe { self.pack_range(src, origin as i64, dst, lo, hi) };
+            return Ok(n);
+        }
+        std::thread::scope(|scope| {
+            let mut rest = dst;
+            for w in cuts.windows(2) {
+                let (l, h) = (w[0], w[1]);
+                let (chunk, tail) = rest.split_at_mut((h - l) as usize);
+                rest = tail;
+                // SAFETY: as the sequential branch; each worker writes a
+                // disjoint `chunk`.
+                scope.spawn(move || unsafe {
+                    self.pack_range(src, origin as i64, chunk, l, h)
+                });
+            }
+        });
+        Ok(n)
+    }
+
+    /// Scatter packed bytes `[lo, hi)` (supplied in `packed`) into the
+    /// user buffer in place — one chunk of a streamed receive. Bounds must
+    /// be [`Self::align_chunk`] positions. Sequential (exclusive `&mut`
+    /// access makes it safe for any plan, `par_safe` or not); returns the
+    /// bytes consumed.
+    pub fn unpack_range_from(
+        &self,
+        packed: &[u8],
+        dst: &mut [u8],
+        origin: usize,
+        lo: u64,
+        hi: u64,
+    ) -> Result<usize> {
+        self.check_range(lo, hi)?;
+        let n = (hi - lo) as usize;
+        if packed.len() < n {
+            return Err(DatatypeError::BufferTooSmall { needed: n, available: packed.len() });
+        }
+        if n == 0 {
+            return Ok(0);
+        }
+        self.validate_user(dst.len(), origin)?;
+        // SAFETY: exclusive access via `&mut dst`; all offsets validated
+        // against `dst.len()` above; bounds block-aligned per check_range.
+        unsafe { self.unpack_range(&packed[..n], dst.as_mut_ptr(), origin as i64, lo, hi) };
+        Ok(n)
+    }
+
     /// Packed-byte positions to cut the message at for `threads` workers:
     /// evenly spaced targets rounded down to segment boundaries.
     fn split_points(&self, threads: usize) -> Vec<u64> {
-        let total = self.packed_len() as u64;
+        self.split_range(0, self.packed_len() as u64, threads)
+    }
+
+    /// As [`Self::split_points`], but over the sub-range `[lo, hi)` (whose
+    /// bounds must themselves be aligned).
+    fn split_range(&self, lo: u64, hi: u64, threads: usize) -> Vec<u64> {
         let parts = threads.clamp(1, 64) as u64;
-        let mut cuts = vec![0u64];
+        let mut cuts = vec![lo];
         for k in 1..parts {
-            let target = ((total as u128 * k as u128) / parts as u128) as u64;
+            let target = lo + (((hi - lo) as u128 * k as u128) / parts as u128) as u64;
             let c = self.align_cut(target);
-            if c > *cuts.last().unwrap() && c < total {
+            if c > *cuts.last().unwrap() && c < hi {
                 cuts.push(c);
             }
         }
-        cuts.push(total);
+        cuts.push(hi);
         cuts
     }
 
@@ -1025,6 +1153,49 @@ mod tests {
         let mut upar = vec![0u8; src.len()];
         p.unpack_from_with(&seq, &mut upar, 0, 5).unwrap();
         assert_eq!(useq, upar);
+    }
+
+    #[test]
+    fn range_pack_unpack_matches_whole_message() {
+        let d = Datatype::vector(500, 3, 7, &Datatype::f64()).unwrap();
+        let p = PackPlan::compile(&d, 2).unwrap();
+        let total = p.packed_len() as u64;
+        let src = f64s(7 * 500 * 2 + 16);
+        let mut whole = vec![0u8; total as usize];
+        p.pack_into_with(&src, 0, &mut whole, 1).unwrap();
+
+        // Walk the message in ~1000-byte chunks cut at aligned positions,
+        // packing each sub-range (threaded) and unpacking it in place.
+        let mut chunked = Vec::new();
+        let mut recon = vec![0u8; src.len()];
+        let mut pos = 0u64;
+        while pos < total {
+            let hi = p.align_chunk(pos + 1000);
+            let mut buf = vec![0u8; (hi - pos) as usize];
+            p.pack_range_into_with(&src, 0, &mut buf, pos, hi, 3).unwrap();
+            p.unpack_range_from(&buf, &mut recon, 0, pos, hi).unwrap();
+            chunked.extend_from_slice(&buf);
+            pos = hi;
+        }
+        assert_eq!(chunked, whole);
+        let mut expect = vec![0u8; src.len()];
+        p.unpack_from(&whole, &mut expect, 0).unwrap();
+        assert_eq!(recon, expect);
+
+        // Misaligned or out-of-range bounds are rejected, not misread.
+        let mut buf = vec![0u8; 64];
+        assert!(matches!(
+            p.pack_range_into(&src, 0, &mut buf, 1, 25),
+            Err(DatatypeError::InvalidPosition { .. })
+        ));
+        assert!(matches!(
+            p.unpack_range_from(&buf, &mut recon, 0, 24, 25),
+            Err(DatatypeError::InvalidPosition { .. })
+        ));
+        assert!(matches!(
+            p.pack_range_into(&src, 0, &mut buf, 0, total + 24),
+            Err(DatatypeError::InvalidPosition { .. })
+        ));
     }
 
     #[test]

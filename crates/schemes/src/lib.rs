@@ -30,7 +30,8 @@ pub use pingpong::{
 pub use scheme::Scheme;
 pub use stats::Stats;
 pub use sweep::{
-    run_sweep, run_sweep_parallel, run_sweep_resilient, run_sweep_resilient_with, run_sweep_with,
+    run_sweep, run_sweep_parallel, run_sweep_resilient, run_sweep_resilient_with,
+    run_sweep_sharded, run_sweep_with,
     PointStatus, Resilience, Sweep, SweepConfig, SweepFaults, SweepPoint,
 };
 pub use workload::{IrregularWorkload, Workload};

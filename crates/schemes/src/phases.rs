@@ -65,7 +65,8 @@ impl Phase {
             | EventKind::Isend
             | EventKind::Recv
             | EventKind::Put
-            | EventKind::Get => Phase::Transfer,
+            | EventKind::Get
+            | EventKind::Chunk => Phase::Transfer,
         }
     }
 }

@@ -391,10 +391,14 @@ fn sender(
     let src = w.make_source();
     let contig = w.expected(); // reference sends the same payload contiguously
     let mut sendbuf = vec![0.0f64; if scheme == Scheme::Copying { n } else { 0 }];
-    let mut packbuf = vec![0u8; match scheme {
+    // Packing schemes stage through the rank's scratch pool instead of a
+    // fresh allocation, so back-to-back measurements reuse one buffer.
+    let packbuf_len = match scheme {
         Scheme::PackingElement | Scheme::PackingVector => w.msg_bytes(),
         _ => 0,
-    }];
+    };
+    let mut packbuf = comm.take_scratch(packbuf_len);
+    packbuf.truncate(packbuf_len);
     let vec_t = w.vector_type()?;
     let sub_t = w.subarray_type()?;
     let f64_t = Datatype::f64();
@@ -500,6 +504,7 @@ fn sender(
         // detaching (the receiver's pong ordering guarantees it).
         comm.buffer_detach()?;
     }
+    comm.put_scratch(packbuf);
     comm.barrier()?;
     Ok((times, starts))
 }

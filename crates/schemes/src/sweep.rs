@@ -268,44 +268,41 @@ pub fn run_sweep(platform: &Platform, cfg: &SweepConfig) -> Sweep {
     run_sweep_with(platform, cfg, |_| {})
 }
 
-/// Run a sweep with up to `jobs` (scheme, size) points measured
-/// concurrently. Each point runs in its own universe, so results are
-/// identical to the sequential [`run_sweep`] — only wall-clock changes.
-pub fn run_sweep_parallel(platform: &Platform, cfg: &SweepConfig, jobs: usize) -> Sweep {
-    let jobs = jobs.max(1);
-    if jobs == 1 {
-        return run_sweep(platform, cfg);
-    }
-    // Work list in deterministic order; results slot by index. Sizes are
-    // rounded to whole elements exactly as the sequential path does.
-    let work: Vec<(usize, Scheme)> = cfg
-        .sizes()
+/// The canonical (msg_bytes, scheme) work list of a sweep, in the exact
+/// order the sequential path measures it. Sizes are rounded to whole
+/// elements exactly as the sequential path does.
+fn work_list(cfg: &SweepConfig) -> Vec<(usize, Scheme)> {
+    cfg.sizes()
         .into_iter()
         .map(|bytes| Workload::every_other(bytes / Workload::ELEM).msg_bytes())
         .flat_map(|bytes| cfg.schemes.iter().map(move |&s| (bytes, s)))
-        .collect();
-    let results: Vec<std::sync::Mutex<Option<(f64, f64, FaultStats)>>> =
-        (0..work.len()).map(|_| std::sync::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
+        .collect()
+}
 
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= work.len() {
-                    break;
-                }
-                let (bytes, scheme) = work[i];
-                let w = Workload::every_other(bytes / Workload::ELEM);
-                let pp = cfg.base.clone().adaptive(bytes);
-                let r = run_scheme(platform, scheme, &w, &pp);
-                *results[i].lock().unwrap() = Some((r.time(), r.bandwidth(), r.faults));
-            });
-        }
-    });
+/// One measured point: (time, bandwidth, absorbed fault counters),
+/// parked in a mutex slot until assembly.
+type PointSlot = std::sync::Mutex<Option<(f64, f64, FaultStats)>>;
 
-    // Assemble in canonical order, one size group at a time, so every
-    // group's slowdowns come from its own reference point.
+/// Measure one work-list point in its own fabric universe.
+fn measure_point(
+    platform: &Platform,
+    cfg: &SweepConfig,
+    bytes: usize,
+    scheme: Scheme,
+) -> (f64, f64, FaultStats) {
+    let w = Workload::every_other(bytes / Workload::ELEM);
+    let pp = cfg.base.clone().adaptive(bytes);
+    let r = run_scheme(platform, scheme, &w, &pp);
+    (r.time(), r.bandwidth(), r.faults)
+}
+
+/// Fold measured results back into canonical order, one size group at a
+/// time, so every group's slowdowns come from its own reference point.
+fn assemble_in_order(
+    platform: &Platform,
+    work: &[(usize, Scheme)],
+    results: &[PointSlot],
+) -> Sweep {
     let mut points = Vec::with_capacity(work.len());
     let mut faults = SweepFaults::default();
     let mut i = 0;
@@ -329,6 +326,74 @@ pub fn run_sweep_parallel(platform: &Platform, cfg: &SweepConfig, jobs: usize) -
         points.extend(group);
     }
     Sweep { platform: platform.id, points, faults }
+}
+
+/// Run a sweep with up to `jobs` (scheme, size) points measured
+/// concurrently. Each point runs in its own universe, so results are
+/// identical to the sequential [`run_sweep`] — only wall-clock changes.
+pub fn run_sweep_parallel(platform: &Platform, cfg: &SweepConfig, jobs: usize) -> Sweep {
+    let jobs = jobs.max(1);
+    if jobs == 1 {
+        return run_sweep(platform, cfg);
+    }
+    // Work list in deterministic order; results slot by index.
+    let work = work_list(cfg);
+    let results: Vec<PointSlot> =
+        (0..work.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let (bytes, scheme) = work[i];
+                *results[i].lock().unwrap() = Some(measure_point(platform, cfg, bytes, scheme));
+            });
+        }
+    });
+
+    assemble_in_order(platform, &work, &results)
+}
+
+/// Run a sweep split into `shards` statically-partitioned slices: shard
+/// `k` measures every `shards`-th point of the canonical work list on its
+/// own rank pair. Unlike [`run_sweep_parallel`]'s dynamic queue, each
+/// shard's workload is fixed up front — the set of points a given worker
+/// thread measures does not depend on scheduling. Every point still runs
+/// in its own deterministically-seeded fabric universe and results merge
+/// in canonical order, so the sweep is bit-equal to the serial run; only
+/// wall-clock changes.
+pub fn run_sweep_sharded(platform: &Platform, cfg: &SweepConfig, shards: usize) -> Sweep {
+    let shards = shards.max(1);
+    if shards == 1 {
+        return run_sweep(platform, cfg);
+    }
+    let work = work_list(cfg);
+    let results: Vec<PointSlot> =
+        (0..work.len()).map(|_| std::sync::Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for shard in 0..shards {
+            let work = &work;
+            let results = &results;
+            scope.spawn(move || {
+                // Round-robin slice: spreads every message size across all
+                // shards, so no shard ends up with only the largest sizes.
+                let mut i = shard;
+                while i < work.len() {
+                    let (bytes, scheme) = work[i];
+                    *results[i].lock().unwrap() =
+                        Some(measure_point(platform, cfg, bytes, scheme));
+                    i += shards;
+                }
+            });
+        }
+    });
+
+    assemble_in_order(platform, &work, &results)
 }
 
 /// Robustness knobs of a [`run_sweep_resilient`] run.
@@ -559,6 +624,33 @@ mod tests {
             assert_eq!(a.time, b.time, "{} @ {}", a.scheme, a.msg_bytes);
             assert_eq!(a.slowdown, b.slowdown);
             assert_eq!(a.status, b.status);
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_matches_sequential_bit_for_bit() {
+        // Reference deliberately NOT first, and a shard count that does
+        // not divide the work list evenly.
+        let mut cfg = tiny_cfg();
+        cfg.schemes = vec![Scheme::Copying, Scheme::Reference, Scheme::VectorType];
+        let seq = run_sweep(&quiet(), &cfg);
+        for shards in [2, 4, 7] {
+            let sh = run_sweep_sharded(&quiet(), &cfg, shards);
+            assert_eq!(seq.points.len(), sh.points.len());
+            for (a, b) in seq.points.iter().zip(sh.points.iter()) {
+                assert_eq!(a.scheme, b.scheme);
+                assert_eq!(a.msg_bytes, b.msg_bytes);
+                assert_eq!(
+                    a.time.to_bits(),
+                    b.time.to_bits(),
+                    "{} @ {} ({shards} shards)",
+                    a.scheme,
+                    a.msg_bytes
+                );
+                assert_eq!(a.bandwidth.to_bits(), b.bandwidth.to_bits());
+                assert_eq!(a.slowdown.to_bits(), b.slowdown.to_bits());
+                assert_eq!(a.status, b.status);
+            }
         }
     }
 

@@ -1,0 +1,68 @@
+//! Allocation regression test for the ping-pong datapath: once a
+//! measurement's universe is warm, extra repetitions must not allocate
+//! per-rep payload-sized buffers. Scratch staging goes through
+//! `Comm::take_scratch`/`put_scratch` and wire payloads through the
+//! fabric's buffer pool, so six additional 4 MiB ping-pongs should cost
+//! far less than one payload of fresh allocation — a regression (packing
+//! into a fresh `Vec` per rep) costs tens of megabytes and fails loudly.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nonctg_schemes::{run_scheme, PingPongConfig, Scheme, Workload};
+use nonctg_simnet::Platform;
+
+/// Counts bytes requested from the allocator (frees are ignored: we
+/// measure allocation churn, not live footprint).
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            ALLOCATED.fetch_add((new_size - layout.size()) as u64, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const ELEMS: usize = 512 * 1024; // 4 MiB payload (f64 elements).
+const MSG_BYTES: u64 = (ELEMS * 8) as u64;
+
+fn measure(reps: usize) -> u64 {
+    let platform = Platform::skx_impi();
+    let workload = Workload::every_other(ELEMS);
+    let cfg = PingPongConfig { reps, flush: false, ..Default::default() };
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    run_scheme(&platform, Scheme::Copying, &workload, &cfg);
+    ALLOCATED.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn extra_pingpong_reps_do_not_allocate_payloads() {
+    // Warm up lazies (env caches, thread pools) outside the measurement.
+    let _ = measure(2);
+    let base = measure(2);
+    let more = measure(8);
+    // The six extra reps move 6 x 4 MiB of payload each way; without
+    // scratch and pool reuse they would allocate at least that much.
+    let extra = more.saturating_sub(base);
+    assert!(
+        extra < MSG_BYTES,
+        "6 extra ping-pong reps allocated {extra} bytes (>= one {MSG_BYTES}-byte \
+         payload); scratch/pool reuse has regressed (base run: {base} bytes)"
+    );
+}

@@ -7,7 +7,7 @@
 
 pub mod channel {
     use std::sync::mpsc;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     /// Sending half of a bounded channel.
     #[derive(Debug, Clone)]
@@ -24,6 +24,15 @@ pub mod channel {
     /// Error returned by [`Sender::send`] when the receiver is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::send_timeout`]; carries the value back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// Timeout elapsed with the buffer still full.
+        Timeout(T),
+        /// The receiver was dropped.
+        Disconnected(T),
+    }
 
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +62,41 @@ pub mod channel {
         /// Block until the message is enqueued or the receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        /// Block for at most `timeout` trying to enqueue the message.
+        /// `std::sync::mpsc` has no native timed send, so this spins
+        /// briefly then sleeps in short slices between `try_send`s.
+        pub fn send_timeout(
+            &self,
+            value: T,
+            timeout: Duration,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut value = value;
+            let mut spins: u32 = 0;
+            loop {
+                match self.inner.try_send(value) {
+                    Ok(()) => return Ok(()),
+                    Err(mpsc::TrySendError::Full(v)) => {
+                        if Instant::now() >= deadline {
+                            return Err(SendTimeoutError::Timeout(v));
+                        }
+                        value = v;
+                        if spins < 64 {
+                            spins += 1;
+                            for _ in 0..32 {
+                                std::hint::spin_loop();
+                            }
+                        } else {
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                    }
+                    Err(mpsc::TrySendError::Disconnected(v)) => {
+                        return Err(SendTimeoutError::Disconnected(v));
+                    }
+                }
+            }
         }
     }
 

@@ -21,7 +21,22 @@ pub struct Mutex<T: ?Sized> {
 /// only so [`Condvar::wait_for`] can temporarily take ownership of it;
 /// it is `Some` at every other moment.
 pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a std::sync::Mutex<T>,
     inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Temporarily release the lock while `f` runs, re-acquiring it
+    /// before returning (parking_lot's `MutexGuard::unlocked`).
+    pub fn unlocked<F, U>(s: &mut Self, f: F) -> U
+    where
+        F: FnOnce() -> U,
+    {
+        drop(s.inner.take().expect("guard taken"));
+        let r = f();
+        s.inner = Some(s.mutex.lock().unwrap_or_else(PoisonError::into_inner));
+        r
+    }
 }
 
 impl<T> Mutex<T> {
@@ -41,7 +56,7 @@ impl<T: ?Sized> Mutex<T> {
     /// panicked holder is ignored, matching parking_lot semantics.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        MutexGuard { inner: Some(guard) }
+        MutexGuard { mutex: &self.inner, inner: Some(guard) }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
