@@ -499,6 +499,7 @@ mod tests {
             bandwidth: msg_bytes as f64 / time,
             slowdown: 1.0,
             status: PointStatus::Ok,
+            faults: Default::default(),
         };
         let failed = SweepPoint {
             scheme: Scheme::Reference,
@@ -507,6 +508,7 @@ mod tests {
             bandwidth: 0.0,
             slowdown: f64::NAN,
             status: PointStatus::Failed,
+            faults: Default::default(),
         };
         let sweep = Sweep {
             platform: PlatformId::SkxImpi,

@@ -303,6 +303,9 @@ impl Comm {
         if let Some(m) = &mut self.metrics {
             m.record(kind, self.clock.now() - t_start, bytes);
         }
+        // Oracle mode: every traced operation is a monotonicity checkpoint
+        // of this rank's virtual clock (shared across split handles).
+        self.fabric.clock_ledger.tick(self.world_rank(), self.clock.now());
     }
 
     /// Validate a peer rank.

@@ -18,6 +18,7 @@ use nonctg_simnet::Platform;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::error::{CoreError, Result};
+use crate::invariants::{AliasRegistry, ClockLedger, StreamAudit};
 use crate::rma::WindowState;
 
 /// Longest slice a fabric wait sleeps before re-checking the poison flag.
@@ -57,6 +58,8 @@ pub(crate) fn spin_round() {
 /// envelope — including on error paths.
 pub(crate) struct PayloadPool {
     bufs: Mutex<Vec<Vec<u8>>>,
+    /// Oracle-mode ledger of lent-out buffer addresses (aliasing check).
+    aliases: AliasRegistry,
 }
 
 impl PayloadPool {
@@ -65,7 +68,7 @@ impl PayloadPool {
     const MAX_RETAINED: usize = 8;
 
     pub(crate) fn new() -> Arc<PayloadPool> {
-        Arc::new(PayloadPool { bufs: Mutex::new(Vec::new()) })
+        Arc::new(PayloadPool { bufs: Mutex::new(Vec::new()), aliases: AliasRegistry::default() })
     }
 
     /// A buffer of exactly `len` bytes (contents unspecified beyond being
@@ -76,6 +79,11 @@ impl PayloadPool {
             buf.resize(len, 0);
         } else {
             buf.truncate(len);
+        }
+        // Empty buffers share the dangling sentinel pointer and can never
+        // alias real payload bytes, so only allocations enter the ledger.
+        if buf.capacity() > 0 {
+            self.aliases.lend(buf.as_ptr() as usize);
         }
         PooledBuf { buf, pool: Some(Arc::clone(self)) }
     }
@@ -124,6 +132,9 @@ impl std::ops::DerefMut for PooledBuf {
 impl Drop for PooledBuf {
     fn drop(&mut self) {
         if let Some(pool) = self.pool.take() {
+            if self.buf.capacity() > 0 {
+                pool.aliases.give_back(self.buf.as_ptr() as usize);
+            }
             pool.put(std::mem::take(&mut self.buf));
         }
     }
@@ -150,6 +161,9 @@ pub(crate) enum Payload {
         /// Chunk buffers, in message order; the channel's bound is the
         /// ring depth that throttles the sender.
         rx: Receiver<PooledBuf>,
+        /// Oracle-mode audit shared with the sender's pump (chunk order
+        /// and byte-conservation checks); `None` when checks are off.
+        audit: Option<Arc<StreamAudit>>,
     },
 }
 
@@ -520,6 +534,8 @@ pub(crate) struct Fabric {
     pub supervision: Arc<Supervision>,
     /// Reusable payload staging buffers shared by all ranks.
     pub pool: Arc<PayloadPool>,
+    /// Oracle-mode per-rank virtual-clock monotonicity ledger.
+    pub clock_ledger: ClockLedger,
 }
 
 impl Fabric {
@@ -539,6 +555,7 @@ impl Fabric {
             supervision,
             platform,
             pool: PayloadPool::new(),
+            clock_ledger: ClockLedger::new(nranks),
         })
     }
 

@@ -36,6 +36,7 @@ mod coll;
 mod comm;
 mod error;
 mod fabric;
+mod invariants;
 pub mod metrics;
 mod nonblocking;
 mod p2p;
@@ -50,6 +51,7 @@ pub use coll::{Reducible, ReduceOp};
 pub use comm::{CacheState, Comm};
 pub use error::{CoreError, Result};
 pub use fabric::FaultStats;
+pub use invariants::{oracle_checks_enabled, set_oracle_checks};
 pub use metrics::{Histogram, MetricsSnapshot};
 pub use nonblocking::{RecvRequest, SendRequest};
 pub use persistent::{PersistentRecv, PersistentSend};

@@ -109,6 +109,20 @@ pub(crate) enum SendMode {
     Buffered,
 }
 
+/// Releases a buffered-send reservation when dropped. Held by the receive
+/// path from the moment the envelope leaves the mailbox, so *every* exit —
+/// including the truncation and signature-mismatch error returns — gives
+/// the sender its bsend buffer space back.
+struct BsendReleaseGuard(Option<(Arc<AtomicU64>, u64)>);
+
+impl Drop for BsendReleaseGuard {
+    fn drop(&mut self) {
+        if let Some((in_use, amount)) = self.0.take() {
+            in_use.fetch_sub(amount, Ordering::AcqRel);
+        }
+    }
+}
+
 impl Comm {
     // ------------------------------------------------------------------
     // sends
@@ -429,7 +443,16 @@ impl Comm {
         let (chunk_tx, chunk_rx) = bounded::<PooledBuf>(CHUNK_RING_DEPTH);
         let proto =
             Protocol::Rendezvous { sender_ready: self.clock.now(), wire, reply: reply_tx };
-        self.post(dst, tag, Payload::Chunked { total: bytes as usize, rx: chunk_rx }, sig, proto, None);
+        let audit = crate::invariants::oracle_checks_enabled()
+            .then(|| Arc::new(crate::invariants::StreamAudit::new(bytes as usize)));
+        self.post(
+            dst,
+            tag,
+            Payload::Chunked { total: bytes as usize, rx: chunk_rx, audit: audit.clone() },
+            sig,
+            proto,
+            None,
+        );
 
         let chunk = p.effective_pipeline().chunk_bytes.max(1);
         let pool = Arc::clone(&self.fabric().pool);
@@ -462,6 +485,9 @@ impl Comm {
             }
             let t_now = self.clock.now();
             self.trace(crate::trace::EventKind::Chunk, t_now, Some(dst), n, Some(tag));
+            if let Some(a) = &audit {
+                a.emit(n);
+            }
             let mut item = cbuf;
             loop {
                 if let Some(rank) = sup.failed_rank() {
@@ -594,7 +620,8 @@ impl Comm {
         sup.set_blocked(me, Some("a matching message"));
         let res = self.fabric().mailboxes[me].match_recv(self.context(), src, tag);
         sup.set_blocked(me, None);
-        let env = res.map_err(|e| self.fabric().enrich(e))?;
+        let mut env = res.map_err(|e| self.fabric().enrich(e))?;
+        let _bsend_release = BsendReleaseGuard(env.bsend_release.take());
 
         if env.payload.len() > capacity {
             return Err(CoreError::Truncate { incoming: env.payload.len(), capacity });
@@ -658,10 +685,17 @@ impl Comm {
         };
         match env.payload {
             Payload::Whole(data) => {
-                dt::unpack_from(&data, dtype, incoming_count, buf, origin)?;
+                let consumed = dt::unpack_from(&data, dtype, incoming_count, buf, origin)?;
+                crate::invariants::check_recv_conservation(
+                    total,
+                    consumed,
+                    dtype.size() as usize,
+                );
             }
-            Payload::Chunked { rx, .. } => {
-                self.drain_chunks(rx, total, dtype, incoming_count, buf, origin, env_src, env_tag)?;
+            Payload::Chunked { rx, audit, .. } => {
+                self.drain_chunks(
+                    rx, audit, total, dtype, incoming_count, buf, origin, env_src, env_tag,
+                )?;
             }
         }
         if !dtype.is_contiguous_run(incoming_count as u64) {
@@ -678,10 +712,6 @@ impl Comm {
             );
         }
         self.cache = CacheState::Warm;
-
-        if let Some((in_use, amount)) = &env.bsend_release {
-            in_use.fetch_sub(*amount, Ordering::AcqRel);
-        }
 
         self.trace(
             crate::trace::EventKind::Recv,
@@ -703,6 +733,7 @@ impl Comm {
     fn drain_chunks(
         &mut self,
         rx: Receiver<PooledBuf>,
+        audit: Option<Arc<crate::invariants::StreamAudit>>,
         total: usize,
         dtype: &Datatype,
         incoming_count: usize,
@@ -751,16 +782,22 @@ impl Comm {
             };
             let n = cbuf.len();
             received += n;
+            if let Some(a) = &audit {
+                a.drain(n);
+            }
             let t_now = self.clock.now();
             self.trace(crate::trace::EventKind::Chunk, t_now, Some(src), n, Some(tag));
             let Some(pl) = &plan else { // no plan: assemble, unpack at the end
                 carry.extend_from_slice(&cbuf);
                 continue;
             };
-            if pos >= fit {
+            if pos + carry.len() >= fit {
                 continue; // trailing partial instance: drained, dropped
             }
-            let take = (fit - pos).min(n);
+            // Bytes still wanted at the fit boundary, net of what the
+            // carry buffer already holds — taking `fit - pos` here would
+            // strand the trailing partial instance in the carry buffer.
+            let take = (fit - pos - carry.len()).min(n);
             let aligned_end = pl.align_chunk((pos + take) as u64) as usize;
             if carry.is_empty() && aligned_end == pos + take {
                 // Fast path: the chunk ends on a cut of the receive plan
@@ -789,9 +826,21 @@ impl Comm {
         sup.set_blocked(me, None);
         out.map_err(|e| self.fabric().enrich(e))?;
         if plan.is_none() {
-            dt::unpack_from(&carry, dtype, incoming_count, buf, origin)?;
+            let consumed = dt::unpack_from(&carry, dtype, incoming_count, buf, origin)?;
+            crate::invariants::check_recv_conservation(total, consumed, dtype.size() as usize);
         } else {
             debug_assert!(carry.is_empty() && pos == fit.min(total));
+            if crate::invariants::oracle_checks_enabled() {
+                if !carry.is_empty() || pos != fit.min(total) {
+                    crate::invariants::violation(
+                        "chunk drain left a partial instance stranded in the carry buffer",
+                    );
+                }
+                crate::invariants::check_recv_conservation(total, pos, dtype.size() as usize);
+            }
+        }
+        if let Some(a) = &audit {
+            a.finish();
         }
         Ok(())
     }

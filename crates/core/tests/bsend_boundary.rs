@@ -1,0 +1,134 @@
+//! Boundary and error-path tests of the attached-buffer (`MPI_Bsend`)
+//! accounting: a buffer sized exactly to `bsend_size` must survive a long
+//! attach cycle, and a receive that errors *after* matching a buffered
+//! message (truncation, signature mismatch) must still release the
+//! sender's reservation — otherwise a later bsend that should exactly fit
+//! fails with a spurious buffer overflow.
+
+use nonctg_core::{Comm, CoreError, Universe};
+use nonctg_datatype::{as_bytes, Datatype};
+use nonctg_simnet::Platform;
+
+fn quiet() -> Platform {
+    let mut p = Platform::skx_impi();
+    p.jitter_sigma = 0.0;
+    p.with_deadlock_timeout(5.0)
+}
+
+fn f64_seq(n: usize) -> Vec<f64> {
+    (0..n).map(|i| i as f64).collect()
+}
+
+/// A buffer sized exactly to one message cycles through many
+/// bsend/receive rounds without ever overflowing: each reservation
+/// (payload + per-message overhead) is released when the matching receive
+/// completes, including the last message of the cycle.
+#[test]
+fn exact_size_buffer_survives_attach_cycle() {
+    const ROUNDS: usize = 16;
+    let n = 64usize;
+    Universe::run_pair(quiet(), move |comm| {
+        let t = Datatype::vector(n, 1, 2, &Datatype::f64()).unwrap().commit();
+        if comm.rank() == 0 {
+            let need = Comm::bsend_size(&t, 1).unwrap();
+            comm.buffer_attach(need).unwrap();
+            let src = f64_seq(2 * n);
+            for round in 0..ROUNDS {
+                comm.bsend(as_bytes(&src), 0, &t, 1, 1, round as i32).unwrap();
+                // Wait until the receiver confirms the match, so the next
+                // reservation finds the buffer fully released.
+                let mut z = [0u8; 0];
+                comm.recv_bytes(&mut z, Some(1), Some(100 + round as i32)).unwrap();
+            }
+            assert_eq!(comm.buffer_detach().unwrap(), need);
+        } else {
+            for round in 0..ROUNDS {
+                let mut buf = vec![0.0f64; n];
+                comm.recv_slice(&mut buf, Some(0), Some(round as i32)).unwrap();
+                assert_eq!(buf[1], 2.0);
+                comm.send_bytes(&[], 0, 100 + round as i32).unwrap();
+            }
+        }
+    });
+}
+
+/// A receive that matches a buffered message but then fails (here: the
+/// posted buffer is too small, `MPI_ERR_TRUNCATE`) must still release the
+/// sender's buffer reservation. Before the fix the error path returned
+/// after consuming the envelope but before the release, so the next
+/// exactly-fitting bsend reported a buffer overflow.
+#[test]
+fn truncated_receive_releases_bsend_reservation() {
+    let n = 32usize;
+    Universe::run_pair(quiet(), move |comm| {
+        let t = Datatype::vector(n, 1, 2, &Datatype::f64()).unwrap().commit();
+        if comm.rank() == 0 {
+            let need = Comm::bsend_size(&t, 1).unwrap();
+            comm.buffer_attach(need).unwrap();
+            let src = f64_seq(2 * n);
+            comm.bsend(as_bytes(&src), 0, &t, 1, 1, 0).unwrap();
+            let mut z = [0u8; 0];
+            comm.recv_bytes(&mut z, Some(1), Some(9)).unwrap();
+            // The receiver truncated message 0 — its reservation must be
+            // back, so an exactly-fitting second bsend succeeds.
+            comm.bsend(as_bytes(&src), 0, &t, 1, 1, 1).unwrap();
+            assert_eq!(comm.buffer_detach().unwrap(), need);
+        } else {
+            // Post a receive with too little capacity: matches, then errors.
+            let mut small = vec![0.0f64; n / 2];
+            let err = comm
+                .recv(
+                    nonctg_datatype::as_bytes_mut(&mut small),
+                    0,
+                    &Datatype::f64(),
+                    n / 2,
+                    Some(0),
+                    Some(0),
+                )
+                .unwrap_err();
+            assert!(matches!(err, CoreError::Truncate { .. }), "{err:?}");
+            comm.send_bytes(&[], 0, 9).unwrap();
+            let mut buf = vec![0.0f64; n];
+            comm.recv_slice(&mut buf, Some(0), Some(1)).unwrap();
+            assert_eq!(buf[2], 4.0);
+        }
+    });
+}
+
+/// The signature-mismatch error path (matched receive of a type with the
+/// wrong primitive multiset) releases the reservation too.
+#[test]
+fn signature_mismatch_releases_bsend_reservation() {
+    let n = 16usize;
+    Universe::run_pair(quiet(), move |comm| {
+        let t = Datatype::vector(n, 1, 2, &Datatype::f64()).unwrap().commit();
+        if comm.rank() == 0 {
+            let need = Comm::bsend_size(&t, 1).unwrap();
+            comm.buffer_attach(need).unwrap();
+            let src = f64_seq(2 * n);
+            comm.bsend(as_bytes(&src), 0, &t, 1, 1, 0).unwrap();
+            let mut z = [0u8; 0];
+            comm.recv_bytes(&mut z, Some(1), Some(9)).unwrap();
+            comm.bsend(as_bytes(&src), 0, &t, 1, 1, 1).unwrap();
+            assert_eq!(comm.buffer_detach().unwrap(), need);
+        } else {
+            // Same byte count, wrong primitives: i32 vs f64.
+            let mut wrong = vec![0i32; 2 * n];
+            let err = comm
+                .recv(
+                    nonctg_datatype::as_bytes_mut(&mut wrong),
+                    0,
+                    &Datatype::i32(),
+                    2 * n,
+                    Some(0),
+                    Some(0),
+                )
+                .unwrap_err();
+            assert!(matches!(err, CoreError::SignatureMismatch), "{err:?}");
+            comm.send_bytes(&[], 0, 9).unwrap();
+            let mut buf = vec![0.0f64; n];
+            comm.recv_slice(&mut buf, Some(0), Some(1)).unwrap();
+            assert_eq!(buf[3], 6.0);
+        }
+    });
+}

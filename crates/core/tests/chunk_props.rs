@@ -27,6 +27,12 @@ enum RecvMode {
     /// chunk alignment is finer than the receiver's, so cuts straddle
     /// receive blocks and exercise the carry buffer.
     CoarseVector,
+    /// A coarser vector type whose instance size does not divide the sent
+    /// byte count: the posted receive consumes only the whole instances
+    /// (`fit < total`) and the trailing partial instance is drained and
+    /// dropped. Combined with misaligned chunk cuts this drives the carry
+    /// buffer across the `fit` boundary.
+    PartialTrailing,
 }
 
 #[derive(Debug, Clone)]
@@ -55,11 +61,17 @@ fn arb_case() -> impl Strategy<Value = Case> {
             Just(RecvMode::Contiguous),
             Just(RecvMode::SameVector),
             Just(RecvMode::CoarseVector),
+            Just(RecvMode::PartialTrailing),
         ],
         prop_oneof![Just(None), (0u64..1_000).prop_map(Some)],
     )
         .prop_map(|(half, blocklen, gap, chunk, recv_mode, fault_seed)| Case {
-            blocks: 2 * half,
+            // PartialTrailing sends one extra block so the sent byte count
+            // is not a multiple of the receive instance size.
+            blocks: match recv_mode {
+                RecvMode::PartialTrailing => 2 * half + 1,
+                _ => 2 * half,
+            },
             blocklen,
             gap,
             chunk,
@@ -138,6 +150,22 @@ fn run_case(p: Platform, case: Case) -> (Vec<u8>, u64, u64) {
                         .unwrap();
                     as_bytes(&buf).to_vec()
                 }
+                RecvMode::PartialTrailing => {
+                    // One instance covers blocks-1 sender blocks; posting
+                    // count=2 leaves capacity for the incoming bytes while
+                    // only one whole instance fits them (fit < total).
+                    let rb = 2 * case.blocklen;
+                    let rcount = (case.blocks - 1) / 2;
+                    let rstride = (rb + 1) as i64;
+                    let ext = (rcount - 1) * rstride as usize + rb;
+                    let mut buf = vec![0.0f64; 2 * ext];
+                    let t = Datatype::vector(rcount, rb, rstride, &Datatype::f64())
+                        .unwrap()
+                        .commit();
+                    comm.recv(as_bytes_mut(&mut buf), 0, &t, 2, Some(0), Some(7))
+                        .unwrap();
+                    as_bytes(&buf).to_vec()
+                }
             };
             (buf_bytes, comm.wtime().to_bits())
         }
@@ -162,6 +190,32 @@ proptest! {
         prop_assert_eq!(s_c, s_m, "sender wtime diverged: {:?}", case);
         prop_assert_eq!(r_c, r_m, "receiver wtime diverged: {:?}", case);
     }
+}
+
+/// Pinned regression (oracle-discovered class): a chunk cut straddling the
+/// `fit` boundary while the carry buffer is non-empty. Sender streams 7
+/// blocks of one f64 (56 bytes, cuts on the 8-byte send grid); receiver
+/// posts two instances of vector(2, 3, 4, f64) — 48-byte instances, so
+/// fit = 48 < total = 56 and the receive grid cuts at 24/48. With a
+/// 40-byte pipeline chunk the second chunk [40, 56) arrives with 16 carry
+/// bytes pending; the drain loop used to take `fit - pos` fresh bytes
+/// without discounting the carry, leaving the trailing partial instance
+/// stuck in the carry buffer (debug assertion failure / invariant
+/// violation at end of drain).
+#[test]
+fn carry_across_fit_boundary_matches_monolithic() {
+    let case = Case {
+        blocks: 7,
+        blocklen: 1,
+        gap: 1,
+        chunk: 40,
+        recv_mode: RecvMode::PartialTrailing,
+        fault_seed: None,
+    };
+    let (buf_c, s_c, r_c) = run_case(platform_for(&case, true), case.clone());
+    let (buf_m, s_m, r_m) = run_case(platform_for(&case, false), case.clone());
+    assert_eq!(buf_c, buf_m, "payload bytes diverged");
+    assert_eq!((s_c, r_c), (s_m, r_m), "virtual clocks diverged");
 }
 
 /// The default configuration: a standard `send` above the 4 MiB threshold

@@ -8,7 +8,7 @@
 
 use std::fmt::Write as _;
 
-use crate::node::{Datatype, Kind};
+use crate::node::{ArrayOrder, Datatype, Kind};
 use crate::primitive::Primitive;
 
 /// One entry of a type map: a primitive at a byte displacement.
@@ -98,24 +98,48 @@ impl Datatype {
                     }
                 }
             }
-            Kind::Subarray { .. } => {
-                // Walk via the segment iterator's logic indirectly: use the
-                // equivalent description as runs of the child.
-                for blk in crate::segiter::SegIter::new(self, 1) {
-                    // Reconstruct leaves within the run. Children of a
-                    // subarray tile contiguously inside each run.
-                    let child = match self.kind() {
-                        Kind::Subarray { child, .. } => child,
-                        _ => unreachable!(),
-                    };
-                    let ext = child.extent().max(1) as i64;
-                    let mut off = blk.offset;
-                    while off < blk.offset + blk.len as i64 {
-                        if out.len() >= limit {
-                            return;
+            Kind::Subarray { sizes, subsizes, starts, order, child } => {
+                // Walk the selected index tuples directly, innermost memory
+                // dimension fastest. (Reconstructing leaves from coalesced
+                // segments breaks for children that do not tile densely:
+                // a segment is then shorter than the child extent and the
+                // old walk re-emitted whole children at segment offsets.)
+                let ndims = sizes.len();
+                let mut stride = vec![1i64; ndims];
+                match order {
+                    ArrayOrder::C => {
+                        for d in (0..ndims.saturating_sub(1)).rev() {
+                            stride[d] = stride[d + 1] * sizes[d + 1] as i64;
                         }
-                        child.walk_typemap(base + off, out, limit);
-                        off += ext;
+                    }
+                    ArrayOrder::Fortran => {
+                        for d in 1..ndims {
+                            stride[d] = stride[d - 1] * sizes[d - 1] as i64;
+                        }
+                    }
+                }
+                let fastest_last: Vec<usize> = match order {
+                    ArrayOrder::C => (0..ndims).collect(),
+                    ArrayOrder::Fortran => (0..ndims).rev().collect(),
+                };
+                let ext = child.extent() as i64;
+                let total: u64 = subsizes.iter().product();
+                let mut idx = vec![0u64; ndims];
+                for _ in 0..total {
+                    if out.len() >= limit {
+                        return;
+                    }
+                    let mut elem = 0i64;
+                    for d in 0..ndims {
+                        elem += (starts[d] + idx[d]) as i64 * stride[d];
+                    }
+                    child.walk_typemap(base + elem * ext, out, limit);
+                    for &d in fastest_last.iter().rev() {
+                        idx[d] += 1;
+                        if idx[d] < subsizes[d] {
+                            break;
+                        }
+                        idx[d] = 0;
                     }
                 }
             }

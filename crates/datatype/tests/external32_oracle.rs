@@ -1,0 +1,124 @@
+//! External32 (canonical big-endian) round trips for mixed-primitive
+//! structs, cross-checked against the oracle typemap: the external buffer
+//! must be exactly the reference-packed bytes with each primitive lane
+//! byte-swapped per the external32 spec (complex types swap per
+//! component), and unpacking must restore the original layout bit for
+//! bit.
+
+use nonctg_datatype::{
+    as_bytes, pack_external, pack_external_size, unpack_external, Datatype, Primitive, TypeOracle,
+};
+
+/// External32 swap lane of a primitive: complex types swap each component.
+fn swap_unit(p: Primitive) -> usize {
+    match p {
+        Primitive::Complex64 => 4,
+        Primitive::Complex128 => 8,
+        other => other.size(),
+    }
+}
+
+/// Predicts the external32 buffer from the oracle typemap: reference-pack
+/// with the naive interpreter, then reverse each swap lane (a no-op on
+/// big-endian hosts).
+fn oracle_external(t: &Datatype, src: &[u8], origin: usize, count: usize) -> Vec<u8> {
+    let oracle = TypeOracle::build(t).expect("type under test exceeds oracle cap");
+    let mut out = oracle.pack(src, origin, count).expect("reference pack in bounds");
+    if cfg!(target_endian = "little") {
+        let mut pos = 0;
+        for _ in 0..count {
+            for e in oracle.entries() {
+                let unit = swap_unit(e.primitive);
+                let sz = e.primitive.size();
+                if unit > 1 {
+                    for lane in out[pos..pos + sz].chunks_exact_mut(unit) {
+                        lane.reverse();
+                    }
+                }
+                pos += sz;
+            }
+        }
+    }
+    out
+}
+
+/// Round-trips `count` instances of `t` and checks the wire bytes against
+/// the oracle prediction.
+fn roundtrip(t: &Datatype, src: &[u8], count: usize) {
+    let t = t.clone().commit();
+    let ext = pack_external(src, 0, &t, count).unwrap();
+    assert_eq!(ext.len(), pack_external_size(&t, count).unwrap());
+    assert_eq!(ext, oracle_external(&t, src, 0, count), "external bytes vs oracle");
+
+    let mut back = vec![0u8; src.len()];
+    unpack_external(&ext, &t, count, &mut back, 0).unwrap();
+    // Only typemap bytes come back; compare them through the oracle map.
+    let oracle = TypeOracle::build(&t).unwrap();
+    let expect = oracle.pack(src, 0, count).unwrap();
+    let got = oracle.pack(&back, 0, count).unwrap();
+    assert_eq!(got, expect, "round trip lost typemap bytes");
+}
+
+/// i32 + f64 struct with a gap: two different swap lanes in one instance.
+#[test]
+fn mixed_int_double_struct() {
+    let t = Datatype::structure(&[
+        (1, 0, Datatype::i32()),
+        (2, 8, Datatype::f64()),
+    ])
+    .unwrap();
+    let src: Vec<u8> = (0..4 * t.extent() as usize).map(|i| (i * 7 + 3) as u8).collect();
+    roundtrip(&t, &src, 3);
+}
+
+/// Struct mixing four lane widths (1, 2, 4, 8) including a complex field,
+/// whose components swap separately from its 16-byte footprint.
+#[test]
+fn four_lane_struct_with_complex() {
+    let t = Datatype::structure(&[
+        (3, 0, Datatype::byte()),
+        (1, 4, Datatype::of::<i16>()),
+        (1, 8, Datatype::f32()),
+        (1, 16, Datatype::complex128()),
+        (1, 32, Datatype::i64()),
+    ])
+    .unwrap();
+    let src: Vec<u8> = (0..3 * t.extent() as usize).map(|i| (i * 13 + 1) as u8).collect();
+    roundtrip(&t, &src, 2);
+
+    // The complex128 field must swap as two 8-byte lanes, not one 16-byte
+    // lane: check the wire bytes of the two components directly.
+    let z = [1.5f64, -2.25f64];
+    let c = Datatype::complex128().clone().commit();
+    let wire = pack_external(as_bytes(&z), 0, &c, 1).unwrap();
+    assert_eq!(&wire[..8], &1.5f64.to_be_bytes());
+    assert_eq!(&wire[8..], &(-2.25f64).to_be_bytes());
+}
+
+/// Nested mixed struct under a vector: the per-instance typemap walk must
+/// track displacements through the outer constructor.
+#[test]
+fn vector_of_mixed_structs() {
+    let inner = Datatype::structure(&[
+        (1, 0, Datatype::i32()),
+        (1, 8, Datatype::f64()),
+    ])
+    .unwrap();
+    let t = Datatype::vector(3, 1, 2, &inner).unwrap();
+    let src: Vec<u8> = (0..2 * t.extent() as usize).map(|i| (i * 31 + 5) as u8).collect();
+    roundtrip(&t, &src, 2);
+}
+
+/// A struct whose field order disagrees with its displacement order: the
+/// wire layout follows typemap (declaration) order, not address order.
+#[test]
+fn out_of_order_fields() {
+    let t = Datatype::structure(&[
+        (1, 16, Datatype::f64()),
+        (1, 0, Datatype::i32()),
+        (1, 8, Datatype::of::<u16>()),
+    ])
+    .unwrap();
+    let src: Vec<u8> = (0..2 * t.extent() as usize).map(|i| (i * 11 + 9) as u8).collect();
+    roundtrip(&t, &src, 2);
+}

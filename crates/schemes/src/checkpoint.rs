@@ -42,24 +42,34 @@ pub fn to_json(sweep: &Sweep) -> String {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str(&format!(
             "    {{\"scheme\": \"{}\", \"msg_bytes\": {}, \"time\": {}, \
-             \"bandwidth\": {}, \"slowdown\": {}, \"status\": \"{}\"}}",
+             \"bandwidth\": {}, \"slowdown\": {}, \"status\": \"{}\"{}}}",
             p.scheme.key(),
             p.msg_bytes,
             num(p.time),
             num(p.bandwidth),
             num(p.slowdown),
             p.status.key(),
+            // Per-point fault attribution (resume bookkeeping); omitted
+            // when zero so fault-free checkpoints keep the legacy shape.
+            if p.faults.is_zero() {
+                String::new()
+            } else {
+                format!(", \"faults\": {}", faults_json(&p.faults))
+            },
         ));
     }
     out.push_str("\n  ],\n");
-    let f = &sweep.faults;
-    out.push_str(&format!(
-        "  \"fault_stats\": {{\"transient_retries\": {}, \"delays\": {}, \
-         \"corruptions\": {}, \"failed_sends\": {}, \"poisoned_peers\": {}}}\n",
-        f.transient_retries, f.delays, f.corruptions, f.failed_sends, f.poisoned_peers,
-    ));
+    out.push_str(&format!("  \"fault_stats\": {}\n", faults_json(&sweep.faults)));
     out.push_str("}\n");
     out
+}
+
+fn faults_json(f: &SweepFaults) -> String {
+    format!(
+        "{{\"transient_retries\": {}, \"delays\": {}, \
+         \"corruptions\": {}, \"failed_sends\": {}, \"poisoned_peers\": {}}}",
+        f.transient_retries, f.delays, f.corruptions, f.failed_sends, f.poisoned_peers,
+    )
 }
 
 /// A minimal recursive-descent parser for the checkpoint schema.
@@ -146,6 +156,8 @@ impl<'a> Parser<'a> {
         let mut bandwidth = f64::NAN;
         let mut slowdown = f64::NAN;
         let mut status = None;
+        // Absent in checkpoints written before per-point attribution.
+        let mut faults = SweepFaults::default();
         loop {
             let key = self.string()?;
             self.expect(b':')?;
@@ -168,6 +180,7 @@ impl<'a> Parser<'a> {
                     let v = self.string()?;
                     status = Some(PointStatus::from_str(&v)?);
                 }
+                "faults" => faults = self.fault_stats()?,
                 other => return Err(self.err(&format!("unknown point key '{other}'"))),
             }
             match self.peek() {
@@ -186,6 +199,7 @@ impl<'a> Parser<'a> {
             bandwidth,
             slowdown,
             status: status.ok_or_else(|| self.err("point missing 'status'"))?,
+            faults,
         })
     }
 
@@ -290,6 +304,7 @@ mod tests {
                     bandwidth: 8.192e7,
                     slowdown: 1.0,
                     status: PointStatus::Ok,
+                    faults: SweepFaults { transient_retries: 3, delays: 1, ..Default::default() },
                 },
                 SweepPoint {
                     scheme: Scheme::VectorType,
@@ -298,6 +313,7 @@ mod tests {
                     bandwidth: 0.0,
                     slowdown: f64::NAN,
                     status: PointStatus::Failed,
+                    faults: SweepFaults { failed_sends: 2, poisoned_peers: 4, ..Default::default() },
                 },
             ],
             faults: SweepFaults {
@@ -324,8 +340,29 @@ mod tests {
         assert_eq!(b.status, PointStatus::Failed);
         assert!(b.time.is_nan() && b.slowdown.is_nan());
         assert_eq!(back.faults, sample().faults);
+        // Per-point fault attribution round-trips too.
+        assert_eq!(a.faults, sample().points[0].faults);
+        assert_eq!(b.faults, sample().points[1].faults);
         // A rewrite of the parsed sweep is bit-identical.
         assert_eq!(to_json(&back), json);
+    }
+
+    /// Points without per-point counters (fault-free, or written by the
+    /// pre-attribution schema) serialize without a "faults" key and parse
+    /// back with zero counters — legacy checkpoints stay readable.
+    #[test]
+    fn zero_point_faults_omit_the_key() {
+        let mut sweep = sample();
+        for p in &mut sweep.points {
+            p.faults = SweepFaults::default();
+        }
+        let json = to_json(&sweep);
+        assert!(!json.contains("\"faults\""), "{json}");
+        let legacy = "{\"platform\": \"skx-impi\", \"points\": [\
+            {\"scheme\": \"reference\", \"msg_bytes\": 1024, \"time\": 1.0, \
+             \"bandwidth\": 1024.0, \"slowdown\": 1.0, \"status\": \"ok\"}]}";
+        let back = from_json(legacy).unwrap();
+        assert!(back.points[0].faults.is_zero());
     }
 
     #[test]

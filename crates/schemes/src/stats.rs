@@ -50,9 +50,19 @@ impl Stats {
     }
 }
 
+/// Whether the rejection step is meaningful for this sample set. With two
+/// samples each sits exactly one standard deviation from the mean, so the
+/// `<= sd` test degenerates to a float-rounding coin flip; with identical
+/// samples the rounded mean can likewise sit a few ulps off every sample
+/// while `sd` rounds to slightly less. Both cases must keep everything.
+fn rejection_applies(samples: &[f64]) -> bool {
+    samples.len() > 2 && samples.windows(2).any(|w| w[0] != w[1])
+}
+
 /// The paper's procedure: compute mean and standard deviation, dismiss
 /// samples more than one standard deviation from the mean, report the
 /// mean of what remains (all samples, if rejection would empty the set).
+/// Degenerate inputs (n <= 2 or all-identical timings) skip rejection.
 ///
 /// Zero samples yield [`Stats::empty`] rather than a panic, so a fully
 /// failed measurement stays representable.
@@ -65,6 +75,9 @@ pub fn summarize(samples: &[f64]) -> Stats {
     let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
     let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
 
+    if !rejection_applies(samples) {
+        return Stats { mean: m, stddev: sd, min, max, n: samples.len(), rejected: 0 };
+    }
     let kept: Vec<f64> = samples.iter().copied().filter(|x| (x - m).abs() <= sd).collect();
     let (final_mean, rejected) = if kept.is_empty() {
         (m, 0)
@@ -84,6 +97,9 @@ pub fn summarize(samples: &[f64]) -> Stats {
 /// mask so phase sums reproduce the reported mean instead of drifting
 /// whenever a rep is dismissed.
 pub fn kept_mask(samples: &[f64]) -> Vec<bool> {
+    if !rejection_applies(samples) {
+        return vec![true; samples.len()];
+    }
     let m = mean(samples);
     let sd = stddev(samples);
     let mask: Vec<bool> = samples.iter().map(|x| (x - m).abs() <= sd).collect();
@@ -186,6 +202,36 @@ mod tests {
         assert!(s.mean.is_nan());
         // and the mask helper mirrors the fallback by keeping everything
         assert_eq!(kept_mask(&v), vec![true, true]);
+    }
+
+    #[test]
+    fn two_samples_keep_both() {
+        // With two distinct samples each sits exactly one standard
+        // deviation from the mean; float rounding of `m` can push one of
+        // them over the `<= sd` edge (0.1 vs. 0.2 does exactly that) and
+        // the "mean" collapses to a single arbitrary sample. n <= 2 must
+        // bypass rejection entirely.
+        let v = [0.1, 0.2];
+        let s = summarize(&v);
+        assert_eq!(s.rejected, 0);
+        assert!((s.mean - 0.15).abs() < 1e-12, "mean collapsed to one sample: {}", s.mean);
+        assert_eq!(kept_mask(&v), vec![true, true]);
+        // and the generic two-sample case, both orders
+        for v in [[3.0, 9.0], [9.0, 3.0]] {
+            let s = summarize(&v);
+            assert_eq!((s.rejected, s.mean), (0, 6.0));
+            assert_eq!(kept_mask(&v), vec![true, true]);
+        }
+    }
+
+    #[test]
+    fn near_identical_samples_keep_everything() {
+        // All-identical timings must never reject, even when the mean
+        // itself rounds (0.1 summed and divided is not exactly 0.1).
+        let v = [0.1; 3];
+        let s = summarize(&v);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(kept_mask(&v), vec![true; 3]);
     }
 
     #[test]

@@ -112,6 +112,11 @@ pub struct SweepPoint {
     pub slowdown: f64,
     /// Whether this point was actually measured.
     pub status: PointStatus,
+    /// Fault counters attributed to this point: every attempt of its
+    /// measurement, including failed ones. The sweep total is the sum of
+    /// these, so a resume that re-measures a point replaces — never
+    /// re-adds — its contribution.
+    pub faults: SweepFaults,
 }
 
 impl SweepPoint {
@@ -123,6 +128,7 @@ impl SweepPoint {
             bandwidth: 0.0,
             slowdown: f64::NAN,
             status,
+            faults: SweepFaults::default(),
         }
     }
 }
@@ -147,6 +153,26 @@ pub struct SweepFaults {
 }
 
 impl SweepFaults {
+    /// The counters of a single measurement, as a per-point attribution.
+    pub fn from_stats(f: FaultStats) -> SweepFaults {
+        let mut s = SweepFaults::default();
+        s.absorb(f);
+        s
+    }
+
+    /// Per-counter saturating difference: the part of `self` not covered
+    /// by `other`. Used on resume to keep totals from checkpoints written
+    /// before per-point attribution (where points carry zero counters).
+    pub fn saturating_sub(&self, other: &SweepFaults) -> SweepFaults {
+        SweepFaults {
+            transient_retries: self.transient_retries.saturating_sub(other.transient_retries),
+            delays: self.delays.saturating_sub(other.delays),
+            corruptions: self.corruptions.saturating_sub(other.corruptions),
+            failed_sends: self.failed_sends.saturating_sub(other.failed_sends),
+            poisoned_peers: self.poisoned_peers.saturating_sub(other.poisoned_peers),
+        }
+    }
+
     /// Fold one measurement's per-rank counters into the sweep totals.
     pub fn absorb(&mut self, f: FaultStats) {
         self.transient_retries += f.transient_retries;
@@ -244,7 +270,8 @@ pub fn run_sweep_with(
         let mut group: Vec<SweepPoint> = Vec::with_capacity(cfg.schemes.len());
         for &scheme in &cfg.schemes {
             let r = run_scheme(platform, scheme, &w, &pp);
-            faults.absorb(r.faults);
+            let pf = SweepFaults::from_stats(r.faults);
+            faults.merge(pf);
             group.push(SweepPoint {
                 scheme,
                 msg_bytes: w.msg_bytes(),
@@ -252,6 +279,7 @@ pub fn run_sweep_with(
                 bandwidth: r.bandwidth(),
                 slowdown: f64::NAN,
                 status: PointStatus::Ok,
+                faults: pf,
             });
         }
         apply_slowdowns(&mut group);
@@ -311,7 +339,8 @@ fn assemble_in_order(
         let mut group = Vec::new();
         while i < work.len() && work[i].0 == bytes {
             let (time, bandwidth, f) = results[i].lock().unwrap().expect("measured point");
-            faults.absorb(f);
+            let pf = SweepFaults::from_stats(f);
+            faults.merge(pf);
             group.push(SweepPoint {
                 scheme: work[i].1,
                 msg_bytes: bytes,
@@ -319,6 +348,7 @@ fn assemble_in_order(
                 bandwidth,
                 slowdown: f64::NAN,
                 status: PointStatus::Ok,
+                faults: pf,
             });
             i += 1;
         }
@@ -441,9 +471,26 @@ pub fn run_sweep_resilient_with(
     mut progress: impl FnMut(&SweepPoint),
 ) -> Sweep {
     let mut points: Vec<SweepPoint> = Vec::new();
-    // Resume carries the interrupted run's fault totals forward, so the
-    // final sweep reports cumulative counts across both runs.
-    let mut faults = res.resume.as_ref().map(|s| s.faults).unwrap_or_default();
+    // The sweep total is the sum of per-point counters of the points
+    // actually emitted: reused points contribute their checkpointed
+    // counters, re-measured points contribute fresh ones — a point is
+    // never counted twice across resumes. Checkpoints written before
+    // per-point attribution carry zero per-point counters; their prior
+    // total survives as an unattributed remainder (which can still
+    // double-count re-measured points of such legacy files — that is
+    // exactly the bug per-point attribution fixes going forward).
+    let mut faults = res
+        .resume
+        .as_ref()
+        .map(|s| {
+            let attributed =
+                s.points.iter().fold(SweepFaults::default(), |mut a, p| {
+                    a.merge(p.faults);
+                    a
+                });
+            s.faults.saturating_sub(&attributed)
+        })
+        .unwrap_or_default();
     let mut failures = vec![0usize; cfg.schemes.len()];
     for bytes in cfg.sizes() {
         let elems = bytes / Workload::ELEM;
@@ -457,6 +504,7 @@ pub fn run_sweep_resilient_with(
                 .and_then(|s| s.get(scheme, w.msg_bytes()))
                 .filter(|p| p.status == PointStatus::Ok)
             {
+                faults.merge(prev.faults);
                 group.push(*prev);
                 continue;
             }
@@ -465,17 +513,19 @@ pub fn run_sweep_resilient_with(
                 continue;
             }
             let mut measured = None;
+            let mut pf = SweepFaults::default();
             for attempt in 0..=res.retries {
                 let p = reseeded(platform, attempt);
                 match try_run_scheme(&p, scheme, &w, &pp) {
                     Ok(r) => {
-                        faults.absorb(r.faults);
+                        pf.absorb(r.faults);
                         measured = Some((r.time(), r.bandwidth()));
                         break;
                     }
-                    Err(e) => faults.poisoned_peers += e.failures.len() as u64,
+                    Err(e) => pf.poisoned_peers += e.failures.len() as u64,
                 }
             }
+            faults.merge(pf);
             group.push(match measured {
                 Some((time, bandwidth)) => SweepPoint {
                     scheme,
@@ -484,10 +534,13 @@ pub fn run_sweep_resilient_with(
                     bandwidth,
                     slowdown: f64::NAN,
                     status: PointStatus::Ok,
+                    faults: pf,
                 },
                 None => {
                     failures[si] += 1;
-                    SweepPoint::unmeasured(scheme, w.msg_bytes(), PointStatus::Failed)
+                    let mut p = SweepPoint::unmeasured(scheme, w.msg_bytes(), PointStatus::Failed);
+                    p.faults = pf;
+                    p
                 }
             });
         }
@@ -803,6 +856,63 @@ mod tests {
         let series = sweep.series(Scheme::Copying);
         assert_eq!(series[0].status, PointStatus::Failed);
         assert!(series[1..].iter().all(|pt| pt.status == PointStatus::Skipped), "{series:?}");
+    }
+
+    /// Resume must not double-count fault counters of re-measured points.
+    /// A persistently failing point fails again (deterministically) on
+    /// every resume; its poisoned-peer count must replace the prior
+    /// attempt's contribution, not add to it — resuming a finished sweep
+    /// any number of times reports the totals of the uninterrupted run.
+    #[test]
+    fn resume_twice_keeps_fault_totals_idempotent() {
+        let p = quiet().with_fault_plan(
+            FaultPlan::quiet(5).with_persistent_failure(0, 1, 2048).with_delays(0.3, 1e-6),
+        );
+        let mut cfg = tiny_cfg();
+        cfg.schemes = vec![Scheme::Reference, Scheme::Copying];
+        let full = run_sweep_resilient(&p, &cfg, &Resilience::default());
+        assert!(full.faults.poisoned_peers > 0, "persistent failure must poison: {:?}", full.faults);
+        // Totals are exactly the sum of per-point attributions.
+        let attributed = full.points.iter().fold(SweepFaults::default(), |mut a, pt| {
+            a.merge(pt.faults);
+            a
+        });
+        assert_eq!(full.faults, attributed);
+
+        let res = Resilience { resume: Some(full.clone()), ..Resilience::default() };
+        let once = run_sweep_resilient(&p, &cfg, &res);
+        assert_eq!(once.faults, full.faults, "first resume inflated fault totals");
+        let res = Resilience { resume: Some(once), ..Resilience::default() };
+        let twice = run_sweep_resilient(&p, &cfg, &res);
+        assert_eq!(twice.faults, full.faults, "second resume inflated fault totals");
+    }
+
+    /// A crash mid-sweep leaves a checkpoint holding only the finished
+    /// size groups (and exactly their fault counters). Resuming must end
+    /// with the same totals as the uninterrupted run.
+    #[test]
+    fn resume_after_mid_sweep_crash_reports_exact_fault_totals() {
+        let p = quiet().with_fault_plan(
+            FaultPlan::quiet(77).with_send_failures(0.05).with_delays(0.2, 5e-6),
+        );
+        let res = Resilience { retries: 2, ..Resilience::default() };
+        let full = run_sweep_resilient(&p, &tiny_cfg(), &res);
+        assert!(!full.faults.is_zero());
+
+        // Simulate the crash: keep only the first size group, with the
+        // fault totals a per-group checkpoint would have recorded there.
+        let mut prior = full.clone();
+        prior.points.retain(|pt| pt.msg_bytes == 1024);
+        prior.faults = prior.points.iter().fold(SweepFaults::default(), |mut a, pt| {
+            a.merge(pt.faults);
+            a
+        });
+        let res = Resilience { retries: 2, resume: Some(prior), ..Resilience::default() };
+        let resumed = run_sweep_resilient(&p, &tiny_cfg(), &res);
+        assert_eq!(resumed.faults, full.faults);
+        for (a, b) in resumed.points.iter().zip(full.points.iter()) {
+            assert_eq!(a.faults, b.faults, "{} @ {}", a.scheme, a.msg_bytes);
+        }
     }
 
     /// The same fault seed produces bit-identical resilient sweeps.
