@@ -89,6 +89,9 @@ fn main() {
         } else {
             run_sweep_with(&platform, &cfg, progress_line)
         };
+        if opts.chaos {
+            println!("{}", sweep.health());
+        }
         let stem = format!("fig{fig}_{}", platform.id);
         let svg = write_figure(&opts.out_dir, &stem, &title, &sweep);
         eprintln!(

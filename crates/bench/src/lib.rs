@@ -37,20 +37,37 @@ pub fn palette_slot(scheme: Scheme) -> usize {
 /// Convert one sweep metric into plot series (legend order). Points that
 /// were not measured (Failed/Skipped under fault injection) carry NaN
 /// metrics and are dropped here, so they render as gaps in the curve
-/// rather than corrupting the plot.
+/// rather than corrupting the plot; their x positions become ×-marks at
+/// the panel's bottom edge. Points measured through at least one
+/// graceful demotion get an open-circle overlay marker.
 pub fn sweep_series(sweep: &Sweep, metric: impl Fn(&SweepPoint) -> f64) -> Vec<Series> {
     let mut out = Vec::new();
     for scheme in Scheme::ALL {
-        let pts: Vec<(f64, f64)> = sweep
-            .series(scheme)
+        let series = sweep.series(scheme);
+        let pts: Vec<(f64, f64)> = series
             .iter()
             .map(|p| (p.msg_bytes as f64, metric(p)))
             .filter(|&(_, y)| y.is_finite())
             .collect();
-        if pts.is_empty() {
+        let marked: Vec<(f64, f64)> = series
+            .iter()
+            .filter(|p| p.faults.demotions > 0)
+            .map(|p| (p.msg_bytes as f64, metric(p)))
+            .filter(|&(_, y)| y.is_finite())
+            .collect();
+        let failed_x: Vec<f64> = series
+            .iter()
+            .filter(|p| !matches!(p.status, nonctg_schemes::PointStatus::Ok))
+            .map(|p| p.msg_bytes as f64)
+            .collect();
+        if pts.is_empty() && failed_x.is_empty() {
             continue;
         }
-        out.push(Series::new(scheme.label(), palette_slot(scheme), pts));
+        out.push(
+            Series::new(scheme.label(), palette_slot(scheme), pts)
+                .with_marked(marked)
+                .with_failed(failed_x),
+        );
     }
     out
 }
@@ -90,11 +107,21 @@ pub fn sweep_csv(sweep: &Sweep) -> String {
                 format!("{:.6e}", p.bandwidth),
                 format!("{:.4}", p.slowdown),
                 p.status.key().to_string(),
+                p.faults.demotions.to_string(),
             ]
         })
         .collect();
     nonctg_report::csv::to_csv(
-        &["platform", "scheme", "msg_bytes", "time_s", "bandwidth_Bps", "slowdown", "status"],
+        &[
+            "platform",
+            "scheme",
+            "msg_bytes",
+            "time_s",
+            "bandwidth_Bps",
+            "slowdown",
+            "status",
+            "demotions",
+        ],
         &rows,
     )
 }
@@ -228,6 +255,10 @@ mod cli {
         pub shards: usize,
         /// Inject a chaos fault plan with this seed (None = fault-free).
         pub fault_seed: Option<u64>,
+        /// `--chaos <seed>` was given: same fault plan as `--fault-seed`
+        /// (the extended v2 chaos mix), plus a per-sweep health report
+        /// printed by the drivers.
+        pub chaos: bool,
         /// Override the watchdog deadlock timeout, seconds.
         pub deadlock_timeout: Option<f64>,
         /// Checkpoint file: completed points are saved here after every
@@ -262,6 +293,7 @@ mod cli {
                 jobs: 1,
                 shards: 1,
                 fault_seed: None,
+                chaos: false,
                 deadlock_timeout: None,
                 resume: None,
                 retries: 1,
@@ -326,6 +358,12 @@ mod cli {
                                 .map_err(|e| format!("--fault-seed: {e}"))?,
                         )
                     }
+                    "--chaos" => {
+                        o.fault_seed = Some(
+                            val("--chaos")?.parse().map_err(|e| format!("--chaos: {e}"))?,
+                        );
+                        o.chaos = true;
+                    }
                     "--deadlock-timeout" => {
                         let t: f64 = val("--deadlock-timeout")?
                             .parse()
@@ -361,8 +399,8 @@ mod cli {
             "options: --platform <skx-impi|skx-mvapich2|ls5-craympich|knl-impi|all> \
              --min-bytes N --max-bytes N --step K --reps N --out DIR --jobs J \
              --shards N --quick --full --no-verify --no-ascii --fault-seed N \
-             --deadlock-timeout SECS --resume FILE --retries N --trace-out FILE \
-             --metrics-out FILE --phases"
+             --chaos SEED --deadlock-timeout SECS --resume FILE --retries N \
+             --trace-out FILE --metrics-out FILE --phases"
         }
 
         /// The sweep configuration these options describe.
@@ -521,6 +559,54 @@ mod tests {
         // The CSV still records the failed point, with its status.
         let csv = sweep_csv(&sweep);
         assert!(csv.contains("failed"), "{csv}");
+    }
+
+    #[test]
+    fn chaos_flag_sets_seed_and_health_reporting() {
+        let o = Options::parse(["--chaos", "7"].iter().map(|s| s.to_string())).unwrap();
+        assert!(o.chaos);
+        assert_eq!(o.fault_seed, Some(7));
+        assert!(o.resilient());
+        for p in o.platforms() {
+            assert_eq!(p.fault.as_ref().map(|f| f.seed), Some(7));
+        }
+        assert!(!Options::parse(Vec::<String>::new()).unwrap().chaos);
+        assert!(Options::parse(["--chaos".to_string()]).is_err());
+    }
+
+    #[test]
+    fn demoted_and_failed_points_render_distinctly() {
+        use nonctg_schemes::{PointStatus, Sweep, SweepFaults, SweepPoint};
+        let mk = |msg_bytes: usize, time: f64, status, demotions| SweepPoint {
+            scheme: Scheme::VectorType,
+            msg_bytes,
+            time,
+            bandwidth: if time.is_finite() { msg_bytes as f64 / time } else { 0.0 },
+            slowdown: 1.0,
+            status,
+            faults: SweepFaults { demotions, ..Default::default() },
+        };
+        let sweep = Sweep {
+            platform: PlatformId::SkxImpi,
+            points: vec![
+                mk(1024, 1e-5, PointStatus::Ok, 0),
+                mk(2048, 2.5e-5, PointStatus::Ok, 3), // degraded but measured
+                mk(4096, f64::NAN, PointStatus::Failed, 1),
+            ],
+            faults: Default::default(),
+        };
+        let series = sweep_series(&sweep, |p| p.time);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].points.len(), 2);
+        assert_eq!(series[0].marked, vec![(2048.0, 2.5e-5)]);
+        assert_eq!(series[0].failed_x, vec![4096.0]);
+        let svg = render_figure("chaos", &paper_panels(&sweep), PanelGeom::default());
+        assert!(svg.contains("<circle"), "demoted marker missing: {svg}");
+        assert!(svg.contains("failed-mark"), "failed marker missing");
+        // The CSV table view records the demotion count per point.
+        let csv = sweep_csv(&sweep);
+        assert!(csv.lines().next().unwrap().contains("demotions"), "{csv}");
+        assert!(csv.contains(",3"), "{csv}");
     }
 
     #[test]

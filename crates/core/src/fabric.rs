@@ -58,6 +58,11 @@ pub(crate) fn spin_round() {
 /// envelope — including on error paths.
 pub(crate) struct PayloadPool {
     bufs: Mutex<Vec<Vec<u8>>>,
+    /// Fault-poisoned allocations, held alive (bounded by
+    /// [`PayloadPool::QUARANTINE_CAP`]) so their addresses can never be
+    /// recycled into a later transfer — and so the oracle recycling check
+    /// in [`PayloadPool::take`] is precise, not racing the allocator.
+    quarantine: Mutex<Vec<Vec<u8>>>,
     /// Oracle-mode ledger of lent-out buffer addresses (aliasing check).
     aliases: AliasRegistry,
 }
@@ -67,8 +72,22 @@ impl PayloadPool {
     /// simply freed (bounds worst-case memory at a few in-flight payloads).
     const MAX_RETAINED: usize = 8;
 
+    /// Poisoned allocations held in quarantine; beyond this the oldest is
+    /// freed (its address may then lawfully re-enter circulation via the
+    /// allocator, which is fine — only pool recycling is forbidden).
+    const QUARANTINE_CAP: usize = 16;
+
     pub(crate) fn new() -> Arc<PayloadPool> {
-        Arc::new(PayloadPool { bufs: Mutex::new(Vec::new()), aliases: AliasRegistry::default() })
+        Arc::new(PayloadPool {
+            bufs: Mutex::new(Vec::new()),
+            quarantine: Mutex::new(Vec::new()),
+            aliases: AliasRegistry::default(),
+        })
+    }
+
+    /// Whether `ptr` is the address of a quarantined (poisoned) buffer.
+    fn is_quarantined(&self, ptr: usize) -> bool {
+        self.quarantine.lock().iter().any(|q| q.as_ptr() as usize == ptr)
     }
 
     /// A buffer of exactly `len` bytes (contents unspecified beyond being
@@ -83,14 +102,26 @@ impl PayloadPool {
         // Empty buffers share the dangling sentinel pointer and can never
         // alias real payload bytes, so only allocations enter the ledger.
         if buf.capacity() > 0 {
-            self.aliases.lend(buf.as_ptr() as usize);
+            let ptr = buf.as_ptr() as usize;
+            if crate::invariants::oracle_checks_enabled() && self.is_quarantined(ptr) {
+                crate::invariants::violation(&format!(
+                    "payload pool recycled fault-poisoned buffer {ptr:#x}"
+                ));
+            }
+            self.aliases.lend(ptr);
         }
-        PooledBuf { buf, pool: Some(Arc::clone(self)) }
+        PooledBuf { buf, pool: Some(Arc::clone(self)), poisoned: false }
     }
 
     fn put(&self, buf: Vec<u8>) {
         if buf.capacity() == 0 {
             return;
+        }
+        let ptr = buf.as_ptr() as usize;
+        if crate::invariants::oracle_checks_enabled() && self.is_quarantined(ptr) {
+            crate::invariants::violation(&format!(
+                "fault-poisoned buffer {ptr:#x} returned to the payload pool"
+            ));
         }
         // Length is kept: `take` truncates or extends, so reusing a buffer
         // for an equal-or-smaller payload never pays a memset.
@@ -99,20 +130,43 @@ impl PayloadPool {
             bufs.push(buf);
         }
     }
+
+    /// Impound a fault-poisoned allocation so [`PayloadPool::take`] can
+    /// never hand its bytes to a later transfer.
+    fn impound(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut q = self.quarantine.lock();
+        q.push(buf);
+        if q.len() > Self::QUARANTINE_CAP {
+            q.remove(0);
+        }
+    }
 }
 
 /// A payload buffer that returns its allocation to its [`PayloadPool`]
-/// on drop. Derefs to `[u8]`.
+/// on drop — unless poisoned, in which case it is quarantined instead.
+/// Derefs to `[u8]`.
 pub(crate) struct PooledBuf {
     buf: Vec<u8>,
     pool: Option<Arc<PayloadPool>>,
+    poisoned: bool,
 }
 
 impl PooledBuf {
-    /// Wrap a plain vector without pool backing.
-    #[cfg(test)]
+    /// Wrap a plain vector without pool backing (the owned-buffer
+    /// fallback when the pool is exhausted, and test scaffolding).
     pub fn detached(buf: Vec<u8>) -> PooledBuf {
-        PooledBuf { buf, pool: None }
+        PooledBuf { buf, pool: None, poisoned: false }
+    }
+
+    /// Mark the buffer fault-poisoned: on drop its allocation goes to the
+    /// pool's quarantine instead of back into circulation, so a corrupted
+    /// or dropped chunk's bytes can never be recycled into a later
+    /// transfer.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
     }
 }
 
@@ -135,7 +189,12 @@ impl Drop for PooledBuf {
             if self.buf.capacity() > 0 {
                 pool.aliases.give_back(self.buf.as_ptr() as usize);
             }
-            pool.put(std::mem::take(&mut self.buf));
+            let buf = std::mem::take(&mut self.buf);
+            if self.poisoned {
+                pool.impound(buf);
+            } else {
+                pool.put(buf);
+            }
         }
     }
 }
@@ -202,6 +261,28 @@ pub struct FaultStats {
     pub corruptions: u64,
     /// Sends abandoned after the bounded retry budget.
     pub failed_sends: u64,
+    /// Transfers demoted from the pipelined chunk stream to a whole
+    /// (monolithic) rendezvous after repeated forecast chunk faults.
+    pub pipeline_demotions: u64,
+    /// Chunks re-packed and re-sent after an in-stream corruption/drop.
+    pub chunk_retries: u64,
+    /// Sends that fell back from pooled (zero-copy-style) staging to an
+    /// owned buffer because the payload pool was exhausted.
+    pub pool_exhaustions: u64,
+    /// Sends that fell back to the uncompiled pack path after a pack-plan
+    /// compile/allocation failure.
+    pub plan_fallbacks: u64,
+    /// Packs that fell back from the parallel kernel to the serial one
+    /// after a worker failure.
+    pub serial_fallbacks: u64,
+    /// Sends charged a sustained link-degradation latency surcharge.
+    pub link_degradations: u64,
+    /// Injected receiver-side crashes surfaced as typed errors.
+    pub recv_crashes: u64,
+    /// Request waits that gave up at a caller-supplied timeout.
+    pub timeouts: u64,
+    /// Requests cancelled before completion.
+    pub cancels: u64,
 }
 
 impl FaultStats {
@@ -211,6 +292,22 @@ impl FaultStats {
         self.delays += other.delays;
         self.corruptions += other.corruptions;
         self.failed_sends += other.failed_sends;
+        self.pipeline_demotions += other.pipeline_demotions;
+        self.chunk_retries += other.chunk_retries;
+        self.pool_exhaustions += other.pool_exhaustions;
+        self.plan_fallbacks += other.plan_fallbacks;
+        self.serial_fallbacks += other.serial_fallbacks;
+        self.link_degradations += other.link_degradations;
+        self.recv_crashes += other.recv_crashes;
+        self.timeouts += other.timeouts;
+        self.cancels += other.cancels;
+    }
+
+    /// Total graceful demotions: every time the runtime swapped a faster
+    /// datapath for a slower-but-correct one instead of failing.
+    pub fn demotions(&self) -> u64 {
+        self.pipeline_demotions + self.pool_exhaustions + self.plan_fallbacks
+            + self.serial_fallbacks
     }
 
     /// Whether every counter is zero.
@@ -660,6 +757,65 @@ mod tests {
         drop(PooledBuf::detached(vec![1, 2, 3]));
         let c = pool.take(8);
         assert_eq!(c.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn poisoned_buffer_is_never_recycled() {
+        let pool = PayloadPool::new();
+        let mut a = pool.take(256);
+        let poisoned_ptr = a.as_ptr() as usize;
+        a.poison();
+        drop(a);
+        // The quarantined allocation must never come back out of the pool.
+        assert!(pool.is_quarantined(poisoned_ptr));
+        for _ in 0..32 {
+            let b = pool.take(256);
+            assert_ne!(b.as_ptr() as usize, poisoned_ptr);
+        }
+        // Healthy buffers still recycle as before.
+        let c = pool.take(64);
+        let healthy_ptr = c.as_ptr();
+        drop(c);
+        assert_eq!(pool.take(64).as_ptr(), healthy_ptr);
+    }
+
+    #[test]
+    fn quarantine_is_bounded() {
+        let pool = PayloadPool::new();
+        for _ in 0..(PayloadPool::QUARANTINE_CAP + 10) {
+            let mut b = PooledBuf {
+                buf: vec![0u8; 32],
+                pool: Some(Arc::clone(&pool)),
+                poisoned: false,
+            };
+            b.poison();
+            drop(b);
+        }
+        assert_eq!(pool.quarantine.lock().len(), PayloadPool::QUARANTINE_CAP);
+    }
+
+    #[test]
+    fn fault_stats_absorb_and_demotions() {
+        let mut a = FaultStats { pipeline_demotions: 2, pool_exhaustions: 1, ..Default::default() };
+        let b = FaultStats {
+            plan_fallbacks: 3,
+            serial_fallbacks: 4,
+            chunk_retries: 5,
+            timeouts: 1,
+            cancels: 2,
+            recv_crashes: 1,
+            link_degradations: 7,
+            ..Default::default()
+        };
+        a.absorb(b);
+        assert_eq!(a.demotions(), 2 + 1 + 3 + 4);
+        assert_eq!(a.chunk_retries, 5);
+        assert_eq!(a.timeouts, 1);
+        assert_eq!(a.cancels, 2);
+        assert_eq!(a.recv_crashes, 1);
+        assert_eq!(a.link_degradations, 7);
+        assert!(!a.is_zero());
+        assert!(FaultStats::default().is_zero());
     }
 
     #[test]

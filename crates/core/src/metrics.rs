@@ -272,8 +272,21 @@ impl MetricsSnapshot {
         let f = &self.faults;
         let _ = writeln!(
             s,
-            "  \"faults\": {{\"transient_retries\": {}, \"delays\": {}, \"corruptions\": {}, \"failed_sends\": {}}},",
-            f.transient_retries, f.delays, f.corruptions, f.failed_sends
+            "  \"faults\": {{\"transient_retries\": {}, \"delays\": {}, \"corruptions\": {}, \"failed_sends\": {}, \"pipeline_demotions\": {}, \"chunk_retries\": {}, \"pool_exhaustions\": {}, \"plan_fallbacks\": {}, \"serial_fallbacks\": {}, \"link_degradations\": {}, \"recv_crashes\": {}, \"timeouts\": {}, \"cancels\": {}, \"demotions\": {}}},",
+            f.transient_retries,
+            f.delays,
+            f.corruptions,
+            f.failed_sends,
+            f.pipeline_demotions,
+            f.chunk_retries,
+            f.pool_exhaustions,
+            f.plan_fallbacks,
+            f.serial_fallbacks,
+            f.link_degradations,
+            f.recv_crashes,
+            f.timeouts,
+            f.cancels,
+            f.demotions()
         );
         let p = &self.plan_cache;
         let _ = writeln!(
@@ -345,6 +358,22 @@ mod tests {
         assert_eq!(s.ops_of(EventKind::Send), 1);
         assert_eq!(s.ops_of(EventKind::Recv), 1);
         assert_eq!(s.faults.transient_retries, 3);
+    }
+
+    #[test]
+    fn json_surfaces_demotion_counters() {
+        let r = MetricsRegistry::new();
+        let s = r.snapshot(FaultStats {
+            pipeline_demotions: 2,
+            pool_exhaustions: 1,
+            plan_fallbacks: 1,
+            timeouts: 4,
+            ..Default::default()
+        });
+        let j = s.to_json();
+        assert!(j.contains("\"pipeline_demotions\": 2"), "{j}");
+        assert!(j.contains("\"timeouts\": 4"), "{j}");
+        assert!(j.contains("\"demotions\": 4"), "{j}");
     }
 
     #[test]

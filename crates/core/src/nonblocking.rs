@@ -97,6 +97,101 @@ impl SendRequest {
         }
     }
 
+    /// Like [`Self::wait`], but additionally bounded by `timeout_s`
+    /// seconds of wall-clock time. Returns [`CoreError::WaitTimeout`]
+    /// (and counts it in [`crate::FaultStats::timeouts`]) if neither
+    /// completion, poison, nor the supervision watchdog fires first —
+    /// so every blocking wait in a chaos run is bounded even when the
+    /// fabric-wide timeout is long.
+    pub fn wait_timeout(self, comm: &mut Comm, timeout_s: f64) -> Result<()> {
+        match self.state {
+            SendState::Done(t) => {
+                comm.clock.sync_to(t);
+                Ok(())
+            }
+            SendState::Pending(rx) => {
+                let sup = std::sync::Arc::clone(&comm.fabric().supervision);
+                let me = comm.world_rank();
+                let caller = std::time::Duration::from_secs_f64(timeout_s.max(0.0));
+                let caller_is_shorter = caller <= sup.timeout();
+                let deadline = Instant::now() + caller.min(sup.timeout());
+                sup.set_blocked(me, Some("rendezvous completion (bounded)"));
+                let mut spins = SPIN_ROUNDS;
+                let res = loop {
+                    let now = Instant::now();
+                    if let Some(rank) = sup.failed_rank() {
+                        if let Ok(done) = rx.try_recv() {
+                            break Ok(done);
+                        }
+                        break Err(CoreError::PeerFailed { rank });
+                    }
+                    if now >= deadline {
+                        break if caller_is_shorter {
+                            sup.with_faults(me, |f| f.timeouts += 1);
+                            Err(CoreError::WaitTimeout {
+                                waiting_for: "send completion",
+                                timeout_ms: (timeout_s.max(0.0) * 1e3) as u64,
+                            })
+                        } else {
+                            Err(CoreError::deadlock("rendezvous completion"))
+                        };
+                    }
+                    if spins > 0 {
+                        spins -= 1;
+                        if let Ok(done) = rx.try_recv() {
+                            break Ok(done);
+                        }
+                        spin_round();
+                        continue;
+                    }
+                    let slice = (deadline - now).min(poll_slice());
+                    match rx.recv_timeout(slice) {
+                        Ok(done) => break Ok(done),
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            break match sup.failed_rank() {
+                                Some(rank) => Err(CoreError::PeerFailed { rank }),
+                                None => Err(CoreError::deadlock("rendezvous completion")),
+                            };
+                        }
+                    }
+                };
+                sup.set_blocked(me, None);
+                let done = res.map_err(|e| comm.fabric().enrich(e))?;
+                comm.clock.sync_to(done);
+                Ok(())
+            }
+        }
+    }
+
+    /// Cancel the request (`MPI_Cancel` + free). A locally-complete send
+    /// cannot be cancelled — its completion time is simply applied. A
+    /// pending rendezvous is abandoned: dropping the back-channel lets
+    /// the peer's stream pump observe the disconnect and stop cleanly
+    /// (never a hang), and the cancellation is counted in
+    /// [`crate::FaultStats::cancels`]. Returns [`CoreError::Cancelled`]
+    /// when the request was actually torn down.
+    pub fn cancel(self, comm: &mut Comm) -> Result<()> {
+        match self.state {
+            SendState::Done(t) => {
+                comm.clock.sync_to(t);
+                Ok(())
+            }
+            SendState::Pending(rx) => {
+                let me = comm.world_rank();
+                // A completion that already arrived wins over the cancel,
+                // exactly as MPI_Cancel may fail to cancel a matched send.
+                if let Ok(done) = rx.try_recv() {
+                    comm.clock.sync_to(done);
+                    return Ok(());
+                }
+                drop(rx);
+                comm.fabric().supervision.with_faults(me, |f| f.cancels += 1);
+                Err(CoreError::Cancelled { what: "send request" })
+            }
+        }
+    }
+
     /// Nonblocking completion check (`MPI_Test`). On `true` the request is
     /// finished and the clock has advanced; the request is consumed either
     /// way, so call [`Self::wait`] instead when you must have completion.

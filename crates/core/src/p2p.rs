@@ -44,6 +44,13 @@ const SEND_BACKOFF_BASE_S: f64 = 2e-6;
 /// is enough for full pack/unpack overlap; more only adds memory.
 const CHUNK_RING_DEPTH: usize = 2;
 
+/// Per-chunk faults forecast for one send at or above which the transfer
+/// is demoted from the pipelined chunk stream to the monolithic
+/// whole-payload rendezvous (the graceful-degradation ladder's first
+/// rung). Below the threshold the stream runs and re-packs each faulted
+/// chunk individually.
+pub const CHUNK_DEMOTE_THRESHOLD: usize = 3;
+
 /// Completion information of a receive.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecvStatus {
@@ -248,7 +255,7 @@ impl Comm {
         // builds the monolithic buffer. Only blocking sends may stream —
         // an isend that blocked pumping chunks would deadlock a
         // head-to-head sendrecv.
-        let stream_plan = if may_stream
+        let mut stream_plan = if may_stream
             && !eager
             && !contiguous
             && matches!(mode, SendMode::Standard | SendMode::Synchronous)
@@ -261,8 +268,14 @@ impl Comm {
 
         // Fault decisions are taken before any staging so both datapaths
         // share them; all fault charges are exact (no jitter draws), so
-        // the virtual clock is identical whichever path runs.
+        // the virtual clock is identical whichever path runs. The v2
+        // degradation ladder is also decided here: every demotion flag is
+        // a pure function of (plan, rank, op), so a rerun of the same
+        // seed makes identical choices.
         let mut corrupt_idx = None;
+        let mut pool_fault = false; // pooled staging -> owned buffers
+        let mut serial_pack = false; // parallel pack -> serial kernel
+        let mut plan_failed = false; // compiled plan -> uncompiled kernel
         if let Some(plan) = &p.fault {
             if plan.should_crash(me, op) {
                 panic!("fault plan: injected crash of rank {me} at op {op}");
@@ -299,21 +312,103 @@ impl Comm {
                     sup.with_faults(me, |s| s.corruptions += 1);
                 }
             }
+
+            // Sustained link degradation: a burst window multiplies the
+            // base latency; the surcharge above 1x is an exact charge so
+            // both datapaths see the same virtual clock.
+            let lf = plan.latency_factor(op);
+            if lf > 1.0 {
+                self.charge_exact(p.net.latency * (lf - 1.0));
+                sup.with_faults(me, |s| s.link_degradations += 1);
+            }
+
+            // Plan compilation failure: the compiled pack plan for this
+            // derived type "fails to build", so the send falls back to
+            // the uncompiled serial interpreter — which also rules out
+            // the chunk-streaming path (it requires a compiled plan).
+            if !contiguous && plan.plan_compile_fails(me, op) {
+                plan_failed = true;
+                stream_plan = None;
+                sup.with_faults(me, |s| s.plan_fallbacks += 1);
+                let t = self.clock.now();
+                self.trace(crate::trace::EventKind::Demote, t, Some(dst), bytes as usize, Some(tag));
+            }
+
+            // Chunk-fault forecast: with this op's chunk schedule known
+            // up front, repeated per-chunk faults demote the transfer
+            // from pipelined to the monolithic (whole-payload)
+            // rendezvous before any chunk machinery spins up. Below the
+            // threshold the stream runs and absorbs each fault by
+            // re-packing (see `stream_send`).
+            if stream_plan.is_some() {
+                let chunk = p.effective_pipeline().chunk_bytes.max(1);
+                let n_chunks = bytes.div_ceil(chunk);
+                let faulty = (0..n_chunks)
+                    .filter(|&c| plan.chunk_decision(me, op, c).is_faulty())
+                    .count();
+                if faulty >= CHUNK_DEMOTE_THRESHOLD {
+                    stream_plan = None;
+                    sup.with_faults(me, |s| s.pipeline_demotions += 1);
+                    let t = self.clock.now();
+                    self.trace(crate::trace::EventKind::Demote, t, Some(dst), bytes as usize, Some(tag));
+                }
+            }
+
+            // Payload-pool exhaustion: staging falls back from recycled
+            // pool buffers to owned allocations for this whole send.
+            if plan.pool_exhausted(me, op) {
+                pool_fault = true;
+                sup.with_faults(me, |s| s.pool_exhaustions += 1);
+                let t = self.clock.now();
+                self.trace(crate::trace::EventKind::Demote, t, Some(dst), bytes as usize, Some(tag));
+            }
+
+            // Parallel-pack worker failure: only meaningful when this
+            // send would actually have fanned the pack out; the fallback
+            // is the serial kernel (`pack_into_serial` / threads = 1).
+            if !plan_failed
+                && !contiguous
+                && plan.pack_worker_fails(me, op)
+                && dt::pack_threads() > 1
+                && bytes as usize >= dt::parallel_threshold()
+            {
+                serial_pack = true;
+                sup.with_faults(me, |s| s.serial_fallbacks += 1);
+                let t = self.clock.now();
+                self.trace(crate::trace::EventKind::Demote, t, Some(dst), bytes as usize, Some(tag));
+            }
         }
         let sig = dtype.signature().scaled(count as u64)?;
 
         if let Some(plan) = stream_plan {
-            return self.stream_send(buf, origin, &plan, bytes, &access, warm, &p, dst, tag, sig, corrupt_idx);
+            return self.stream_send(
+                buf, origin, &plan, bytes, &access, warm, &p, dst, tag, sig, corrupt_idx, op,
+                pool_fault, serial_pack,
+            );
         }
 
         // Real data movement: stage the payload contiguously. The type is
         // committed, so this runs the cached compiled plan; the staging
         // buffer comes from (and returns to) the fabric's payload pool,
-        // so steady-state sends allocate nothing.
-        let mut packed = self.fabric().pool.take(bytes as usize);
-        dt::pack_into(buf, origin, dtype, count, &mut packed)?;
+        // so steady-state sends allocate nothing. Under pool exhaustion
+        // the ladder drops to a plain owned allocation (never pooled).
+        let mut packed = if pool_fault {
+            PooledBuf::detached(vec![0u8; bytes as usize])
+        } else {
+            self.fabric().pool.take(bytes as usize)
+        };
+        if plan_failed {
+            dt::pack_into_uncompiled(buf, origin, dtype, count, &mut packed)?;
+        } else if serial_pack {
+            dt::pack_into_serial(buf, origin, dtype, count, &mut packed)?;
+        } else {
+            dt::pack_into(buf, origin, dtype, count, &mut packed)?;
+        }
         if let Some(idx) = corrupt_idx {
             packed[idx] ^= 0xFF;
+            // Corrupted payload bytes must never linger in a recycled
+            // staging buffer: quarantine the allocation on drop.
+            packed.poison();
         }
         let payload = Payload::Whole(packed);
 
@@ -432,6 +527,9 @@ impl Comm {
         tag: i32,
         sig: nonctg_datatype::Signature,
         corrupt_idx: Option<usize>,
+        op: u64,
+        pool_fault: bool,
+        serial_pack: bool,
     ) -> Result<SendRequest> {
         let t_stage = self.clock.now();
         self.charge(p.staging_time(bytes, access, warm));
@@ -461,6 +559,7 @@ impl Comm {
         let deadline = Instant::now() + sup.timeout();
         sup.set_blocked(me, Some("pipelined chunk delivery"));
         let mut lo: u64 = 0;
+        let mut cidx: u64 = 0;
         let res = 'pump: loop {
             if lo >= bytes {
                 break Ok(());
@@ -474,13 +573,50 @@ impl Comm {
                 hi = plan.align_chunk(lo + step);
             }
             let n = (hi - lo) as usize;
-            let mut cbuf = pool.take(n);
-            if let Err(e) = plan.pack_range_into(buf, origin, &mut cbuf, lo, hi) {
+            let mut cbuf =
+                if pool_fault { PooledBuf::detached(vec![0u8; n]) } else { pool.take(n) };
+            let packed = if serial_pack {
+                plan.pack_range_into_with(buf, origin, &mut cbuf, lo, hi, 1)
+            } else {
+                plan.pack_range_into(buf, origin, &mut cbuf, lo, hi)
+            };
+            if let Err(e) = packed {
                 break Err(crate::error::CoreError::from(e));
+            }
+            // Per-chunk fault mid-pipeline: the faulted staging buffer is
+            // poisoned (quarantined on drop, never recycled) and the
+            // chunk re-packed into a fresh buffer. Wall-clock machinery
+            // only — the virtual clock is untouched, so a retried stream
+            // costs the same virtual time as a clean one.
+            if let Some(fp) = &p.fault {
+                let cf = fp.chunk_decision(me, op, cidx);
+                if cf.is_faulty() {
+                    if cf.corrupt && n > 0 {
+                        let i = fp.chunk_corrupt_byte(me, op, cidx, n);
+                        cbuf[i] ^= 0xFF;
+                    }
+                    cbuf.poison();
+                    drop(cbuf);
+                    cbuf = if pool_fault {
+                        PooledBuf::detached(vec![0u8; n])
+                    } else {
+                        pool.take(n)
+                    };
+                    let repacked = if serial_pack {
+                        plan.pack_range_into_with(buf, origin, &mut cbuf, lo, hi, 1)
+                    } else {
+                        plan.pack_range_into(buf, origin, &mut cbuf, lo, hi)
+                    };
+                    if let Err(e) = repacked {
+                        break Err(crate::error::CoreError::from(e));
+                    }
+                    sup.with_faults(me, |s| s.chunk_retries += 1);
+                }
             }
             if let Some(idx) = corrupt_idx {
                 if (lo as usize..hi as usize).contains(&idx) {
                     cbuf[idx - lo as usize] ^= 0xFF;
+                    cbuf.poison();
                 }
             }
             let t_now = self.clock.now();
@@ -510,6 +646,7 @@ impl Comm {
                 }
             }
             lo = hi;
+            cidx += 1;
         };
         sup.set_blocked(me, None);
         res.map_err(|e| self.fabric().enrich(e))?;
@@ -614,6 +751,18 @@ impl Comm {
         if let Some(plan) = &p.fault {
             if plan.should_crash(me, op) {
                 panic!("fault plan: injected crash of rank {me} at op {op}");
+            }
+            if plan.should_crash_recv(me, op) {
+                // Receiver-side crash mid-stream: surfaces as a typed
+                // error rather than a panic. Poisoning the fabric first
+                // means a sender pumping chunks at this rank observes
+                // `PeerFailed` instead of hanging on the ring.
+                sup.with_faults(me, |s| s.recv_crashes += 1);
+                sup.poison(me);
+                return Err(self.fabric().enrich(CoreError::RankPanicked {
+                    rank: me,
+                    message: format!("fault plan: injected receiver crash at op {op}"),
+                }));
             }
         }
 

@@ -34,6 +34,12 @@ impl Comm {
     ///
     /// Charges one library-call overhead plus the gather cost — calling
     /// this once per element reproduces the paper's packing(e) scheme.
+    ///
+    /// An explicit pack rides the same degradation ladder as the
+    /// internal staging pack: an injected plan-compile failure falls
+    /// back to the uncompiled interpreter, an injected parallel-pack
+    /// worker failure pins the serial kernel — both counted in
+    /// [`crate::FaultStats`] and traced as demotions.
     pub fn pack(
         &mut self,
         src: &[u8],
@@ -45,8 +51,45 @@ impl Comm {
     ) -> Result<()> {
         dtype.require_committed()?;
         let bytes = dt::pack_size(dtype, count)? as u64;
-        dt::pack_with_position(src, origin, dtype, count, outbuf, position)?;
         let access = Access::classify(dtype);
+        let mut plan_failed = false;
+        let mut serial = false;
+        if !matches!(access, Access::Contiguous) {
+            if let Some(fp) = self.platform().fault.clone() {
+                let me = self.world_rank();
+                let sup = std::sync::Arc::clone(&self.fabric().supervision);
+                let op = sup.next_op(me);
+                if fp.plan_compile_fails(me, op) {
+                    plan_failed = true;
+                    sup.with_faults(me, |s| s.plan_fallbacks += 1);
+                    let t = self.wtime();
+                    self.trace(crate::trace::EventKind::Demote, t, None, bytes as usize, None);
+                } else if fp.pack_worker_fails(me, op)
+                    && dt::pack_threads() > 1
+                    && bytes as usize >= dt::parallel_threshold()
+                {
+                    serial = true;
+                    sup.with_faults(me, |s| s.serial_fallbacks += 1);
+                    let t = self.wtime();
+                    self.trace(crate::trace::EventKind::Demote, t, None, bytes as usize, None);
+                }
+            }
+        }
+        if *position > outbuf.len() {
+            return Err(dt::DatatypeError::InvalidPosition {
+                position: *position,
+                buffer_len: outbuf.len(),
+            }
+            .into());
+        }
+        let written = if plan_failed {
+            dt::pack_into_uncompiled(src, origin, dtype, count, &mut outbuf[*position..])?
+        } else if serial {
+            dt::pack_into_serial(src, origin, dtype, count, &mut outbuf[*position..])?
+        } else {
+            dt::pack_into(src, origin, dtype, count, &mut outbuf[*position..])?
+        };
+        *position += written;
         let warm = self.is_warm();
         let t0 = self.wtime();
         let t = self.platform().pack_call_time(bytes, &access, warm);

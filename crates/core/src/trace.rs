@@ -51,11 +51,16 @@ pub enum EventKind {
     /// Zero-width in virtual time — the enclosing `Send`/`Recv` carries
     /// the cost — so it never perturbs phase attribution.
     Chunk,
+    /// A graceful degradation: the runtime swapped a faster datapath for
+    /// a slower-but-correct one (pipelined→whole rendezvous, pooled→owned
+    /// staging, compiled→interpreted pack, parallel→serial pack).
+    /// Zero-width in virtual time, like `Chunk`.
+    Demote,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order (`ALL[k as usize] == k`).
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::Send,
         EventKind::Bsend,
         EventKind::Isend,
@@ -71,6 +76,7 @@ impl EventKind {
         EventKind::Stage,
         EventKind::Unstage,
         EventKind::Chunk,
+        EventKind::Demote,
     ];
 
     /// Number of kinds — the length of per-kind accumulator arrays.
@@ -94,6 +100,7 @@ impl EventKind {
             EventKind::Stage => "stage",
             EventKind::Unstage => "unstage",
             EventKind::Chunk => "chunk",
+            EventKind::Demote => "demote",
         }
     }
 }
@@ -317,6 +324,7 @@ pub fn ascii_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
         EventKind::Stage => 'g',
         EventKind::Unstage => 'y',
         EventKind::Chunk => 'k',
+        EventKind::Demote => 'd',
     };
     let mut out = String::new();
     for (rank, events) in traces.iter().enumerate() {
@@ -337,7 +345,7 @@ pub fn ascii_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
         format!("{:.1} us", t_max * 1e6),
         width = width - 1
     ));
-    out.push_str("         S=send B=bsend R=recv P=put G=get F=fence |=barrier c=copy/pack u=unpack g=stage y=unstage k=chunk .=flush\n");
+    out.push_str("         S=send B=bsend R=recv P=put G=get F=fence |=barrier c=copy/pack u=unpack g=stage y=unstage k=chunk d=demote .=flush\n");
     out
 }
 

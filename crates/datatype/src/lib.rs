@@ -45,8 +45,8 @@ pub mod plan;
 pub use error::{DatatypeError, Result};
 pub use node::{ArrayOrder, Block, Datatype, Kind, StructField};
 pub use pack::{
-    pack, pack_into, pack_into_uncompiled, pack_size, pack_with_position, strided_form,
-    unpack_from, unpack_from_uncompiled, unpack_with_position, Strided,
+    pack, pack_into, pack_into_serial, pack_into_uncompiled, pack_size, pack_with_position,
+    strided_form, unpack_from, unpack_from_uncompiled, unpack_with_position, Strided,
 };
 pub use plan::{
     cache_stats, pack_threads, parallel_threshold, plan_cache_stats, plan_for, reset_cache_stats,

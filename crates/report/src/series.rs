@@ -27,6 +27,14 @@ pub struct Series {
     pub glyph: char,
     /// `(x, y)` samples in increasing x.
     pub points: Vec<(f64, f64)>,
+    /// Samples (a subset of `points`) to overlay with an open-circle
+    /// marker — measurements that degraded gracefully under fault
+    /// injection and should be visually distinct from clean ones.
+    pub marked: Vec<(f64, f64)>,
+    /// X positions of points that could not be measured at all; rendered
+    /// as an `×` at the bottom of the panel so a gap in the line is
+    /// distinguishable from a size that was never swept.
+    pub failed_x: Vec<f64>,
 }
 
 impl Series {
@@ -37,7 +45,21 @@ impl Series {
             color: PALETTE[slot % PALETTE.len()].to_string(),
             glyph: GLYPHS[slot % GLYPHS.len()],
             points,
+            marked: Vec::new(),
+            failed_x: Vec::new(),
         }
+    }
+
+    /// Attach open-circle markers (degraded measurements).
+    pub fn with_marked(mut self, marked: Vec<(f64, f64)>) -> Series {
+        self.marked = marked;
+        self
+    }
+
+    /// Attach failed-point x positions.
+    pub fn with_failed(mut self, failed_x: Vec<f64>) -> Series {
+        self.failed_x = failed_x;
+        self
     }
 }
 

@@ -206,6 +206,42 @@ pub fn panel_group(
             s.color
         );
     }
+    // Overlays: open circles on degraded measurements, × marks along the
+    // bottom edge for points that failed outright.
+    for s in series {
+        for &(x, y) in &s.marked {
+            if (spec.xscale == Scale::Log && x <= 0.0) || (spec.yscale == Scale::Log && y <= 0.0) {
+                continue;
+            }
+            let y = spec.ymax.map_or(y, |m| y.min(m));
+            let _ = write!(
+                g,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3.5" fill="{SURFACE}" stroke="{}" stroke-width="1.5"/>"#,
+                px(x),
+                py(y),
+                s.color
+            );
+        }
+        for &x in &s.failed_x {
+            if spec.xscale == Scale::Log && x <= 0.0 {
+                continue;
+            }
+            let (cx, cy) = (px(x), MT + ph - 6.0);
+            let _ = write!(
+                g,
+                r#"<path d="M{:.1} {:.1} L{:.1} {:.1} M{:.1} {:.1} L{:.1} {:.1}" stroke="{}" stroke-width="1.5" class="failed-mark"/>"#,
+                cx - 3.0,
+                cy - 3.0,
+                cx + 3.0,
+                cy + 3.0,
+                cx - 3.0,
+                cy + 3.0,
+                cx + 3.0,
+                cy - 3.0,
+                s.color
+            );
+        }
+    }
     g.push_str("</g>");
     g
 }

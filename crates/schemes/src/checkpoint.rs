@@ -67,8 +67,18 @@ pub fn to_json(sweep: &Sweep) -> String {
 fn faults_json(f: &SweepFaults) -> String {
     format!(
         "{{\"transient_retries\": {}, \"delays\": {}, \
-         \"corruptions\": {}, \"failed_sends\": {}, \"poisoned_peers\": {}}}",
-        f.transient_retries, f.delays, f.corruptions, f.failed_sends, f.poisoned_peers,
+         \"corruptions\": {}, \"failed_sends\": {}, \"poisoned_peers\": {}, \
+         \"demotions\": {}, \"chunk_retries\": {}, \"link_degradations\": {}, \
+         \"recv_crashes\": {}}}",
+        f.transient_retries,
+        f.delays,
+        f.corruptions,
+        f.failed_sends,
+        f.poisoned_peers,
+        f.demotions,
+        f.chunk_retries,
+        f.link_degradations,
+        f.recv_crashes,
     )
 }
 
@@ -224,6 +234,11 @@ impl<'a> Parser<'a> {
                 "corruptions" => f.corruptions = self.counter()?,
                 "failed_sends" => f.failed_sends = self.counter()?,
                 "poisoned_peers" => f.poisoned_peers = self.counter()?,
+                // v2 ladder counters; absent in older checkpoints (zeros).
+                "demotions" => f.demotions = self.counter()?,
+                "chunk_retries" => f.chunk_retries = self.counter()?,
+                "link_degradations" => f.link_degradations = self.counter()?,
+                "recv_crashes" => f.recv_crashes = self.counter()?,
                 other => return Err(self.err(&format!("unknown fault_stats key '{other}'"))),
             }
             match self.peek() {
@@ -313,7 +328,15 @@ mod tests {
                     bandwidth: 0.0,
                     slowdown: f64::NAN,
                     status: PointStatus::Failed,
-                    faults: SweepFaults { failed_sends: 2, poisoned_peers: 4, ..Default::default() },
+                    faults: SweepFaults {
+                        failed_sends: 2,
+                        poisoned_peers: 4,
+                        demotions: 5,
+                        chunk_retries: 2,
+                        link_degradations: 7,
+                        recv_crashes: 1,
+                        ..Default::default()
+                    },
                 },
             ],
             faults: SweepFaults {
@@ -322,6 +345,10 @@ mod tests {
                 corruptions: 0,
                 failed_sends: 2,
                 poisoned_peers: 4,
+                demotions: 5,
+                chunk_retries: 2,
+                link_degradations: 7,
+                recv_crashes: 1,
             },
         }
     }

@@ -32,6 +32,6 @@ pub use stats::Stats;
 pub use sweep::{
     run_sweep, run_sweep_parallel, run_sweep_resilient, run_sweep_resilient_with,
     run_sweep_sharded, run_sweep_with,
-    PointStatus, Resilience, Sweep, SweepConfig, SweepFaults, SweepPoint,
+    PointStatus, Resilience, Sweep, SweepConfig, SweepFaults, SweepHealth, SweepPoint,
 };
 pub use workload::{IrregularWorkload, Workload};

@@ -67,6 +67,9 @@ impl Phase {
             | EventKind::Put
             | EventKind::Get
             | EventKind::Chunk => Phase::Transfer,
+            // Zero-width marker: a demotion decision costs no virtual
+            // time, so its phase never accumulates any.
+            EventKind::Demote => Phase::Sync,
         }
     }
 }

@@ -150,6 +150,16 @@ pub struct SweepFaults {
     /// Ranks that came back in error from failed measurement attempts
     /// (each poisons its universe's fabric; see `nonctg_core::fabric`).
     pub poisoned_peers: u64,
+    /// Graceful demotions down the degradation ladder (pipelined →
+    /// monolithic, pooled → owned buffers, compiled → uncompiled plan,
+    /// parallel → serial pack), summed over every rank and attempt.
+    pub demotions: u64,
+    /// Chunks re-packed after a mid-pipeline corruption or drop.
+    pub chunk_retries: u64,
+    /// Operations charged a link-degradation latency surcharge.
+    pub link_degradations: u64,
+    /// Injected receiver-side crashes (typed errors, not panics).
+    pub recv_crashes: u64,
 }
 
 impl SweepFaults {
@@ -170,6 +180,10 @@ impl SweepFaults {
             corruptions: self.corruptions.saturating_sub(other.corruptions),
             failed_sends: self.failed_sends.saturating_sub(other.failed_sends),
             poisoned_peers: self.poisoned_peers.saturating_sub(other.poisoned_peers),
+            demotions: self.demotions.saturating_sub(other.demotions),
+            chunk_retries: self.chunk_retries.saturating_sub(other.chunk_retries),
+            link_degradations: self.link_degradations.saturating_sub(other.link_degradations),
+            recv_crashes: self.recv_crashes.saturating_sub(other.recv_crashes),
         }
     }
 
@@ -179,6 +193,10 @@ impl SweepFaults {
         self.delays += f.delays;
         self.corruptions += f.corruptions;
         self.failed_sends += f.failed_sends;
+        self.demotions += f.demotions();
+        self.chunk_retries += f.chunk_retries;
+        self.link_degradations += f.link_degradations;
+        self.recv_crashes += f.recv_crashes;
     }
 
     /// Add another sweep's totals into this one (checkpoint resume).
@@ -188,6 +206,10 @@ impl SweepFaults {
         self.corruptions += other.corruptions;
         self.failed_sends += other.failed_sends;
         self.poisoned_peers += other.poisoned_peers;
+        self.demotions += other.demotions;
+        self.chunk_retries += other.chunk_retries;
+        self.link_degradations += other.link_degradations;
+        self.recv_crashes += other.recv_crashes;
     }
 
     /// Whether every counter is zero (a fault-free sweep).
@@ -237,6 +259,62 @@ impl Sweep {
     /// Parse a checkpoint written by [`Sweep::to_checkpoint_json`].
     pub fn from_checkpoint_json(s: &str) -> Result<Sweep, String> {
         checkpoint::from_json(s)
+    }
+
+    /// Per-sweep health report: point outcomes plus the degradation
+    /// ladder's counters, for the chaos-mode summary line.
+    pub fn health(&self) -> SweepHealth {
+        let mut h = SweepHealth { faults: self.faults, ..SweepHealth::default() };
+        for p in &self.points {
+            match p.status {
+                PointStatus::Ok => h.ok += 1,
+                PointStatus::Failed => h.failed += 1,
+                PointStatus::Skipped => h.skipped += 1,
+            }
+            if p.faults.demotions > 0 {
+                h.demoted_points += 1;
+            }
+        }
+        h
+    }
+}
+
+/// Outcome summary of one sweep under fault injection: how many points
+/// measured, failed, or were skipped, and how hard the runtime had to
+/// lean on the graceful-degradation ladder to get there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepHealth {
+    /// Points measured successfully.
+    pub ok: usize,
+    /// Points whose every attempt failed.
+    pub failed: usize,
+    /// Points skipped after a scheme exhausted its failure budget.
+    pub skipped: usize,
+    /// Points whose measurement involved at least one demotion.
+    pub demoted_points: usize,
+    /// The sweep's cumulative fault counters.
+    pub faults: SweepFaults,
+}
+
+impl std::fmt::Display for SweepHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "sweep health: {} ok, {} failed, {} skipped ({} points demoted)",
+            self.ok, self.failed, self.skipped, self.demoted_points
+        )?;
+        let v = &self.faults;
+        writeln!(
+            f,
+            "  faults: {} transient retries, {} delays, {} corruptions, {} failed sends, \
+             {} poisoned peers",
+            v.transient_retries, v.delays, v.corruptions, v.failed_sends, v.poisoned_peers
+        )?;
+        write!(
+            f,
+            "  ladder: {} demotions, {} chunk retries, {} degraded-link ops, {} receiver crashes",
+            v.demotions, v.chunk_retries, v.link_degradations, v.recv_crashes
+        )
     }
 }
 

@@ -1,0 +1,92 @@
+//! Property: a resilient sweep interrupted mid-run (crash after any
+//! completed size group) and resumed from its checkpoint merges to a
+//! bit-equal result — points *and* cumulative fault counters — as the
+//! uninterrupted sweep, even under a chaos fault plan.
+
+use nonctg_schemes::{
+    run_sweep_resilient, PingPongConfig, Resilience, Scheme, Sweep, SweepConfig, SweepFaults,
+    SweepPoint,
+};
+use nonctg_simnet::{FaultPlan, Platform};
+use proptest::prelude::*;
+
+fn chaos_platform(seed: u64) -> Platform {
+    let mut p = Platform::skx_impi();
+    p.jitter_sigma = 0.0;
+    p.with_deadlock_timeout(10.0).with_fault_plan(FaultPlan::chaos(seed))
+}
+
+fn small_cfg(schemes: Vec<Scheme>, groups: usize) -> SweepConfig {
+    SweepConfig {
+        schemes,
+        min_bytes: 1 << 10,
+        max_bytes: (1 << 10) << (groups - 1),
+        step: 2,
+        base: PingPongConfig { reps: 2, flush: false, flush_bytes: 0, verify: true },
+    }
+}
+
+/// Bit-exact point equality: NaN times (Failed points) compare equal to
+/// themselves, so `PartialEq` on the f64s would be too weak *and* too
+/// strong at once — compare the raw bits instead.
+fn points_bit_equal(a: &SweepPoint, b: &SweepPoint) -> bool {
+    a.scheme == b.scheme
+        && a.msg_bytes == b.msg_bytes
+        && a.time.to_bits() == b.time.to_bits()
+        && a.bandwidth.to_bits() == b.bandwidth.to_bits()
+        && a.slowdown.to_bits() == b.slowdown.to_bits()
+        && a.status == b.status
+        && a.faults == b.faults
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn interrupted_sweep_resumes_bit_equal(
+        seed in 0u64..1000,
+        nschemes in 1usize..4,
+        offset in 0usize..8,
+        groups in 2usize..4,
+        crash_after in 1usize..3,
+    ) {
+        // A small rotated subset of the scheme matrix (3 and 8 are
+        // coprime, so the picks are distinct).
+        let schemes: Vec<Scheme> = (0..nschemes)
+            .map(|i| Scheme::ALL[(offset + i * 3) % Scheme::ALL.len()])
+            .collect();
+        let platform = chaos_platform(seed);
+        let cfg = small_cfg(schemes, groups);
+        let res = Resilience { retries: 1, ..Resilience::default() };
+
+        let full = run_sweep_resilient(&platform, &cfg, &res);
+
+        // Simulate the harness dying after `crash_after` completed size
+        // groups: the checkpoint on disk holds exactly those finalized
+        // points plus the fault counters attributed to them.
+        let crash_after = crash_after.min(groups - 1);
+        let cut = crash_after * cfg.schemes.len();
+        let prefix: Vec<SweepPoint> = full.points[..cut].to_vec();
+        let prefix_faults = prefix.iter().fold(SweepFaults::default(), |mut a, p| {
+            a.merge(p.faults);
+            a
+        });
+        let checkpoint =
+            Sweep { platform: platform.id, points: prefix, faults: prefix_faults }
+                .to_checkpoint_json();
+
+        // Resume through the same serialized form the harness would read.
+        let resume = Sweep::from_checkpoint_json(&checkpoint).unwrap();
+        let res2 = Resilience { retries: 1, resume: Some(resume), ..Resilience::default() };
+        let resumed = run_sweep_resilient(&platform, &cfg, &res2);
+
+        prop_assert_eq!(resumed.points.len(), full.points.len());
+        for (i, (a, b)) in resumed.points.iter().zip(&full.points).enumerate() {
+            prop_assert!(
+                points_bit_equal(a, b),
+                "point {i} diverged after resume: {a:?} vs {b:?}"
+            );
+        }
+        prop_assert_eq!(resumed.faults, full.faults, "cumulative fault counters diverged");
+    }
+}

@@ -55,6 +55,37 @@ pub struct PersistentFault {
     pub max_bytes: u64,
 }
 
+/// A sustained link-degradation burst: every send whose op index falls in
+/// `[first_op, last_op]` pays `factor`× the platform's base latency
+/// instead of 1× (the surcharge is exact, so virtual time stays
+/// deterministic). Models a congested or flapping link rather than the
+/// single-delivery hiccups of `delay_prob`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDegradation {
+    /// First affected op index (inclusive).
+    pub first_op: u64,
+    /// Last affected op index (inclusive).
+    pub last_op: u64,
+    /// Latency multiplier applied during the burst (must be ≥ 1).
+    pub factor: f64,
+}
+
+/// The faults decided for one pipeline chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChunkFault {
+    /// Corrupt one byte of the chunk in flight.
+    pub corrupt: bool,
+    /// Drop the chunk entirely (it must be re-packed and re-sent).
+    pub drop: bool,
+}
+
+impl ChunkFault {
+    /// Whether this chunk is faulted at all.
+    pub fn is_faulty(&self) -> bool {
+        self.corrupt || self.drop
+    }
+}
+
 /// The faults decided for one send operation.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SendFault {
@@ -98,6 +129,25 @@ pub struct FaultPlan {
     pub crash: Option<CrashPoint>,
     /// Persistent send failure band, if any.
     pub persistent: Option<PersistentFault>,
+    /// Probability that a pipeline chunk is corrupted in flight (v2).
+    pub chunk_corrupt_prob: f64,
+    /// Probability that a pipeline chunk is dropped in flight (v2).
+    pub chunk_drop_prob: f64,
+    /// Probability that the payload pool is exhausted when a send asks
+    /// for a pooled buffer, forcing an owned-buffer fallback (v2).
+    pub pool_exhaust_prob: f64,
+    /// Probability that compiling/allocating a pack plan fails, forcing
+    /// the uncompiled (interpreter) path (v2).
+    pub plan_fail_prob: f64,
+    /// Probability that a parallel-pack worker fails, forcing the serial
+    /// pack kernel (v2).
+    pub pack_worker_fail_prob: f64,
+    /// Sustained link-degradation burst, if any (v2).
+    pub degrade: Option<LinkDegradation>,
+    /// Scheduled receiver-side crash mid-stream, if any (v2). Unlike
+    /// [`FaultPlan::crash`] this fires on the receive path and surfaces
+    /// as a typed error on both sides rather than a panic.
+    pub recv_crash: Option<CrashPoint>,
 }
 
 impl FaultPlan {
@@ -111,14 +161,25 @@ impl FaultPlan {
             corrupt_prob: 0.0,
             crash: None,
             persistent: None,
+            chunk_corrupt_prob: 0.0,
+            chunk_drop_prob: 0.0,
+            pool_exhaust_prob: 0.0,
+            plan_fail_prob: 0.0,
+            pack_worker_fail_prob: 0.0,
+            degrade: None,
+            recv_crash: None,
         }
     }
 
     /// The standard chaos mix driven by one seed: occasional transient
-    /// send failures and delivery delays. Corruption and crashes stay off
-    /// by default because they abort the affected universe; enable them
-    /// explicitly with [`FaultPlan::with_corruption`] /
-    /// [`FaultPlan::with_crash`].
+    /// send failures, delivery delays, and the recoverable v2 faults —
+    /// chunk corruption/drops mid-pipeline, pool exhaustion, plan-compile
+    /// failures, and parallel-pack worker failures (all of which the
+    /// runtime absorbs by demoting to a slower-but-correct path).
+    /// Payload corruption and crashes stay off by default because they
+    /// abort the affected universe; enable them explicitly with
+    /// [`FaultPlan::with_corruption`] / [`FaultPlan::with_crash`] /
+    /// [`FaultPlan::with_recv_crash`].
     pub fn chaos(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
@@ -128,6 +189,13 @@ impl FaultPlan {
             corrupt_prob: 0.0,
             crash: None,
             persistent: None,
+            chunk_corrupt_prob: 0.02,
+            chunk_drop_prob: 0.02,
+            pool_exhaust_prob: 0.05,
+            plan_fail_prob: 0.02,
+            pack_worker_fail_prob: 0.02,
+            degrade: None,
+            recv_crash: None,
         }
     }
 
@@ -165,6 +233,49 @@ impl FaultPlan {
         max_bytes: u64,
     ) -> FaultPlan {
         self.persistent = Some(PersistentFault { rank, min_bytes, max_bytes });
+        self
+    }
+
+    /// Builder: set the per-chunk corruption and drop probabilities.
+    pub fn with_chunk_faults(mut self, corrupt_prob: f64, drop_prob: f64) -> FaultPlan {
+        self.chunk_corrupt_prob = corrupt_prob;
+        self.chunk_drop_prob = drop_prob;
+        self
+    }
+
+    /// Builder: set the payload-pool exhaustion probability.
+    pub fn with_pool_exhaustion(mut self, prob: f64) -> FaultPlan {
+        self.pool_exhaust_prob = prob;
+        self
+    }
+
+    /// Builder: set the pack-plan compile/allocation failure probability.
+    pub fn with_plan_failures(mut self, prob: f64) -> FaultPlan {
+        self.plan_fail_prob = prob;
+        self
+    }
+
+    /// Builder: set the parallel-pack worker failure probability.
+    pub fn with_pack_worker_failures(mut self, prob: f64) -> FaultPlan {
+        self.pack_worker_fail_prob = prob;
+        self
+    }
+
+    /// Builder: sustain a link-degradation burst of `factor`× latency
+    /// over op indices `[first_op, last_op]` (inclusive).
+    pub fn with_link_degradation(
+        mut self,
+        first_op: u64,
+        last_op: u64,
+        factor: f64,
+    ) -> FaultPlan {
+        self.degrade = Some(LinkDegradation { first_op, last_op, factor });
+        self
+    }
+
+    /// Builder: schedule a receiver-side crash mid-stream.
+    pub fn with_recv_crash(mut self, rank: usize, after_ops: u64) -> FaultPlan {
+        self.recv_crash = Some(CrashPoint { rank, after_ops });
         self
     }
 
@@ -213,6 +324,69 @@ impl FaultPlan {
     /// Whether `rank` should crash when starting tracked operation `op`.
     pub fn should_crash(&self, rank: usize, op: u64) -> bool {
         matches!(self.crash, Some(c) if c.rank == rank && op >= c.after_ops)
+    }
+
+    /// Decide the faults of pipeline chunk number `chunk` of send `op` on
+    /// world rank `rank`. Pure: keyed on `(seed, rank, op, chunk)`, so
+    /// the forecast taken at the stream gate and the injection taken in
+    /// the pump loop agree byte for byte.
+    pub fn chunk_decision(&self, rank: usize, op: u64, chunk: u64) -> ChunkFault {
+        let mut f = ChunkFault::default();
+        if self.chunk_corrupt_prob > 0.0
+            && unit(mix(&[self.seed, rank as u64, op, chunk, 5])) < self.chunk_corrupt_prob
+        {
+            f.corrupt = true;
+        }
+        if self.chunk_drop_prob > 0.0
+            && unit(mix(&[self.seed, rank as u64, op, chunk, 6])) < self.chunk_drop_prob
+        {
+            f.drop = true;
+        }
+        f
+    }
+
+    /// Byte index to flip inside a corrupted `len`-byte chunk.
+    pub fn chunk_corrupt_byte(&self, rank: usize, op: u64, chunk: u64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (mix(&[self.seed, rank as u64, op, chunk, 9]) as usize) % len
+    }
+
+    /// Whether the payload pool is exhausted when send `op` on `rank`
+    /// asks for a pooled staging buffer.
+    pub fn pool_exhausted(&self, rank: usize, op: u64) -> bool {
+        self.pool_exhaust_prob > 0.0
+            && unit(mix(&[self.seed, rank as u64, op, 7])) < self.pool_exhaust_prob
+    }
+
+    /// Whether compiling/allocating the pack plan fails for send `op` on
+    /// `rank` (forcing the uncompiled monolithic path).
+    pub fn plan_compile_fails(&self, rank: usize, op: u64) -> bool {
+        self.plan_fail_prob > 0.0
+            && unit(mix(&[self.seed, rank as u64, op, 8])) < self.plan_fail_prob
+    }
+
+    /// Whether a parallel-pack worker fails for send `op` on `rank`
+    /// (forcing the serial pack kernel).
+    pub fn pack_worker_fails(&self, rank: usize, op: u64) -> bool {
+        self.pack_worker_fail_prob > 0.0
+            && unit(mix(&[self.seed, rank as u64, op, 10])) < self.pack_worker_fail_prob
+    }
+
+    /// Latency multiplier in force for op index `op` (1.0 when no burst
+    /// is active). Always ≥ 1 — sub-unit factors are clamped.
+    pub fn latency_factor(&self, op: u64) -> f64 {
+        match self.degrade {
+            Some(d) if (d.first_op..=d.last_op).contains(&op) => d.factor.max(1.0),
+            _ => 1.0,
+        }
+    }
+
+    /// Whether `rank` should crash when starting *receive* operation
+    /// `op` (the receiver-side mid-stream crash).
+    pub fn should_crash_recv(&self, rank: usize, op: u64) -> bool {
+        matches!(self.recv_crash, Some(c) if c.rank == rank && op >= c.after_ops)
     }
 }
 
@@ -288,5 +462,115 @@ mod tests {
             assert!(i < 777);
         }
         assert_eq!(p.corrupt_index(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn quiet_plan_has_no_v2_faults() {
+        let p = FaultPlan::quiet(11);
+        for op in 0..200 {
+            assert!(!p.chunk_decision(0, op, 0).is_faulty());
+            assert!(!p.pool_exhausted(0, op));
+            assert!(!p.plan_compile_fails(0, op));
+            assert!(!p.pack_worker_fails(0, op));
+            assert_eq!(p.latency_factor(op), 1.0);
+            assert!(!p.should_crash_recv(0, op));
+        }
+    }
+
+    #[test]
+    fn chunk_decisions_deterministic_and_per_chunk() {
+        let a = FaultPlan::quiet(21).with_chunk_faults(0.5, 0.5);
+        let b = FaultPlan::quiet(21).with_chunk_faults(0.5, 0.5);
+        let mut differing = 0;
+        for op in 0..16 {
+            for chunk in 0..32 {
+                assert_eq!(a.chunk_decision(1, op, chunk), b.chunk_decision(1, op, chunk));
+                if a.chunk_decision(1, op, chunk) != a.chunk_decision(1, op, chunk + 1) {
+                    differing += 1;
+                }
+            }
+        }
+        assert!(differing > 0, "chunk index must enter the hash");
+    }
+
+    #[test]
+    fn chunk_fault_rates_track_probabilities() {
+        let p = FaultPlan::quiet(33).with_chunk_faults(0.25, 0.1);
+        let n = 10_000u64;
+        let (mut corrupts, mut drops) = (0, 0);
+        for chunk in 0..n {
+            let f = p.chunk_decision(0, 7, chunk);
+            corrupts += f.corrupt as u64;
+            drops += f.drop as u64;
+        }
+        let cr = corrupts as f64 / n as f64;
+        let dr = drops as f64 / n as f64;
+        assert!((cr - 0.25).abs() < 0.03, "corrupt rate {cr}");
+        assert!((dr - 0.1).abs() < 0.03, "drop rate {dr}");
+    }
+
+    #[test]
+    fn chunk_corrupt_byte_in_bounds() {
+        let p = FaultPlan::quiet(4).with_chunk_faults(1.0, 0.0);
+        for chunk in 0..100 {
+            assert!(p.chunk_corrupt_byte(0, 3, chunk, 555) < 555);
+        }
+        assert_eq!(p.chunk_corrupt_byte(0, 3, 0, 0), 0);
+    }
+
+    #[test]
+    fn pool_and_plan_and_worker_rates() {
+        let p = FaultPlan::quiet(55)
+            .with_pool_exhaustion(0.2)
+            .with_plan_failures(0.3)
+            .with_pack_worker_failures(0.4);
+        let n = 10_000;
+        let pool = (0..n).filter(|&op| p.pool_exhausted(2, op)).count() as f64 / n as f64;
+        let plan = (0..n).filter(|&op| p.plan_compile_fails(2, op)).count() as f64 / n as f64;
+        let work = (0..n).filter(|&op| p.pack_worker_fails(2, op)).count() as f64 / n as f64;
+        assert!((pool - 0.2).abs() < 0.03, "pool rate {pool}");
+        assert!((plan - 0.3).abs() < 0.03, "plan rate {plan}");
+        assert!((work - 0.4).abs() < 0.03, "worker rate {work}");
+    }
+
+    #[test]
+    fn v2_decisions_are_independent_draws() {
+        // Salts must differ: with all probs at 0.5 the four decisions
+        // should not be perfectly correlated across ops.
+        let p = FaultPlan::quiet(77)
+            .with_pool_exhaustion(0.5)
+            .with_plan_failures(0.5)
+            .with_pack_worker_failures(0.5)
+            .with_send_failures(0.5);
+        let agree = (0..256)
+            .filter(|&op| {
+                p.pool_exhausted(0, op) == p.plan_compile_fails(0, op)
+                    && p.plan_compile_fails(0, op) == p.pack_worker_fails(0, op)
+            })
+            .count();
+        assert!(agree < 256, "decision salts must decorrelate the draws");
+    }
+
+    #[test]
+    fn link_degradation_window() {
+        let p = FaultPlan::quiet(0).with_link_degradation(10, 19, 4.0);
+        assert_eq!(p.latency_factor(9), 1.0);
+        assert_eq!(p.latency_factor(10), 4.0);
+        assert_eq!(p.latency_factor(19), 4.0);
+        assert_eq!(p.latency_factor(20), 1.0);
+        // Sub-unit factors never speed the link up.
+        let q = FaultPlan::quiet(0).with_link_degradation(0, 5, 0.25);
+        assert_eq!(q.latency_factor(3), 1.0);
+    }
+
+    #[test]
+    fn recv_crash_fires_at_and_after_threshold() {
+        let p = FaultPlan::quiet(0).with_recv_crash(1, 4);
+        assert!(!p.should_crash_recv(1, 3));
+        assert!(p.should_crash_recv(1, 4));
+        assert!(p.should_crash_recv(1, 5));
+        assert!(!p.should_crash_recv(0, 4));
+        // Independent of the sender-side crash schedule.
+        assert!(!p.should_crash(1, 4));
     }
 }

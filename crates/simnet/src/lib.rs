@@ -24,7 +24,7 @@ mod spec;
 pub use clock::{VirtualClock, WallClock};
 pub use cost::Access;
 pub use explain::{SendBreakdown, SendPath};
-pub use fault::{CrashPoint, FaultPlan, PersistentFault, SendFault};
+pub use fault::{ChunkFault, CrashPoint, FaultPlan, LinkDegradation, PersistentFault, SendFault};
 pub use jitter::Jitter;
 pub use platform::{
     CpuModel, MemModel, NetModel, Platform, PlatformId, ProtocolModel, RmaModel,
