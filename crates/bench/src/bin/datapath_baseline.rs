@@ -1,30 +1,50 @@
 //! Baseline wall-clock numbers for the pipelined datapath, recorded as
 //! `BENCH_datapath.json`.
 //!
-//! Two experiments, both with virtual-time output proven identical
-//! elsewhere (`chunk_props`, `sharded_sweep_matches_sequential_bit_for_bit`):
+//! Three experiments. The first two compare wall-clock with virtual-time
+//! output proven identical elsewhere (`chunk_props`,
+//! `sharded_sweep_matches_sequential_bit_for_bit`); the third calibrates
+//! the adaptive engine selector against the model:
 //!
 //! 1. A 2^27-byte strided-vector ping-pong, monolithic vs. chunked
 //!    rendezvous — the chunked path overlaps sender-side packing of chunk
 //!    k+1 with receiver-side in-place unpacking of chunk k.
 //! 2. A reduced scheme sweep, serial vs. four statically-partitioned
 //!    shards on concurrent rank pairs.
+//! 3. Per-platform pack-vs-iovec virtual-time crossover: a 900-region
+//!    rendezvous send at increasing region lengths, forced through each
+//!    engine, locating the region size where zero-copy iovec overtakes
+//!    the staged pack. The selector's seeded `CrossoverTable` must agree
+//!    with the measured winner at every decisive point (the run aborts
+//!    if it doesn't), and the measured crossover is recorded so a drift
+//!    of the cost model away from the seeded tables is visible.
 //!
-//! Speedups depend on host parallelism: with a single hardware thread the
-//! overlap cannot pay and the recorded ratio hovers near (or below) 1.
-//! The JSON records `host_threads` so a reader can tell.
+//! Speedups in 1–2 depend on host parallelism: with a single hardware
+//! thread the overlap cannot pay and the recorded ratio hovers near (or
+//! below) 1. The JSON records `host_threads` so a reader can tell.
+//! Experiment 3 is virtual-time only and host-independent.
 //!
 //! Usage: `datapath_baseline [OUT.json]` (default `BENCH_datapath.json`).
 
 use std::time::Instant;
 
+use nonctg_core::selector::CrossoverTable;
 use nonctg_core::Universe;
 use nonctg_datatype::{as_bytes, Datatype};
 use nonctg_schemes::{run_sweep, run_sweep_sharded, PingPongConfig, Scheme, SweepConfig};
-use nonctg_simnet::Platform;
+use nonctg_simnet::{Datapath, Platform};
 
 const PING_BYTES: usize = 1 << 27;
 const SWEEP_SHARDS: usize = 4;
+/// Region count of the crossover probe: under the iovec cap, and large
+/// enough that every probed length is a rendezvous message everywhere.
+const XOVER_REGIONS: usize = 900;
+/// Region lengths (bytes) the crossover probe visits, straddling every
+/// platform's seeded `iov_min_region_bytes`.
+const XOVER_LENS: [usize; 8] = [96, 128, 160, 192, 256, 512, 1024, 4096];
+/// Points whose engines differ by less than this are considered a tie
+/// for the agreement check (the crossover itself is a near-tie).
+const XOVER_TIE: f64 = 0.10;
 
 /// Wall seconds for `reps` strided rendezvous pings in one universe.
 fn pingpong_wall(platform: &Platform, bytes: usize, reps: usize) -> f64 {
@@ -54,6 +74,69 @@ fn pingpong_wall(platform: &Platform, bytes: usize, reps: usize) -> f64 {
 /// Best of two timed runs (first run also warms the page cache / pools).
 fn best_of_two(mut f: impl FnMut() -> f64) -> f64 {
     f().min(f())
+}
+
+/// Virtual seconds (max over ranks) of one strided byte-vector send
+/// 0 → 1 with the given forced engine, jitter-free.
+fn strided_virtual(platform: &Platform, engine: Datapath, count: usize, region: usize) -> f64 {
+    let mut p = platform.clone().with_datapath(engine);
+    p.jitter_sigma = 0.0;
+    let stride = 2 * region;
+    let src_len = (count - 1) * stride + region;
+    let t = Datatype::vector(count, region, stride as i64, &Datatype::byte()).unwrap().commit();
+    let (a, b) = Universe::run_pair(p, move |comm| {
+        if comm.rank() == 0 {
+            let src: Vec<u8> = vec![0x5A; src_len];
+            comm.send(&src, 0, &t, 1, 1, 0).unwrap();
+        } else {
+            let mut dst = vec![0u8; src_len];
+            comm.recv(&mut dst, 0, &t, 1, Some(0), Some(0)).unwrap();
+        }
+        comm.wtime()
+    });
+    a.max(b)
+}
+
+/// One probed point of the crossover sweep.
+struct XoverPoint {
+    region: usize,
+    pack_s: f64,
+    iov_s: f64,
+    selected: Datapath,
+}
+
+/// Experiment 3 for one platform: probe the pack/iovec crossover, check
+/// the selector agrees with every decisive measurement, and return the
+/// probed points plus the measured crossover region length (first length
+/// where iovec wins; 0 if it never does).
+fn crossover_probe(platform: &Platform) -> (Vec<XoverPoint>, usize) {
+    let mut points = Vec::new();
+    let mut measured = 0usize;
+    for &region in &XOVER_LENS {
+        let pack_s = strided_virtual(platform, Datapath::Pack, XOVER_REGIONS, region);
+        let iov_s = strided_virtual(platform, Datapath::Iov, XOVER_REGIONS, region);
+        let bytes = (XOVER_REGIONS * region) as u64;
+        let selected =
+            nonctg_core::selector::choose(platform.id, bytes, Some(XOVER_REGIONS as u64));
+        if measured == 0 && iov_s < pack_s {
+            measured = region;
+        }
+        let gap = (pack_s - iov_s).abs() / pack_s.min(iov_s);
+        if gap > XOVER_TIE {
+            let winner = if iov_s < pack_s { Datapath::Iov } else { Datapath::Pack };
+            assert_eq!(
+                selected,
+                winner,
+                "{}: selector picked {} but {} wins at region={region} \
+                 (pack {pack_s:.3e}s, iov {iov_s:.3e}s)",
+                platform.id.name(),
+                selected.name(),
+                winner.name(),
+            );
+        }
+        points.push(XoverPoint { region, pack_s, iov_s, selected });
+    }
+    (points, measured)
 }
 
 fn sweep_config() -> SweepConfig {
@@ -103,13 +186,62 @@ fn main() {
     }
     println!("sharded sweep bit-identical to serial: ok");
 
+    // -- experiment 3: pack vs iovec crossover, every platform --------
+    let mut xover_json = String::new();
+    for p in Platform::all() {
+        let seeded = CrossoverTable::seeded(p.id);
+        let (points, measured) = crossover_probe(&p);
+        println!(
+            "{}: iovec overtakes pack at region >= {} bytes (seeded crossover {})",
+            p.id.name(),
+            measured,
+            seeded.iov_min_region_bytes
+        );
+        // The seeded table was calibrated from this very probe; a model
+        // change that moves the crossover past this band must re-seed.
+        assert!(
+            measured as u64 >= seeded.iov_min_region_bytes / 2
+                && measured as u64 <= seeded.iov_min_region_bytes * 2,
+            "{}: measured crossover {measured} drifted from seeded {}",
+            p.id.name(),
+            seeded.iov_min_region_bytes
+        );
+        let rows: Vec<String> = points
+            .iter()
+            .map(|x| {
+                format!(
+                    "      {{\"region_bytes\": {}, \"pack_s\": {:.6e}, \"iov_s\": {:.6e}, \
+                     \"selected\": \"{}\"}}",
+                    x.region,
+                    x.pack_s,
+                    x.iov_s,
+                    x.selected.name()
+                )
+            })
+            .collect();
+        if !xover_json.is_empty() {
+            xover_json.push_str(",\n");
+        }
+        xover_json.push_str(&format!(
+            "    {{\"platform\": \"{}\", \"regions\": {XOVER_REGIONS}, \
+             \"seeded_min_region_bytes\": {}, \"measured_crossover_bytes\": {}, \
+             \"selector_agrees\": true, \"points\": [\n{}\n    ]}}",
+            p.id.name(),
+            seeded.iov_min_region_bytes,
+            measured,
+            rows.join(",\n")
+        ));
+    }
+    println!("selector agrees with measured winner at every decisive point: ok");
+
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"datapath_baseline\",\n  \"host_threads\": {host_threads},\n  \
          \"pingpong\": {{\"bytes\": {PING_BYTES}, \"reps\": 3, \"monolithic_s\": {mono_s:.6e}, \
          \"chunked_s\": {chunk_s:.6e}, \"speedup\": {ping_speedup:.3}}},\n  \
          \"sweep\": {{\"points\": {}, \"shards\": {SWEEP_SHARDS}, \"serial_s\": {serial_s:.6e}, \
-         \"sharded_s\": {sharded_s:.6e}, \"speedup\": {sweep_speedup:.3}, \"bit_identical\": true}}\n}}\n",
+         \"sharded_s\": {sharded_s:.6e}, \"speedup\": {sweep_speedup:.3}, \"bit_identical\": true}},\n  \
+         \"iov_crossover\": [\n{xover_json}\n  ]\n}}\n",
         serial.points.len()
     );
     std::fs::write(&out_path, json).expect("write baseline json");

@@ -16,7 +16,7 @@ use nonctg_schemes::{
     try_run_scheme_observed, Observe, PhaseSweep, PingPongConfig, Scheme, Sweep, SweepPoint,
     Workload,
 };
-use nonctg_simnet::Platform;
+use nonctg_simnet::{Datapath, Platform};
 
 pub use cli::Options;
 
@@ -39,21 +39,33 @@ pub fn palette_slot(scheme: Scheme) -> usize {
 /// metrics and are dropped here, so they render as gaps in the curve
 /// rather than corrupting the plot; their x positions become ×-marks at
 /// the panel's bottom edge. Points measured through at least one
-/// graceful demotion get an open-circle overlay marker.
+/// graceful demotion get an open-circle overlay marker, and points whose
+/// non-contiguous sends took a non-pack engine get a shape marker
+/// (square = zero-copy iovec, diamond = elementwise).
 pub fn sweep_series(sweep: &Sweep, metric: impl Fn(&SweepPoint) -> f64) -> Vec<Series> {
     let mut out = Vec::new();
     for scheme in Scheme::ALL {
         let series = sweep.series(scheme);
-        let pts: Vec<(f64, f64)> = series
-            .iter()
-            .map(|p| (p.msg_bytes as f64, metric(p)))
-            .filter(|&(_, y)| y.is_finite())
-            .collect();
+        let finite = |p: &&SweepPoint| metric(p).is_finite();
+        let xy = |p: &SweepPoint| (p.msg_bytes as f64, metric(p));
+        let pts: Vec<(f64, f64)> = series.iter().filter(finite).map(xy).collect();
         let marked: Vec<(f64, f64)> = series
             .iter()
             .filter(|p| p.faults.demotions > 0)
-            .map(|p| (p.msg_bytes as f64, metric(p)))
-            .filter(|&(_, y)| y.is_finite())
+            .filter(finite)
+            .map(xy)
+            .collect();
+        let iov_marked: Vec<(f64, f64)> = series
+            .iter()
+            .filter(|p| p.selected == Datapath::Iov)
+            .filter(finite)
+            .map(xy)
+            .collect();
+        let elem_marked: Vec<(f64, f64)> = series
+            .iter()
+            .filter(|p| p.selected == Datapath::Elem)
+            .filter(finite)
+            .map(xy)
             .collect();
         let failed_x: Vec<f64> = series
             .iter()
@@ -66,7 +78,9 @@ pub fn sweep_series(sweep: &Sweep, metric: impl Fn(&SweepPoint) -> f64) -> Vec<S
         out.push(
             Series::new(scheme.label(), palette_slot(scheme), pts)
                 .with_marked(marked)
-                .with_failed(failed_x),
+                .with_failed(failed_x)
+                .with_iov_marked(iov_marked)
+                .with_elem_marked(elem_marked),
         );
     }
     out
@@ -107,6 +121,7 @@ pub fn sweep_csv(sweep: &Sweep) -> String {
                 format!("{:.6e}", p.bandwidth),
                 format!("{:.4}", p.slowdown),
                 p.status.key().to_string(),
+                p.selected.name().to_string(),
                 p.faults.demotions.to_string(),
             ]
         })
@@ -120,10 +135,110 @@ pub fn sweep_csv(sweep: &Sweep) -> String {
             "bandwidth_Bps",
             "slowdown",
             "status",
+            "selected",
             "demotions",
         ],
         &rows,
     )
+}
+
+/// Default relative tolerance of the guideline checks: two point means
+/// closer than this are measurement-indistinguishable under the paper's
+/// ±1σ outlier rejection (`stats::summarize` / `kept_mask` dismiss
+/// samples one standard deviation out, so surviving means can differ by
+/// a noise band of this order without signifying a real ordering).
+pub const GUIDELINE_TOL: f64 = 0.10;
+
+/// One violated performance guideline at one sweep point.
+#[derive(Debug, Clone)]
+pub struct GuidelineViolation {
+    /// Stable key of the violated guideline.
+    pub guideline: &'static str,
+    /// Message size at which it was violated.
+    pub msg_bytes: usize,
+    /// Measured left-hand/right-hand time ratio (≤ `1 + tol` passes).
+    pub ratio: f64,
+    /// Human-readable description of the comparison.
+    pub detail: String,
+}
+
+/// Check a measured sweep against Hunold-style self-consistency
+/// guidelines, with relative tolerance `tol` (see [`GUIDELINE_TOL`]):
+///
+/// * `derived-vs-pack` — sending through a derived datatype
+///   (vector type) should not be slower than explicitly packing and
+///   sending the same layout (packing(v)). Real MPIs violate this in
+///   known protocol regimes (a packed send that stays eager while the
+///   derived send goes rendezvous; staging degradation past the
+///   internal buffer) — the checker reports those as findings.
+/// * `subarray-vs-vector` — subarray and vector describe the same
+///   layout, so their times must agree within tolerance (both ways).
+/// * `reference-floor` — no non-contiguous scheme beats the contiguous
+///   reference send of the same payload.
+///
+/// Only points with [`PointStatus::Ok`](nonctg_schemes::PointStatus) and
+/// finite times participate; a size missing either side of a comparison
+/// is skipped, never reported.
+pub fn guideline_violations(sweep: &Sweep, tol: f64) -> Vec<GuidelineViolation> {
+    let mut out = Vec::new();
+    let ok_time = |scheme, bytes| {
+        sweep
+            .get(scheme, bytes)
+            .filter(|p| p.status == nonctg_schemes::PointStatus::Ok && p.time.is_finite())
+            .map(|p| p.time)
+    };
+    let mut check = |name, bytes, lhs_label: &str, lhs: f64, rhs_label: &str, rhs: f64| {
+        let ratio = lhs / rhs;
+        if ratio > 1.0 + tol {
+            out.push(GuidelineViolation {
+                guideline: name,
+                msg_bytes: bytes,
+                ratio,
+                detail: format!(
+                    "{lhs_label} {lhs:.3e}s vs {rhs_label} {rhs:.3e}s at {bytes} bytes"
+                ),
+            });
+        }
+    };
+    for bytes in sweep.sizes() {
+        let vec_t = ok_time(Scheme::VectorType, bytes);
+        if let (Some(v), Some(p)) = (vec_t, ok_time(Scheme::PackingVector, bytes)) {
+            check("derived-vs-pack", bytes, "vector type", v, "packing(v)", p);
+        }
+        if let (Some(v), Some(s)) = (vec_t, ok_time(Scheme::Subarray, bytes)) {
+            check("subarray-vs-vector", bytes, "subarray", s, "vector type", v);
+            check("subarray-vs-vector", bytes, "vector type", v, "subarray", s);
+        }
+        if let Some(r) = ok_time(Scheme::Reference, bytes) {
+            for scheme in Scheme::NON_CONTIGUOUS {
+                if let Some(t) = ok_time(scheme, bytes) {
+                    // A non-contiguous scheme "beats" reference when its
+                    // time falls below r beyond tolerance.
+                    check("reference-floor", bytes, "reference", r, scheme.label(), t);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// CSV table of guideline outcomes for a sweep: one row per violated
+/// guideline instance (empty table = clean), columns
+/// `platform,guideline,msg_bytes,ratio,detail`.
+pub fn guidelines_csv(sweep: &Sweep, tol: f64) -> String {
+    let rows: Vec<Vec<String>> = guideline_violations(sweep, tol)
+        .into_iter()
+        .map(|v| {
+            vec![
+                sweep.platform.name().to_string(),
+                v.guideline.to_string(),
+                v.msg_bytes.to_string(),
+                format!("{:.4}", v.ratio),
+                v.detail,
+            ]
+        })
+        .collect();
+    nonctg_report::csv::to_csv(&["platform", "guideline", "msg_bytes", "ratio", "detail"], &rows)
 }
 
 /// Render and write `<out>/<stem>.svg` and `<out>/<stem>.csv`; returns the
@@ -537,6 +652,7 @@ mod tests {
             bandwidth: msg_bytes as f64 / time,
             slowdown: 1.0,
             status: PointStatus::Ok,
+            selected: Default::default(),
             faults: Default::default(),
         };
         let failed = SweepPoint {
@@ -546,6 +662,7 @@ mod tests {
             bandwidth: 0.0,
             slowdown: f64::NAN,
             status: PointStatus::Failed,
+            selected: Default::default(),
             faults: Default::default(),
         };
         let sweep = Sweep {
@@ -584,6 +701,7 @@ mod tests {
             bandwidth: if time.is_finite() { msg_bytes as f64 / time } else { 0.0 },
             slowdown: 1.0,
             status,
+            selected: Default::default(),
             faults: SweepFaults { demotions, ..Default::default() },
         };
         let sweep = Sweep {

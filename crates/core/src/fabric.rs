@@ -224,6 +224,18 @@ pub(crate) enum Payload {
         /// and byte-conservation checks); `None` when checks are off.
         audit: Option<Arc<StreamAudit>>,
     },
+    /// Zero-copy iovec rendezvous: the payload bytes travel in region
+    /// order (exactly what a pack would produce) together with the
+    /// sender-side `(offset, len)` region list, and the receiver scatters
+    /// them straight into its own regions without an unpack pass. The
+    /// virtual-time charges differ (per-region DMA costs instead of a
+    /// staging gather); the bytes delivered are identical to a pack.
+    Iovec {
+        /// Region-ordered payload bytes (same bytes a pack would stage).
+        data: PooledBuf,
+        /// Sender-side region list, for audits and diagnostics.
+        regions: Arc<[(i64, u64)]>,
+    },
 }
 
 impl Payload {
@@ -232,6 +244,7 @@ impl Payload {
         match self {
             Payload::Whole(b) => b.len(),
             Payload::Chunked { total, .. } => *total,
+            Payload::Iovec { data, .. } => data.len(),
         }
     }
 }
@@ -275,6 +288,10 @@ pub struct FaultStats {
     /// Packs that fell back from the parallel kernel to the serial one
     /// after a worker failure.
     pub serial_fallbacks: u64,
+    /// Sends demoted from the zero-copy iovec datapath to the pack-plan
+    /// path after an injected fault (pool exhaustion or worker failure
+    /// while the region list was being gathered).
+    pub iovec_demotions: u64,
     /// Sends charged a sustained link-degradation latency surcharge.
     pub link_degradations: u64,
     /// Injected receiver-side crashes surfaced as typed errors.
@@ -297,6 +314,7 @@ impl FaultStats {
         self.pool_exhaustions += other.pool_exhaustions;
         self.plan_fallbacks += other.plan_fallbacks;
         self.serial_fallbacks += other.serial_fallbacks;
+        self.iovec_demotions += other.iovec_demotions;
         self.link_degradations += other.link_degradations;
         self.recv_crashes += other.recv_crashes;
         self.timeouts += other.timeouts;
@@ -308,6 +326,7 @@ impl FaultStats {
     pub fn demotions(&self) -> u64 {
         self.pipeline_demotions + self.pool_exhaustions + self.plan_fallbacks
             + self.serial_fallbacks
+            + self.iovec_demotions
     }
 
     /// Whether every counter is zero.
@@ -800,6 +819,7 @@ mod tests {
         let b = FaultStats {
             plan_fallbacks: 3,
             serial_fallbacks: 4,
+            iovec_demotions: 6,
             chunk_retries: 5,
             timeouts: 1,
             cancels: 2,
@@ -808,7 +828,7 @@ mod tests {
             ..Default::default()
         };
         a.absorb(b);
-        assert_eq!(a.demotions(), 2 + 1 + 3 + 4);
+        assert_eq!(a.demotions(), 2 + 1 + 3 + 4 + 6);
         assert_eq!(a.chunk_retries, 5);
         assert_eq!(a.timeouts, 1);
         assert_eq!(a.cancels, 2);

@@ -43,6 +43,7 @@ mod p2p;
 mod persistent;
 mod packbuf;
 mod rma;
+pub mod selector;
 pub mod trace;
 mod universe;
 
@@ -57,6 +58,10 @@ pub use nonblocking::{RecvRequest, SendRequest};
 pub use persistent::{PersistentRecv, PersistentSend};
 pub use p2p::{RecvStatus, BSEND_OVERHEAD_BYTES, MAX_SEND_ATTEMPTS};
 pub use rma::{Window, WindowState};
+pub use selector::{
+    iov_max_regions, reset_selector_counters, selector_counters, CrossoverTable,
+    SelectorCounters, DEFAULT_IOV_MAX_REGIONS,
+};
 pub use trace::{EventKind, TraceConfig, TraceEvent, TraceStats};
 pub use universe::Universe;
 

@@ -20,6 +20,7 @@ use std::fmt::Write as _;
 use nonctg_datatype::plan::{self, PlanCacheStats};
 
 use crate::fabric::FaultStats;
+use crate::selector::{self, SelectorCounters};
 use crate::trace::EventKind;
 
 /// Number of per-kind slots in a registry (one per [`EventKind`]).
@@ -114,6 +115,8 @@ pub(crate) struct MetricsRegistry {
     hist: [Histogram; N_KINDS],
     /// Plan-cache counters at enable time; the snapshot reports the delta.
     plan_base: PlanCacheStats,
+    /// Selector counters at enable time; the snapshot reports the delta.
+    selector_base: SelectorCounters,
 }
 
 impl MetricsRegistry {
@@ -124,6 +127,7 @@ impl MetricsRegistry {
             busy: [0.0; N_KINDS],
             hist: [Histogram::new(); N_KINDS],
             plan_base: plan::cache_stats(),
+            selector_base: selector::selector_counters(),
         }
     }
 
@@ -145,6 +149,7 @@ impl MetricsRegistry {
             hist: self.hist,
             faults,
             plan_cache: plan::cache_stats().delta_since(self.plan_base),
+            selector: selector::selector_counters().delta_since(&self.selector_base),
         }
     }
 }
@@ -168,6 +173,10 @@ pub struct MetricsSnapshot {
     /// is process-global, so merging takes the element-wise maximum
     /// rather than summing the same events once per rank.
     pub plan_cache: PlanCacheStats,
+    /// Adaptive-datapath selector decisions (auto mode only) while
+    /// metrics were enabled. Like the plan cache, the counters are
+    /// process-global, so merging takes the element-wise maximum.
+    pub selector: SelectorCounters,
 }
 
 impl Default for MetricsSnapshot {
@@ -180,6 +189,7 @@ impl Default for MetricsSnapshot {
             hist: [Histogram::new(); N_KINDS],
             faults: FaultStats::default(),
             plan_cache: PlanCacheStats::default(),
+            selector: SelectorCounters::default(),
         }
     }
 }
@@ -221,6 +231,12 @@ impl MetricsSnapshot {
         p.misses = p.misses.max(other.plan_cache.misses);
         p.evictions = p.evictions.max(other.plan_cache.evictions);
         p.compile_nanos = p.compile_nanos.max(other.plan_cache.compile_nanos);
+        p.norm_hits = p.norm_hits.max(other.plan_cache.norm_hits);
+        p.norm_misses = p.norm_misses.max(other.plan_cache.norm_misses);
+        let sel = &mut self.selector;
+        sel.pack = sel.pack.max(other.selector.pack);
+        sel.iov = sel.iov.max(other.selector.iov);
+        sel.elem = sel.elem.max(other.selector.elem);
     }
 
     /// Serialize as a self-contained JSON document (hand-rolled — the
@@ -272,7 +288,7 @@ impl MetricsSnapshot {
         let f = &self.faults;
         let _ = writeln!(
             s,
-            "  \"faults\": {{\"transient_retries\": {}, \"delays\": {}, \"corruptions\": {}, \"failed_sends\": {}, \"pipeline_demotions\": {}, \"chunk_retries\": {}, \"pool_exhaustions\": {}, \"plan_fallbacks\": {}, \"serial_fallbacks\": {}, \"link_degradations\": {}, \"recv_crashes\": {}, \"timeouts\": {}, \"cancels\": {}, \"demotions\": {}}},",
+            "  \"faults\": {{\"transient_retries\": {}, \"delays\": {}, \"corruptions\": {}, \"failed_sends\": {}, \"pipeline_demotions\": {}, \"chunk_retries\": {}, \"pool_exhaustions\": {}, \"plan_fallbacks\": {}, \"serial_fallbacks\": {}, \"iovec_demotions\": {}, \"link_degradations\": {}, \"recv_crashes\": {}, \"timeouts\": {}, \"cancels\": {}, \"demotions\": {}}},",
             f.transient_retries,
             f.delays,
             f.corruptions,
@@ -282,6 +298,7 @@ impl MetricsSnapshot {
             f.pool_exhaustions,
             f.plan_fallbacks,
             f.serial_fallbacks,
+            f.iovec_demotions,
             f.link_degradations,
             f.recv_crashes,
             f.timeouts,
@@ -291,12 +308,23 @@ impl MetricsSnapshot {
         let p = &self.plan_cache;
         let _ = writeln!(
             s,
-            "  \"plan_cache\": {{\"size\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"compile_s\": {:e}}}",
+            "  \"plan_cache\": {{\"size\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"compile_s\": {:e}, \"norm_hits\": {}, \"norm_misses\": {}}},",
             p.size,
             p.hits,
             p.misses,
             p.evictions,
-            p.compile_nanos as f64 * 1e-9
+            p.compile_nanos as f64 * 1e-9,
+            p.norm_hits,
+            p.norm_misses
+        );
+        let sel = &self.selector;
+        let _ = writeln!(
+            s,
+            "  \"selector\": {{\"pack\": {}, \"iov\": {}, \"elem\": {}, \"total\": {}}}",
+            sel.pack,
+            sel.iov,
+            sel.elem,
+            sel.total()
         );
         s.push('}');
         s.push('\n');
@@ -385,5 +413,36 @@ mod tests {
         assert!(!j.contains("\"bsend\""));
         assert!(j.contains("\"plan_cache\""));
         assert!(j.contains("\"faults\""));
+        assert!(j.contains("\"selector\""));
+        assert!(j.contains("\"norm_hits\""));
+    }
+
+    #[test]
+    fn json_surfaces_iovec_demotions_and_selector_counts() {
+        let r = MetricsRegistry::new();
+        let mut s = r.snapshot(FaultStats { iovec_demotions: 3, ..Default::default() });
+        s.selector = SelectorCounters { pack: 5, iov: 2, elem: 1 };
+        let j = s.to_json();
+        assert!(j.contains("\"iovec_demotions\": 3"), "{j}");
+        assert!(j.contains("\"demotions\": 3"), "{j}");
+        assert!(j.contains("\"selector\": {\"pack\": 5, \"iov\": 2, \"elem\": 1, \"total\": 8}"), "{j}");
+    }
+
+    #[test]
+    fn merged_selector_counters_take_elementwise_max() {
+        // Selector counters are process-global: two ranks' snapshots see
+        // the same counters, so merging must not double-count.
+        let mut a = MetricsSnapshot {
+            ranks: 1,
+            selector: SelectorCounters { pack: 4, iov: 1, elem: 0 },
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            ranks: 1,
+            selector: SelectorCounters { pack: 3, iov: 2, elem: 1 },
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.selector, SelectorCounters { pack: 4, iov: 2, elem: 1 });
     }
 }

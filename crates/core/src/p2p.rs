@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError};
 use nonctg_datatype::{self as dt, Datatype, PackPlan, Primitive, Scalar};
-use nonctg_simnet::{Access, Platform};
+use nonctg_simnet::{Access, Datapath, Platform};
 
 use crate::comm::{CacheState, Comm};
 use crate::error::{CoreError, Result};
@@ -378,7 +378,77 @@ impl Comm {
                 self.trace(crate::trace::EventKind::Demote, t, Some(dst), bytes as usize, Some(tag));
             }
         }
+        // Datapath selection (the adaptive engine): pack plan vs
+        // zero-copy iovec vs element copies. Forced modes (platform
+        // builder or `NONCTG_DATAPATH`) bypass the selector; auto
+        // consults the platform's crossover table. Iovec additionally
+        // needs a rendezvous, a compiled plan, and a bounded region
+        // list; when those are missing the choice falls back to pack.
+        let mut elem_pack = false;
+        let mut iov_regions: Option<Vec<(i64, u64)>> = None;
+        if !contiguous {
+            let iov_eligible = !eager
+                && !plan_failed
+                && matches!(mode, SendMode::Standard | SendMode::Synchronous);
+            let regions = if iov_eligible {
+                dt::plan_for(dtype, count)
+                    .and_then(|pl| pl.regions(crate::selector::iov_max_regions()))
+            } else {
+                None
+            };
+            let choice = match p.effective_datapath() {
+                Datapath::Auto => {
+                    let c = crate::selector::choose(
+                        p.id,
+                        bytes,
+                        regions.as_ref().map(|r| r.len() as u64),
+                    );
+                    crate::selector::record(c);
+                    let t = self.clock.now();
+                    self.trace(
+                        crate::trace::EventKind::Select,
+                        t,
+                        Some(dst),
+                        bytes as usize,
+                        Some(tag),
+                    );
+                    c
+                }
+                forced => forced,
+            };
+            match choice {
+                Datapath::Iov if regions.is_some() => {
+                    if pool_fault || serial_pack {
+                        // Fault rung: with its staging pool gone or its
+                        // gather workers failing, the zero-copy path
+                        // demotes to the pack plan for this send.
+                        sup.with_faults(me, |s| s.iovec_demotions += 1);
+                        let t = self.clock.now();
+                        self.trace(
+                            crate::trace::EventKind::Demote,
+                            t,
+                            Some(dst),
+                            bytes as usize,
+                            Some(tag),
+                        );
+                    } else {
+                        iov_regions = regions;
+                        stream_plan = None;
+                    }
+                }
+                Datapath::Elem => {
+                    // The uncompiled engine: no plan, no streaming.
+                    elem_pack = true;
+                    stream_plan = None;
+                }
+                _ => {}
+            }
+        }
         let sig = dtype.signature().scaled(count as u64)?;
+
+        if let Some(regions) = iov_regions {
+            return self.iovec_send(buf, origin, regions, bytes, &p, dst, tag, sig, corrupt_idx);
+        }
 
         if let Some(plan) = stream_plan {
             return self.stream_send(
@@ -397,7 +467,7 @@ impl Comm {
         } else {
             self.fabric().pool.take(bytes as usize)
         };
-        if plan_failed {
+        if plan_failed || elem_pack {
             dt::pack_into_uncompiled(buf, origin, dtype, count, &mut packed)?;
         } else if serial_pack {
             dt::pack_into_serial(buf, origin, dtype, count, &mut packed)?;
@@ -653,6 +723,56 @@ impl Comm {
         Ok(SendRequest::new(SendState::Pending(reply_rx)))
     }
 
+    /// Zero-copy iovec rendezvous: no staging gather is charged — the
+    /// sender pays a per-region descriptor cost and the NIC DMA-gathers
+    /// the user regions on the wire (`iov_wire_time`). The payload bytes
+    /// still move for real (in region order, exactly what a pack would
+    /// produce) so the receiver can verify every byte; only the
+    /// virtual-time charges differ from the pack path. Per-region
+    /// charges are exact (no jitter draws) so the iovec clock is a pure
+    /// function of the region list.
+    #[allow(clippy::too_many_arguments)]
+    fn iovec_send(
+        &mut self,
+        buf: &[u8],
+        origin: usize,
+        regions: Vec<(i64, u64)>,
+        bytes: u64,
+        p: &Platform,
+        dst: usize,
+        tag: i32,
+        sig: nonctg_datatype::Signature,
+        corrupt_idx: Option<usize>,
+    ) -> Result<SendRequest> {
+        let n = regions.len() as u64;
+        self.charge_exact(p.send_overhead(false));
+        self.charge_exact(p.iov_overhead(n));
+        self.cache = CacheState::Warm;
+        let wire = p.iov_wire_time(bytes, n) * self.jitter.factor();
+
+        // The simulated NIC's DMA gather: region bytes move in region
+        // order, which is byte-for-byte the pack order of the plan the
+        // regions came from.
+        let mut data = self.fabric().pool.take(bytes as usize);
+        let mut pos = 0usize;
+        for &(off, len) in &regions {
+            let lo = (origin as i64 + off) as usize;
+            let len = len as usize;
+            data[pos..pos + len].copy_from_slice(&buf[lo..lo + len]);
+            pos += len;
+        }
+        debug_assert_eq!(pos, bytes as usize);
+        if let Some(idx) = corrupt_idx {
+            data[idx] ^= 0xFF;
+            data.poison();
+        }
+
+        let (tx, rx) = reply_channel();
+        let proto = Protocol::Rendezvous { sender_ready: self.clock.now(), wire, reply: tx };
+        self.post(dst, tag, Payload::Iovec { data, regions: regions.into() }, sig, proto, None);
+        Ok(SendRequest::new(SendState::Pending(rx)))
+    }
+
     fn reserve_bsend(&mut self, needed: u64) -> Result<(Arc<AtomicU64>, u64)> {
         let b = self
             .bsend
@@ -832,6 +952,10 @@ impl Comm {
         } else {
             total / dtype.size() as usize
         };
+        // `Some(n)` once the payload was delivered by a direct iovec
+        // scatter into `n` receiver regions; governs the scatter charge
+        // below.
+        let mut iov_scattered: Option<u64> = None;
         match env.payload {
             Payload::Whole(data) => {
                 let consumed = dt::unpack_from(&data, dtype, incoming_count, buf, origin)?;
@@ -846,12 +970,74 @@ impl Comm {
                     rx, audit, total, dtype, incoming_count, buf, origin, env_src, env_tag,
                 )?;
             }
+            Payload::Iovec { data, regions } => {
+                if crate::invariants::oracle_checks_enabled() {
+                    let sum: u64 = regions.iter().map(|&(_, l)| l).sum();
+                    if sum as usize != data.len() {
+                        crate::invariants::violation(&format!(
+                            "iovec region lengths sum to {sum} but payload is {} bytes",
+                            data.len()
+                        ));
+                    }
+                }
+                // Scatter straight into the *receiver's* regions (its own
+                // plan over its own type — the sender's list only
+                // describes the sender's layout). When the receive layout
+                // has no bounded region list, fall back to the unpack
+                // engine; the payload bytes are pack-ordered either way.
+                let rregions = dt::plan_for(dtype, incoming_count)
+                    .and_then(|pl| pl.regions(crate::selector::iov_max_regions()));
+                match rregions {
+                    Some(rr) => {
+                        let buf_len = buf.len();
+                        let mut pos = 0usize;
+                        for &(off, len) in &rr {
+                            if pos >= data.len() {
+                                break;
+                            }
+                            let len = (len as usize).min(data.len() - pos);
+                            let lo = (origin as i64 + off) as usize;
+                            buf.get_mut(lo..lo + len)
+                                .ok_or(nonctg_datatype::DatatypeError::BufferTooSmall {
+                                    needed: lo + len,
+                                    available: buf_len,
+                                })?
+                                .copy_from_slice(&data[pos..pos + len]);
+                            pos += len;
+                        }
+                        crate::invariants::check_recv_conservation(
+                            total,
+                            pos,
+                            dtype.size() as usize,
+                        );
+                        iov_scattered = Some(rr.len() as u64);
+                    }
+                    None => {
+                        let consumed =
+                            dt::unpack_from(&data, dtype, incoming_count, buf, origin)?;
+                        crate::invariants::check_recv_conservation(
+                            total,
+                            consumed,
+                            dtype.size() as usize,
+                        );
+                    }
+                }
+            }
         }
         if !dtype.is_contiguous_run(incoming_count as u64) {
-            let access = Access::classify(dtype);
             let t_scatter = self.clock.now();
-            let t = p.scatter_time(total as u64, &access, self.is_warm());
-            self.charge(t);
+            match iov_scattered {
+                Some(n) => {
+                    // Direct placement: exact per-region charges, no
+                    // jitter — the iovec clock is a pure function of the
+                    // region list.
+                    self.charge_exact(p.iov_scatter_time(total as u64, n, self.is_warm()));
+                }
+                None => {
+                    let access = Access::classify(dtype);
+                    self.charge(p.scatter_time(total as u64, &access, self.is_warm()));
+                }
+            }
             self.trace(
                 crate::trace::EventKind::Unstage,
                 t_scatter,

@@ -1,0 +1,255 @@
+//! The adaptive datapath selector: pack plan vs zero-copy iovec vs
+//! element copies, per message.
+//!
+//! A non-contiguous send can move its bytes three ways:
+//!
+//! * **pack** — gather through the compiled [`nonctg_datatype::PackPlan`]
+//!   into a staging buffer, send contiguously, unpack at the receiver;
+//! * **iov** — ship the plan's `(offset, len)` region list and let the
+//!   NIC DMA-gather/scatter the user regions directly (no staging copy,
+//!   but a per-region descriptor cost);
+//! * **elem** — the uncompiled per-segment engine, which skips plan
+//!   compilation entirely and wins only for tiny messages.
+//!
+//! The selector picks per `(platform, byte size, region shape)` from a
+//! [`CrossoverTable`] seeded by the `datapath_baseline` calibration
+//! sweep: iovec wins once the mean region length clears the platform's
+//! measured crossover, because the per-region descriptor cost amortizes
+//! while the avoided gather copy scales with the payload. Decisions are
+//! observable through [`EventKind::Select`](crate::trace::EventKind)
+//! trace events and the process-wide [`selector_counters`].
+//!
+//! Overrides, strongest first: `Platform::with_datapath` (in-process),
+//! the `NONCTG_DATAPATH` environment variable (pack|iov|elem|auto), then
+//! the table itself (`NONCTG_IOV_CROSSOVER`, `NONCTG_ELEM_CUTOFF`,
+//! `NONCTG_IOV_MAX_REGIONS`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use nonctg_simnet::{Datapath, PlatformId};
+
+/// Default cap on how many regions an iovec send may carry; region lists
+/// beyond this fall back to the pack path (descriptor tables stop
+/// fitting the NIC's scatter/gather queue). Override with
+/// `NONCTG_IOV_MAX_REGIONS`.
+pub const DEFAULT_IOV_MAX_REGIONS: usize = 1024;
+
+/// The iovec region-count cap in force: `NONCTG_IOV_MAX_REGIONS` when
+/// set and positive, else [`DEFAULT_IOV_MAX_REGIONS`]. Resolved once.
+pub fn iov_max_regions() -> usize {
+    static V: OnceLock<usize> = OnceLock::new();
+    *V.get_or_init(|| {
+        std::env::var("NONCTG_IOV_MAX_REGIONS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(DEFAULT_IOV_MAX_REGIONS)
+    })
+}
+
+/// Measured pack/iovec/element crossovers for one platform.
+///
+/// Seeded per installation from the `datapath_baseline` calibration
+/// sweep (see BENCH_datapath.json): the region length where zero-copy
+/// iovec overtakes the staged pack, and the message size under which
+/// the uncompiled element engine beats both compiled paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossoverTable {
+    /// Messages at or under this many bytes route to the element engine
+    /// (plan compilation and staging don't amortize).
+    pub elem_max_bytes: u64,
+    /// Mean region length at or above which iovec beats pack.
+    pub iov_min_region_bytes: u64,
+}
+
+impl CrossoverTable {
+    /// Calibration-seeded table for one installation.
+    ///
+    /// The per-region descriptor cost scales with the CPU's call
+    /// overhead while the avoided gather scales with copy bandwidth, so
+    /// the weak-core KNL needs longer regions before iovec pays off.
+    pub fn seeded(id: PlatformId) -> CrossoverTable {
+        match id {
+            PlatformId::SkxImpi => {
+                CrossoverTable { elem_max_bytes: 256, iov_min_region_bytes: 160 }
+            }
+            PlatformId::SkxMvapich => {
+                CrossoverTable { elem_max_bytes: 256, iov_min_region_bytes: 160 }
+            }
+            PlatformId::Ls5CrayMpich => {
+                CrossoverTable { elem_max_bytes: 256, iov_min_region_bytes: 160 }
+            }
+            PlatformId::KnlImpi => {
+                CrossoverTable { elem_max_bytes: 256, iov_min_region_bytes: 192 }
+            }
+        }
+    }
+
+    /// The table in force: the seeded values with any `NONCTG_IOV_CROSSOVER`
+    /// / `NONCTG_ELEM_CUTOFF` (bytes) environment overrides applied.
+    /// Overrides are resolved once per process.
+    pub fn effective(id: PlatformId) -> CrossoverTable {
+        static IOV: OnceLock<Option<u64>> = OnceLock::new();
+        static ELEM: OnceLock<Option<u64>> = OnceLock::new();
+        let env_u64 = |name: &str| {
+            std::env::var(name).ok().and_then(|v| v.trim().parse::<u64>().ok())
+        };
+        let mut t = Self::seeded(id);
+        if let Some(v) = IOV.get_or_init(|| env_u64("NONCTG_IOV_CROSSOVER")) {
+            t.iov_min_region_bytes = *v;
+        }
+        if let Some(v) = ELEM.get_or_init(|| env_u64("NONCTG_ELEM_CUTOFF")) {
+            t.elem_max_bytes = *v;
+        }
+        t
+    }
+}
+
+/// Pick the engine for one non-contiguous send of `bytes` payload.
+///
+/// `nregions` is the iovec region count when a bounded region list
+/// exists (`None` = no compiled plan or the list blew the
+/// [`iov_max_regions`] cap, which rules iovec out). Pure in its inputs:
+/// the same `(platform id, bytes, nregions)` always selects the same
+/// engine, so recorded selections are reproducible across runs and
+/// sharding.
+pub fn choose(id: PlatformId, bytes: u64, nregions: Option<u64>) -> Datapath {
+    let table = CrossoverTable::effective(id);
+    if bytes <= table.elem_max_bytes {
+        return Datapath::Elem;
+    }
+    if let Some(n) = nregions {
+        if n > 0 && bytes / n >= table.iov_min_region_bytes {
+            return Datapath::Iov;
+        }
+    }
+    Datapath::Pack
+}
+
+static SEL_PACK: AtomicU64 = AtomicU64::new(0);
+static SEL_IOV: AtomicU64 = AtomicU64::new(0);
+static SEL_ELEM: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide tallies of selector decisions (auto mode only — forced
+/// datapaths bypass the selector and are not counted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectorCounters {
+    /// Sends routed to the pack-plan engine.
+    pub pack: u64,
+    /// Sends routed to the zero-copy iovec engine.
+    pub iov: u64,
+    /// Sends routed to the uncompiled element engine.
+    pub elem: u64,
+}
+
+impl SelectorCounters {
+    /// Total decisions recorded.
+    pub fn total(&self) -> u64 {
+        self.pack + self.iov + self.elem
+    }
+
+    /// Counter deltas since an earlier snapshot (saturating, so a
+    /// concurrent [`reset_selector_counters`] cannot underflow).
+    pub fn delta_since(&self, base: &SelectorCounters) -> SelectorCounters {
+        SelectorCounters {
+            pack: self.pack.saturating_sub(base.pack),
+            iov: self.iov.saturating_sub(base.iov),
+            elem: self.elem.saturating_sub(base.elem),
+        }
+    }
+}
+
+/// Record one auto-mode selector decision.
+pub(crate) fn record(choice: Datapath) {
+    match choice {
+        Datapath::Pack => SEL_PACK.fetch_add(1, Ordering::Relaxed),
+        Datapath::Iov => SEL_IOV.fetch_add(1, Ordering::Relaxed),
+        Datapath::Elem => SEL_ELEM.fetch_add(1, Ordering::Relaxed),
+        Datapath::Auto => 0,
+    };
+}
+
+/// Snapshot the process-wide selector decision counters.
+pub fn selector_counters() -> SelectorCounters {
+    SelectorCounters {
+        pack: SEL_PACK.load(Ordering::Relaxed),
+        iov: SEL_IOV.load(Ordering::Relaxed),
+        elem: SEL_ELEM.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset the selector decision counters to zero (tests).
+pub fn reset_selector_counters() {
+    SEL_PACK.store(0, Ordering::Relaxed);
+    SEL_IOV.store(0, Ordering::Relaxed);
+    SEL_ELEM.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_messages_go_elementwise() {
+        for id in PlatformId::ALL {
+            assert_eq!(choose(id, 64, Some(8)), Datapath::Elem);
+            assert_eq!(choose(id, 256, None), Datapath::Elem);
+        }
+    }
+
+    #[test]
+    fn long_regions_go_iovec() {
+        for id in PlatformId::ALL {
+            // 4 KiB mean regions are far beyond every platform's
+            // crossover.
+            assert_eq!(choose(id, 1 << 20, Some(256)), Datapath::Iov);
+        }
+    }
+
+    #[test]
+    fn short_regions_and_capped_lists_go_pack() {
+        for id in PlatformId::ALL {
+            // 8-byte regions: descriptor cost dominates.
+            assert_eq!(choose(id, 1 << 20, Some(1 << 17)), Datapath::Pack);
+            // No bounded region list at all.
+            assert_eq!(choose(id, 1 << 20, None), Datapath::Pack);
+        }
+    }
+
+    #[test]
+    fn knl_needs_longer_regions_than_skx() {
+        let skx = CrossoverTable::seeded(PlatformId::SkxImpi);
+        let knl = CrossoverTable::seeded(PlatformId::KnlImpi);
+        assert!(knl.iov_min_region_bytes > skx.iov_min_region_bytes);
+    }
+
+    #[test]
+    fn counters_record_and_reset() {
+        // Other tests' sends may bump the process-wide counters
+        // concurrently, so assert lower bounds, not exact deltas.
+        let base = selector_counters();
+        record(Datapath::Pack);
+        record(Datapath::Iov);
+        record(Datapath::Iov);
+        record(Datapath::Elem);
+        record(Datapath::Auto); // never counted
+        let now = selector_counters().delta_since(&base);
+        assert!(now.pack >= 1 && now.iov >= 2 && now.elem >= 1);
+        assert!(now.total() >= 4);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        for id in PlatformId::ALL {
+            for bytes in [300u64, 1 << 12, 1 << 20, 1 << 26] {
+                for n in [1u64, 64, 4096] {
+                    assert_eq!(
+                        choose(id, bytes, Some(n)),
+                        choose(id, bytes, Some(n)),
+                    );
+                }
+            }
+        }
+    }
+}

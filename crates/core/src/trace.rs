@@ -56,11 +56,15 @@ pub enum EventKind {
     /// staging, compiled→interpreted pack, parallel→serial pack).
     /// Zero-width in virtual time, like `Chunk`.
     Demote,
+    /// The adaptive datapath selector chose an engine (pack / iovec /
+    /// element) for one non-contiguous send. Zero-width in virtual time;
+    /// `bytes` carries the message size the decision was made for.
+    Select,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order (`ALL[k as usize] == k`).
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::Send,
         EventKind::Bsend,
         EventKind::Isend,
@@ -77,6 +81,7 @@ impl EventKind {
         EventKind::Unstage,
         EventKind::Chunk,
         EventKind::Demote,
+        EventKind::Select,
     ];
 
     /// Number of kinds — the length of per-kind accumulator arrays.
@@ -101,6 +106,7 @@ impl EventKind {
             EventKind::Unstage => "unstage",
             EventKind::Chunk => "chunk",
             EventKind::Demote => "demote",
+            EventKind::Select => "select",
         }
     }
 }
@@ -325,6 +331,7 @@ pub fn ascii_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
         EventKind::Unstage => 'y',
         EventKind::Chunk => 'k',
         EventKind::Demote => 'd',
+        EventKind::Select => 'x',
     };
     let mut out = String::new();
     for (rank, events) in traces.iter().enumerate() {
@@ -345,7 +352,7 @@ pub fn ascii_timeline(traces: &[Vec<TraceEvent>], width: usize) -> String {
         format!("{:.1} us", t_max * 1e6),
         width = width - 1
     ));
-    out.push_str("         S=send B=bsend R=recv P=put G=get F=fence |=barrier c=copy/pack u=unpack g=stage y=unstage k=chunk d=demote .=flush\n");
+    out.push_str("         S=send B=bsend R=recv P=put G=get F=fence |=barrier c=copy/pack u=unpack g=stage y=unstage k=chunk d=demote x=select .=flush\n");
     out
 }
 

@@ -38,6 +38,7 @@ mod primitive;
 mod segiter;
 mod signature;
 
+pub mod normalize;
 pub mod oracle;
 pub mod pack;
 pub mod plan;
@@ -54,6 +55,7 @@ pub use plan::{
 };
 pub use darray::{DistArg, Distribution};
 pub use describe::{layout_eq, TypeMapEntry};
+pub use normalize::{norm_counters, reset_norm_counters, NORMALIZE_LIST_CAP};
 pub use external::{pack_external, pack_external_size, unpack_external};
 pub use oracle::{check_type, OracleReport, TypeOracle, ORACLE_ENTRY_CAP};
 pub use primitive::{Primitive, Scalar};

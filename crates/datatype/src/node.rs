@@ -110,6 +110,10 @@ pub struct TypeNode {
     pub(crate) depth: u32,
     /// Process-unique node id; keys the compiled pack-plan cache.
     pub(crate) uid: u64,
+    /// Memoized canonical form: `(normalized id, representative)`. `None`
+    /// as the representative means this node is already canonical (no
+    /// self-reference, which would leak the `Arc`). See `normalize`.
+    pub(crate) norm: OnceLock<(u64, Option<Datatype>)>,
 }
 
 /// Next process-unique [`TypeNode`] id.
@@ -239,6 +243,7 @@ impl TypeNode {
                     flattened: OnceLock::new(),
                     depth: 1,
                     uid: next_uid(),
+                    norm: OnceLock::new(),
                     kind: kind.clone(),
                 }
             }
@@ -296,6 +301,7 @@ impl TypeNode {
                     flattened: OnceLock::new(),
                     depth: child.node.depth + 1,
                     uid: next_uid(),
+                    norm: OnceLock::new(),
                     kind: kind.clone(),
                 }
             }
@@ -378,6 +384,7 @@ impl TypeNode {
             flattened: OnceLock::new(),
             depth: c.depth + 1,
             uid: next_uid(),
+            norm: OnceLock::new(),
             kind: kind.clone(),
         })
     }
@@ -458,6 +465,7 @@ impl TypeNode {
             flattened: OnceLock::new(),
             depth: depth + 1,
             uid: next_uid(),
+            norm: OnceLock::new(),
             kind: kind.clone(),
         })
     }
@@ -577,6 +585,7 @@ impl TypeNode {
             flattened: OnceLock::new(),
             depth: c.depth + 1,
             uid: next_uid(),
+            norm: OnceLock::new(),
             kind: kind.clone(),
         })
     }

@@ -306,6 +306,53 @@ impl PackPlan {
         self.par_safe
     }
 
+    /// The `(offset, len)` region list of the full message in typemap
+    /// order, relative to the message origin — an iovec descriptor built
+    /// without materializing a pack buffer (the safe analogue of mpicd's
+    /// `MemRegions`). Adjacent regions are merged; returns `None` when the
+    /// message needs more than `cap` regions, in which case callers should
+    /// use a staged pack instead.
+    pub fn regions(&self, cap: usize) -> Option<Vec<(i64, u64)>> {
+        // Pre-merge block count: instance tiling never merges across the
+        // boundary unless the whole run is dense, which compile() already
+        // folded into a single Copy op.
+        let per_inst: u64 = self
+            .ops
+            .iter()
+            .map(|op| match *op {
+                PlanOp::Copy { .. } => 1,
+                PlanOp::Strided { nblocks, .. } => nblocks,
+            })
+            .sum();
+        if per_inst.checked_mul(self.count)? > cap as u64 {
+            return None;
+        }
+        let mut out: Vec<(i64, u64)> = Vec::with_capacity((per_inst * self.count) as usize);
+        let push = |out: &mut Vec<(i64, u64)>, off: i64, len: u64| {
+            if len == 0 {
+                return;
+            }
+            match out.last_mut() {
+                Some((po, pl)) if off == *po + *pl as i64 => *pl += len,
+                _ => out.push((off, len)),
+            }
+        };
+        for i in 0..self.count {
+            let shift = i as i64 * self.extent;
+            for op in &self.ops {
+                match *op {
+                    PlanOp::Copy { src, len } => push(&mut out, shift + src, len),
+                    PlanOp::Strided { base, nblocks, block_len, stride } => {
+                        for j in 0..nblocks as i64 {
+                            push(&mut out, shift + base + j * stride, block_len);
+                        }
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+
     /// Validate that every byte the plan touches lies inside the user
     /// buffer, in one aggregate check instead of per-segment checks.
     fn validate_user(&self, buf_len: usize, origin: usize) -> Result<()> {
@@ -966,6 +1013,11 @@ fn cache() -> &'static Mutex<PlanCache> {
 /// **committed** datatype. Returns `None` for uncommitted types, zero
 /// counts, or unplannable types.
 ///
+/// Entries are keyed on the *normalized* type id (see
+/// [`Datatype::normalized_id`]), so canonically-equal types — however they
+/// were constructed — share one compiled plan, and compilation itself runs
+/// against the canonical representative (fewer, more regular ops).
+///
 /// The cache holds at most [`PLAN_CACHE_CAP`] entries, evicting the least
 /// recently used. Compilation happens outside the cache lock, so two
 /// threads missing simultaneously may both compile — the duplicate is
@@ -974,7 +1026,7 @@ pub fn plan_for(dtype: &Datatype, count: usize) -> Option<Arc<PackPlan>> {
     if count == 0 || !dtype.is_committed() {
         return None;
     }
-    let key = (dtype.type_id(), count);
+    let key = (dtype.normalized_id(), count);
     {
         let mut c = cache().lock().expect("plan cache poisoned");
         c.tick += 1;
@@ -988,7 +1040,7 @@ pub fn plan_for(dtype: &Datatype, count: usize) -> Option<Arc<PackPlan>> {
         c.misses += 1;
     }
     let t0 = std::time::Instant::now();
-    let plan = PackPlan::compile(dtype, count).map(Arc::new);
+    let plan = PackPlan::compile(&dtype.normalized(), count).map(Arc::new);
     let spent = t0.elapsed().as_nanos() as u64;
     let out = plan.clone();
     let mut c = cache().lock().expect("plan cache poisoned");
@@ -1023,6 +1075,10 @@ pub struct PlanCacheStats {
     /// Wall-clock nanoseconds spent inside `PackPlan::compile` (including
     /// duplicate compiles that lost the insert race).
     pub compile_nanos: u64,
+    /// Normalization lookups served from the per-node memo.
+    pub norm_hits: u64,
+    /// Normalization lookups that ran the canonicalization rewrite.
+    pub norm_misses: u64,
 }
 
 impl PlanCacheStats {
@@ -1036,12 +1092,16 @@ impl PlanCacheStats {
             misses: self.misses.saturating_sub(base.misses),
             evictions: self.evictions.saturating_sub(base.evictions),
             compile_nanos: self.compile_nanos.saturating_sub(base.compile_nanos),
+            norm_hits: self.norm_hits.saturating_sub(base.norm_hits),
+            norm_misses: self.norm_misses.saturating_sub(base.norm_misses),
         }
     }
 }
 
-/// Snapshot the plan-cache counters.
+/// Snapshot the plan-cache counters (plus the normalization memo's
+/// hit/miss counters, which feed the same observability surface).
 pub fn cache_stats() -> PlanCacheStats {
+    let (norm_hits, norm_misses) = crate::normalize::norm_counters();
     let c = cache().lock().expect("plan cache poisoned");
     PlanCacheStats {
         size: c.map.len(),
@@ -1049,13 +1109,17 @@ pub fn cache_stats() -> PlanCacheStats {
         misses: c.misses,
         evictions: c.evictions,
         compile_nanos: c.compile_nanos,
+        norm_hits,
+        norm_misses,
     }
 }
 
-/// Zero the hit/miss/eviction/compile-time counters without touching the
-/// cached plans themselves (warmed plans stay warm). For harnesses that
-/// want per-phase attribution of cache activity.
+/// Zero the hit/miss/eviction/compile-time counters (and the
+/// normalization counters) without touching the cached plans themselves
+/// (warmed plans stay warm). For harnesses that want per-phase
+/// attribution of cache activity.
 pub fn reset_cache_stats() {
+    crate::normalize::reset_norm_counters();
     let mut c = cache().lock().expect("plan cache poisoned");
     c.hits = 0;
     c.misses = 0;

@@ -1,0 +1,254 @@
+//! Property battery for canonical normalization and the iovec region
+//! descriptor: for adversarial nested trees, `normalize(t)` must pack
+//! bit-identically to `t` under the naive engines, share the compiled
+//! plan, and the region list must gather/scatter byte-for-byte what
+//! pack/unpack produce.
+
+use nonctg_datatype::{
+    layout_eq, pack_into_uncompiled, plan_for, unpack_from_uncompiled, ArrayOrder, Datatype,
+};
+
+/// xorshift64* generator, seeded odd (the oracle module's idiom).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo).max(1) as u64) as i64
+    }
+}
+
+fn leaf(rng: &mut Rng) -> Datatype {
+    match rng.below(4) {
+        0 => Datatype::f64(),
+        1 => Datatype::i32(),
+        2 => Datatype::f32(),
+        _ => Datatype::i64(),
+    }
+}
+
+/// Build a random (possibly degenerate) nested type of the given depth.
+/// Spans are kept small so buffers stay a few KiB.
+fn gen_type(rng: &mut Rng, depth: u32) -> Datatype {
+    if depth == 0 {
+        return leaf(rng);
+    }
+    let child = gen_type(rng, depth - 1);
+    let pick = rng.below(9);
+    let built = match pick {
+        0 => Datatype::contiguous(rng.below(4) as usize + 1, &child),
+        1 => {
+            let blocklen = rng.below(3) as usize + 1;
+            // Bias toward strides that trigger rewrites: == blocklen
+            // (dense) and small irregulars, including negative.
+            let stride = match rng.below(4) {
+                0 => blocklen as i64,
+                1 => rng.range(-4, 8),
+                _ => rng.range(1, 6),
+            };
+            Datatype::vector(rng.below(4) as usize + 1, blocklen, stride, &child)
+        }
+        2 => {
+            let ext = child.extent() as i64;
+            let sb = match rng.below(3) {
+                0 => ext * rng.range(1, 4),
+                _ => rng.range(-3 * ext.max(1), 4 * ext.max(1)),
+            };
+            Datatype::hvector(rng.below(3) as usize + 1, rng.below(3) as usize + 1, sb, &child)
+        }
+        3 => {
+            let n = rng.below(4) as usize + 1;
+            let mut blocks = Vec::with_capacity(n);
+            let mut cursor = rng.range(-4, 4);
+            for _ in 0..n {
+                let bl = rng.below(3) as usize + 1;
+                blocks.push((bl, cursor));
+                // Sometimes exactly adjacent, sometimes gapped.
+                cursor += bl as i64 + if rng.below(2) == 0 { 0 } else { rng.range(1, 4) };
+            }
+            Datatype::indexed(&blocks, &child)
+        }
+        4 => {
+            let n = rng.below(4) as usize + 1;
+            let s = rng.range(2, 7);
+            let d0 = if rng.below(2) == 0 { 0 } else { rng.range(1, 5) };
+            let disps: Vec<i64> = (0..n as i64).map(|k| d0 + k * s).collect();
+            Datatype::indexed_block(rng.below(2) as usize + 1, &disps, &child)
+        }
+        5 => {
+            let ext = child.extent() as i64;
+            let n = rng.below(3) as usize + 1;
+            let blocks: Vec<(usize, i64)> = (0..n)
+                .map(|k| {
+                    let bl = rng.below(2) as usize + 1;
+                    (bl, k as i64 * (ext.max(1) * rng.range(1, 4)) + rng.range(0, 3))
+                })
+                .collect();
+            Datatype::hindexed(&blocks, &child)
+        }
+        6 => {
+            let nfields = rng.below(3) as usize + 1;
+            let mut disp = 0i64;
+            let fields: Vec<(usize, i64, Datatype)> = (0..nfields)
+                .map(|_| {
+                    let f = (rng.below(2) as usize + 1, disp, gen_type(rng, depth - 1));
+                    disp += f.2.extent() as i64 * f.0 as i64 + rng.range(0, 9);
+                    f
+                })
+                .collect();
+            Datatype::structure(&fields)
+        }
+        7 => {
+            let s0 = rng.below(3) as usize + 2;
+            let s1 = rng.below(3) as usize + 2;
+            let n0 = rng.below(s0 as u64) as usize + 1;
+            let n1 = rng.below(s1 as u64) as usize + 1;
+            let st0 = rng.below((s0 - n0) as u64 + 1) as usize;
+            let st1 = rng.below((s1 - n1) as u64 + 1) as usize;
+            let order = if rng.below(2) == 0 { ArrayOrder::C } else { ArrayOrder::Fortran };
+            Datatype::subarray(&[s0, s1], &[n0, n1], &[st0, st1], order, &child)
+        }
+        _ => {
+            let grow = rng.below(16);
+            Datatype::resized(&child, child.lb() - rng.range(0, 9), child.extent() + grow)
+        }
+    };
+    built.unwrap_or(child)
+}
+
+/// Source buffer with distinct bytes, sized so `count` instances fit at
+/// `origin`; returns `(buf, origin)`.
+fn arena(t: &Datatype, count: usize) -> (Vec<u8>, usize) {
+    let origin = (-t.true_lb()).max(0) as usize;
+    let hi = t.true_ub().max(1) + (count as i64 - 1) * t.extent() as i64;
+    let len = origin + hi.max(1) as usize + 8;
+    let buf: Vec<u8> = (0..len).map(|i| (i % 251) as u8 ^ (i / 251) as u8).collect();
+    (buf, origin)
+}
+
+#[test]
+fn normalize_preserves_metadata_and_layout() {
+    let mut rng = Rng::new(0x5eed_0001);
+    for case in 0..400 {
+        let t = gen_type(&mut rng, 1 + (case % 3) as u32);
+        let n = t.normalized();
+        assert_eq!(n.size(), t.size(), "size mismatch case {case}");
+        assert_eq!(n.lb(), t.lb(), "lb mismatch case {case}");
+        assert_eq!(n.ub(), t.ub(), "ub mismatch case {case}");
+        assert_eq!(n.true_lb(), t.true_lb(), "true_lb mismatch case {case}");
+        assert_eq!(n.true_ub(), t.true_ub(), "true_ub mismatch case {case}");
+        assert!(layout_eq(&t, &n), "layout mismatch case {case}");
+        // The canonical form of the canonical form is itself.
+        assert!(n.is_canonical(), "canonical form not a fixpoint, case {case}");
+        assert_eq!(n.normalized_id(), t.normalized_id(), "id mismatch case {case}");
+    }
+}
+
+#[test]
+fn normalized_packs_bit_identical_under_naive_engine() {
+    let mut rng = Rng::new(0x5eed_0002);
+    for case in 0..300 {
+        let t = gen_type(&mut rng, 1 + (case % 3) as u32);
+        if t.size() == 0 {
+            continue;
+        }
+        let n = t.normalized();
+        let count = rng.below(3) as usize + 1;
+        let (src, origin) = arena(&t, count);
+        let bytes = (t.size() * count as u64) as usize;
+        let mut a = vec![0u8; bytes];
+        let mut b = vec![0u8; bytes];
+        pack_into_uncompiled(&src, origin, &t, count, &mut a).unwrap();
+        pack_into_uncompiled(&src, origin, &n, count, &mut b).unwrap();
+        assert_eq!(a, b, "pack divergence case {case} count {count}");
+
+        // And unpack scatters to the same user bytes.
+        let mut ua = vec![0u8; src.len()];
+        let mut ub = vec![0u8; src.len()];
+        unpack_from_uncompiled(&a, &t, count, &mut ua, origin).unwrap();
+        unpack_from_uncompiled(&a, &n, count, &mut ub, origin).unwrap();
+        assert_eq!(ua, ub, "unpack divergence case {case}");
+    }
+}
+
+#[test]
+fn shared_plan_packs_like_the_original_type() {
+    let mut rng = Rng::new(0x5eed_0003);
+    for case in 0..300 {
+        let t = gen_type(&mut rng, 1 + (case % 3) as u32).commit();
+        if t.size() == 0 {
+            continue;
+        }
+        let count = rng.below(3) as usize + 1;
+        let Some(plan) = plan_for(&t, count) else { continue };
+        let (src, origin) = arena(&t, count);
+        let bytes = (t.size() * count as u64) as usize;
+        let mut slow = vec![0u8; bytes];
+        pack_into_uncompiled(&src, origin, &t, count, &mut slow).unwrap();
+        let mut fast = vec![0u8; bytes];
+        plan.pack_into(&src, origin, &mut fast).unwrap();
+        assert_eq!(fast, slow, "plan pack divergence case {case}");
+    }
+}
+
+#[test]
+fn iovec_regions_gather_and_scatter_byte_for_byte() {
+    let mut rng = Rng::new(0x5eed_0004);
+    let mut exercised = 0;
+    for case in 0..300 {
+        let t = gen_type(&mut rng, 1 + (case % 3) as u32).commit();
+        if t.size() == 0 {
+            continue;
+        }
+        let count = rng.below(3) as usize + 1;
+        let Some(plan) = plan_for(&t, count) else { continue };
+        let Some(regions) = plan.regions(1 << 12) else { continue };
+        exercised += 1;
+        let (src, origin) = arena(&t, count);
+        let bytes = (t.size() * count as u64) as usize;
+        assert_eq!(
+            regions.iter().map(|&(_, l)| l).sum::<u64>() as usize,
+            bytes,
+            "region lengths must cover the message, case {case}"
+        );
+        let mut packed = vec![0u8; bytes];
+        pack_into_uncompiled(&src, origin, &t, count, &mut packed).unwrap();
+
+        // Gather by regions == pack.
+        let mut gathered = Vec::with_capacity(bytes);
+        for &(off, len) in &regions {
+            let lo = (origin as i64 + off) as usize;
+            gathered.extend_from_slice(&src[lo..lo + len as usize]);
+        }
+        assert_eq!(gathered, packed, "iovec gather != pack, case {case}");
+
+        // Scatter by regions == unpack.
+        let mut expect = vec![0u8; src.len()];
+        unpack_from_uncompiled(&packed, &t, count, &mut expect, origin).unwrap();
+        let mut scattered = vec![0u8; src.len()];
+        let mut pos = 0usize;
+        for &(off, len) in &regions {
+            let lo = (origin as i64 + off) as usize;
+            scattered[lo..lo + len as usize].copy_from_slice(&packed[pos..pos + len as usize]);
+            pos += len as usize;
+        }
+        assert_eq!(scattered, expect, "iovec scatter != unpack, case {case}");
+    }
+    assert!(exercised > 100, "iovec property exercised only {exercised} cases");
+}

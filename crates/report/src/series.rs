@@ -35,6 +35,13 @@ pub struct Series {
     /// as an `×` at the bottom of the panel so a gap in the line is
     /// distinguishable from a size that was never swept.
     pub failed_x: Vec<f64>,
+    /// Samples (a subset of `points`) measured with the zero-copy iovec
+    /// engine selected — overlaid as an open square so the adaptive
+    /// datapath choice is visible next to the demotion circles.
+    pub iov_marked: Vec<(f64, f64)>,
+    /// Samples measured with the elementwise engine selected — overlaid
+    /// as an open diamond.
+    pub elem_marked: Vec<(f64, f64)>,
 }
 
 impl Series {
@@ -47,6 +54,8 @@ impl Series {
             points,
             marked: Vec::new(),
             failed_x: Vec::new(),
+            iov_marked: Vec::new(),
+            elem_marked: Vec::new(),
         }
     }
 
@@ -59,6 +68,18 @@ impl Series {
     /// Attach failed-point x positions.
     pub fn with_failed(mut self, failed_x: Vec<f64>) -> Series {
         self.failed_x = failed_x;
+        self
+    }
+
+    /// Attach open-square markers (zero-copy iovec engine selected).
+    pub fn with_iov_marked(mut self, iov_marked: Vec<(f64, f64)>) -> Series {
+        self.iov_marked = iov_marked;
+        self
+    }
+
+    /// Attach open-diamond markers (elementwise engine selected).
+    pub fn with_elem_marked(mut self, elem_marked: Vec<(f64, f64)>) -> Series {
+        self.elem_marked = elem_marked;
         self
     }
 }

@@ -222,6 +222,43 @@ pub fn panel_group(
                 s.color
             );
         }
+        // Engine-selection markers: open squares where the adaptive
+        // selector chose the zero-copy iovec engine, open diamonds for
+        // the elementwise engine (rect/polygon, never <path>, so curve
+        // counting stays unambiguous).
+        for &(x, y) in &s.iov_marked {
+            if (spec.xscale == Scale::Log && x <= 0.0) || (spec.yscale == Scale::Log && y <= 0.0) {
+                continue;
+            }
+            let y = spec.ymax.map_or(y, |m| y.min(m));
+            let _ = write!(
+                g,
+                r#"<rect x="{:.1}" y="{:.1}" width="6" height="6" fill="{SURFACE}" stroke="{}" stroke-width="1.5" class="selected-iov"/>"#,
+                px(x) - 3.0,
+                py(y) - 3.0,
+                s.color
+            );
+        }
+        for &(x, y) in &s.elem_marked {
+            if (spec.xscale == Scale::Log && x <= 0.0) || (spec.yscale == Scale::Log && y <= 0.0) {
+                continue;
+            }
+            let y = spec.ymax.map_or(y, |m| y.min(m));
+            let (cx, cy) = (px(x), py(y));
+            let _ = write!(
+                g,
+                r#"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="{SURFACE}" stroke="{}" stroke-width="1.5" class="selected-elem"/>"#,
+                cx,
+                cy - 4.0,
+                cx + 4.0,
+                cy,
+                cx,
+                cy + 4.0,
+                cx - 4.0,
+                cy,
+                s.color
+            );
+        }
         for &x in &s.failed_x {
             if spec.xscale == Scale::Log && x <= 0.0 {
                 continue;
@@ -387,6 +424,21 @@ mod tests {
     #[test]
     fn escaping() {
         assert_eq!(esc("a<b&c"), "a&lt;b&amp;c");
+    }
+
+    /// Engine-selection markers use rect/polygon shapes — never <path>
+    /// — so the per-panel curve count stays exactly one path per series.
+    #[test]
+    fn selector_markers_render_as_square_and_diamond() {
+        let spec = PlotSpec::loglog("T", "x", "y");
+        let s = vec![Series::new("a", 3, vec![(10.0, 1.0), (100.0, 2.0), (1000.0, 4.0)])
+            .with_iov_marked(vec![(100.0, 2.0), (1000.0, 4.0)])
+            .with_elem_marked(vec![(10.0, 1.0)])];
+        let svg = render_svg(&spec, &s, PanelGeom::default());
+        assert_eq!(svg.matches("selected-iov").count(), 2, "{svg}");
+        assert_eq!(svg.matches("selected-elem").count(), 1);
+        assert_eq!(svg.matches("<polygon").count(), 1);
+        assert_eq!(svg.matches("<path").count(), 1, "markers must not add paths");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use std::str::FromStr;
 
-use nonctg_simnet::PlatformId;
+use nonctg_simnet::{Datapath, PlatformId};
 
 use crate::scheme::Scheme;
 use crate::sweep::{PointStatus, Sweep, SweepFaults, SweepPoint};
@@ -42,13 +42,20 @@ pub fn to_json(sweep: &Sweep) -> String {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str(&format!(
             "    {{\"scheme\": \"{}\", \"msg_bytes\": {}, \"time\": {}, \
-             \"bandwidth\": {}, \"slowdown\": {}, \"status\": \"{}\"{}}}",
+             \"bandwidth\": {}, \"slowdown\": {}, \"status\": \"{}\"{}{}}}",
             p.scheme.key(),
             p.msg_bytes,
             num(p.time),
             num(p.bandwidth),
             num(p.slowdown),
             p.status.key(),
+            // Recorded datapath engine; "auto" (unrecorded) is omitted so
+            // checkpoints written before the selector keep their shape.
+            if p.selected == Datapath::Auto {
+                String::new()
+            } else {
+                format!(", \"selected\": \"{}\"", p.selected.name())
+            },
             // Per-point fault attribution (resume bookkeeping); omitted
             // when zero so fault-free checkpoints keep the legacy shape.
             if p.faults.is_zero() {
@@ -166,6 +173,8 @@ impl<'a> Parser<'a> {
         let mut bandwidth = f64::NAN;
         let mut slowdown = f64::NAN;
         let mut status = None;
+        // Absent in checkpoints written before the datapath selector.
+        let mut selected = Datapath::Auto;
         // Absent in checkpoints written before per-point attribution.
         let mut faults = SweepFaults::default();
         loop {
@@ -190,6 +199,10 @@ impl<'a> Parser<'a> {
                     let v = self.string()?;
                     status = Some(PointStatus::from_str(&v)?);
                 }
+                "selected" => {
+                    let v = self.string()?;
+                    selected = Datapath::from_str(&v)?;
+                }
                 "faults" => faults = self.fault_stats()?,
                 other => return Err(self.err(&format!("unknown point key '{other}'"))),
             }
@@ -209,6 +222,7 @@ impl<'a> Parser<'a> {
             bandwidth,
             slowdown,
             status: status.ok_or_else(|| self.err("point missing 'status'"))?,
+            selected,
             faults,
         })
     }
@@ -319,6 +333,7 @@ mod tests {
                     bandwidth: 8.192e7,
                     slowdown: 1.0,
                     status: PointStatus::Ok,
+                    selected: Datapath::Pack,
                     faults: SweepFaults { transient_retries: 3, delays: 1, ..Default::default() },
                 },
                 SweepPoint {
@@ -328,6 +343,7 @@ mod tests {
                     bandwidth: 0.0,
                     slowdown: f64::NAN,
                     status: PointStatus::Failed,
+                    selected: Datapath::Auto,
                     faults: SweepFaults {
                         failed_sends: 2,
                         poisoned_peers: 4,
@@ -370,8 +386,30 @@ mod tests {
         // Per-point fault attribution round-trips too.
         assert_eq!(a.faults, sample().points[0].faults);
         assert_eq!(b.faults, sample().points[1].faults);
+        // The recorded datapath round-trips; unrecorded stays "auto" and
+        // is omitted from the serialized form.
+        assert_eq!(a.selected, Datapath::Pack);
+        assert_eq!(b.selected, Datapath::Auto);
+        assert_eq!(json.matches("\"selected\"").count(), 1, "{json}");
         // A rewrite of the parsed sweep is bit-identical.
         assert_eq!(to_json(&back), json);
+    }
+
+    /// Every datapath value except the "auto" sentinel round-trips
+    /// through its checkpoint key.
+    #[test]
+    fn selected_engines_round_trip() {
+        for dp in [Datapath::Pack, Datapath::Iov, Datapath::Elem] {
+            let mut sweep = sample();
+            sweep.points[0].selected = dp;
+            let back = from_json(&to_json(&sweep)).unwrap();
+            assert_eq!(back.points[0].selected, dp);
+        }
+        let bad = "{\"platform\": \"skx-impi\", \"points\": [\
+            {\"scheme\": \"reference\", \"msg_bytes\": 8, \"time\": 1.0, \
+             \"bandwidth\": 8.0, \"slowdown\": 1.0, \"status\": \"ok\", \
+             \"selected\": \"warp\"}]}";
+        assert!(from_json(bad).unwrap_err().contains("warp"));
     }
 
     /// Points without per-point counters (fault-free, or written by the

@@ -67,9 +67,9 @@ impl Phase {
             | EventKind::Put
             | EventKind::Get
             | EventKind::Chunk => Phase::Transfer,
-            // Zero-width marker: a demotion decision costs no virtual
-            // time, so its phase never accumulates any.
-            EventKind::Demote => Phase::Sync,
+            // Zero-width markers: demotion and selector decisions cost
+            // no virtual time, so their phases never accumulate any.
+            EventKind::Demote | EventKind::Select => Phase::Sync,
         }
     }
 }

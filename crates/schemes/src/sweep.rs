@@ -10,7 +10,7 @@ use std::path::PathBuf;
 use std::str::FromStr;
 
 use nonctg_core::FaultStats;
-use nonctg_simnet::{Platform, PlatformId};
+use nonctg_simnet::{Datapath, Platform, PlatformId};
 
 use crate::checkpoint;
 use crate::pingpong::{run_scheme, try_run_scheme, PingPongConfig};
@@ -112,6 +112,12 @@ pub struct SweepPoint {
     pub slowdown: f64,
     /// Whether this point was actually measured.
     pub status: PointStatus,
+    /// The datapath engine in force for this point's non-contiguous
+    /// sends: the platform's forced engine when overridden, else what
+    /// the adaptive selector picks for this layout at this size. A pure
+    /// function of (platform, layout, size) — serial, parallel, sharded,
+    /// and resumed sweeps all record the same value.
+    pub selected: Datapath,
     /// Fault counters attributed to this point: every attempt of its
     /// measurement, including failed ones. The sweep total is the sum of
     /// these, so a resume that re-measures a point replaces — never
@@ -128,8 +134,29 @@ impl SweepPoint {
             bandwidth: 0.0,
             slowdown: f64::NAN,
             status,
+            selected: Datapath::Auto,
             faults: SweepFaults::default(),
         }
+    }
+}
+
+/// The engine the runtime's datapath machinery uses for a point of this
+/// workload: the platform's forced engine when overridden, else the
+/// adaptive selector's choice, mirroring the runtime's eligibility rules
+/// (eager messages and region lists past the iovec cap cannot take the
+/// zero-copy path). Pure in (platform, layout, size), so recorded
+/// selections are reproducible across runs, shards, and resumes.
+fn selected_for(platform: &Platform, w: &Workload) -> Datapath {
+    match platform.effective_datapath() {
+        Datapath::Auto => {
+            let bytes = w.msg_bytes() as u64;
+            let eager = bytes <= platform.eager_threshold(false);
+            let n = w.elems();
+            let regions = (!eager && n <= nonctg_core::iov_max_regions())
+                .then_some(n as u64);
+            nonctg_core::selector::choose(platform.id, bytes, regions)
+        }
+        forced => forced,
     }
 }
 
@@ -344,6 +371,7 @@ pub fn run_sweep_with(
     for bytes in cfg.sizes() {
         let elems = bytes / Workload::ELEM;
         let w = Workload::every_other(elems);
+        let selected = selected_for(platform, &w);
         let pp = cfg.base.clone().adaptive(bytes);
         let mut group: Vec<SweepPoint> = Vec::with_capacity(cfg.schemes.len());
         for &scheme in &cfg.schemes {
@@ -357,6 +385,7 @@ pub fn run_sweep_with(
                 bandwidth: r.bandwidth(),
                 slowdown: f64::NAN,
                 status: PointStatus::Ok,
+                selected,
                 faults: pf,
             });
         }
@@ -414,6 +443,7 @@ fn assemble_in_order(
     let mut i = 0;
     while i < work.len() {
         let bytes = work[i].0;
+        let selected = selected_for(platform, &Workload::every_other(bytes / Workload::ELEM));
         let mut group = Vec::new();
         while i < work.len() && work[i].0 == bytes {
             let (time, bandwidth, f) = results[i].lock().unwrap().expect("measured point");
@@ -426,6 +456,7 @@ fn assemble_in_order(
                 bandwidth,
                 slowdown: f64::NAN,
                 status: PointStatus::Ok,
+                selected,
                 faults: pf,
             });
             i += 1;
@@ -573,6 +604,7 @@ pub fn run_sweep_resilient_with(
     for bytes in cfg.sizes() {
         let elems = bytes / Workload::ELEM;
         let w = Workload::every_other(elems);
+        let selected = selected_for(platform, &w);
         let pp = cfg.base.clone().adaptive(bytes);
         let mut group: Vec<SweepPoint> = Vec::with_capacity(cfg.schemes.len());
         for (si, &scheme) in cfg.schemes.iter().enumerate() {
@@ -587,7 +619,9 @@ pub fn run_sweep_resilient_with(
                 continue;
             }
             if res.skip_scheme_after.is_some_and(|limit| failures[si] >= limit) {
-                group.push(SweepPoint::unmeasured(scheme, w.msg_bytes(), PointStatus::Skipped));
+                let mut pt = SweepPoint::unmeasured(scheme, w.msg_bytes(), PointStatus::Skipped);
+                pt.selected = selected;
+                group.push(pt);
                 continue;
             }
             let mut measured = None;
@@ -612,11 +646,13 @@ pub fn run_sweep_resilient_with(
                     bandwidth,
                     slowdown: f64::NAN,
                     status: PointStatus::Ok,
+                    selected,
                     faults: pf,
                 },
                 None => {
                     failures[si] += 1;
                     let mut p = SweepPoint::unmeasured(scheme, w.msg_bytes(), PointStatus::Failed);
+                    p.selected = selected;
                     p.faults = pf;
                     p
                 }
@@ -783,6 +819,25 @@ mod tests {
                 assert_eq!(a.status, b.status);
             }
         }
+    }
+
+    /// The recorded datapath is a pure function of (platform, layout,
+    /// size): identical across serial/sharded/resilient runners, Pack for
+    /// the paper's 8-byte-region workload, and pinned by a forced engine.
+    #[test]
+    fn selected_engine_is_pure_and_tracks_forcing() {
+        let seq = run_sweep(&quiet(), &tiny_cfg());
+        // Every-other f64 regions are 8 bytes: far under every
+        // platform's iovec crossover, so the selector keeps pack.
+        assert!(seq.points.iter().all(|p| p.selected == Datapath::Pack), "{:?}", seq.points);
+        let sh = run_sweep_sharded(&quiet(), &tiny_cfg(), 3);
+        let res = run_sweep_resilient(&quiet(), &tiny_cfg(), &Resilience::default());
+        for ((a, b), c) in seq.points.iter().zip(sh.points.iter()).zip(res.points.iter()) {
+            assert_eq!(a.selected, b.selected);
+            assert_eq!(a.selected, c.selected);
+        }
+        let forced = run_sweep(&quiet().with_datapath(Datapath::Iov), &tiny_cfg());
+        assert!(forced.points.iter().all(|p| p.selected == Datapath::Iov));
     }
 
     #[test]

@@ -16,6 +16,11 @@ use nonctg_datatype::{strided_form, Datatype};
 
 use crate::platform::Platform;
 
+/// Fraction of a full MPI-call overhead paid per posted iovec region
+/// descriptor (building one scatter/gather table entry and ringing the
+/// doorbell is much cheaper than a whole library call).
+const IOV_REGION_CALL_FRACTION: f64 = 0.25;
+
 /// How a datatype walks user memory, as seen by the memory subsystem.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Access {
@@ -178,6 +183,43 @@ impl Platform {
             let chunks = bytes.div_ceil(self.proto.chunk_size.max(1));
             base * self.proto.large_degradation + chunks as f64 * self.proto.chunk_overhead
         }
+    }
+
+    /// Sender-side software cost of posting an iovec (region-list) send:
+    /// building one DMA descriptor per region is a fraction of a full
+    /// library call, paid on top of the usual protocol overhead.
+    pub fn iov_overhead(&self, nregions: u64) -> f64 {
+        self.cpu.per_call_overhead * IOV_REGION_CALL_FRACTION * nregions as f64
+    }
+
+    /// Wire time of an iovec send: the NIC DMA-gathers the user regions
+    /// directly (no staging copy), but every region restarts the DMA read
+    /// stream, costing roughly one cache line of dead read time — short
+    /// regions therefore erode the zero-copy advantage.
+    pub fn iov_wire_time(&self, bytes: u64, nregions: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let bottleneck = self.net.bw.min(self.net.dma_read_bw);
+        let restart = nregions as f64 * self.mem.cacheline as f64 / self.net.dma_read_bw;
+        bytes as f64 / bottleneck / self.net.pipeline_eff + restart
+    }
+
+    /// Receiver-side cost of scattering an iovec payload straight into
+    /// the user regions: write-only placement (one traffic unit, not a
+    /// copy's two) plus the same per-region descriptor bookkeeping as the
+    /// sender.
+    pub fn iov_scatter_time(&self, bytes: u64, nregions: u64, warm: bool) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let bw = if warm && (bytes as f64) <= self.mem.cache_size as f64 {
+            self.mem.copy_bw * self.mem.warm_speedup
+        } else {
+            self.mem.copy_bw
+        };
+        bytes as f64 / (2.0 * bw)
+            + nregions as f64 * self.cpu.per_call_overhead * IOV_REGION_CALL_FRACTION
     }
 
     /// Additional cost `MPI_Bsend` pays on top of a regular send of the
@@ -372,6 +414,51 @@ mod tests {
         assert_eq!(cray.eager_threshold(true), 2 * cray.eager_threshold(false));
         let skx = skx();
         assert_eq!(skx.eager_threshold(true), skx.eager_threshold(false));
+    }
+
+    #[test]
+    fn iovec_beats_pack_for_large_regions() {
+        // 64 KiB runs: the staging gather the pack path pays dwarfs the
+        // per-region descriptor cost, so zero-copy must win clearly.
+        let p = skx();
+        let bytes = 16u64 << 20;
+        let nregions = bytes / (64 << 10);
+        let access = Access::Strided { blocklen: 64 << 10, stride: 128 << 10 };
+        let pack = p.gather_time(bytes, &access, false) + p.wire_time(bytes, 1.0);
+        let iov = p.iov_overhead(nregions) + p.iov_wire_time(bytes, nregions);
+        assert!(iov < 0.7 * pack, "iovec {iov} not clearly under pack {pack}");
+    }
+
+    #[test]
+    fn iovec_loses_for_tiny_regions() {
+        // 8-byte runs: one descriptor per element costs far more than the
+        // gather it avoids (the classic iovec pathology).
+        let p = skx();
+        let bytes = 1u64 << 20;
+        let nregions = bytes / 8;
+        let access = Access::Strided { blocklen: 8, stride: 16 };
+        let pack = p.gather_time(bytes, &access, false) + p.wire_time(bytes, 1.0);
+        let iov = p.iov_overhead(nregions) + p.iov_wire_time(bytes, nregions);
+        assert!(iov > 2.0 * pack, "iovec {iov} should lose to pack {pack} at 8B regions");
+    }
+
+    #[test]
+    fn iov_scatter_cheaper_than_unpack_for_large_regions() {
+        let p = skx();
+        let bytes = 16u64 << 20;
+        let nregions = bytes / (64 << 10);
+        let access = Access::Strided { blocklen: 64 << 10, stride: 128 << 10 };
+        let unpack = p.scatter_time(bytes, &access, false);
+        let direct = p.iov_scatter_time(bytes, nregions, false);
+        assert!(direct < unpack, "direct scatter {direct} >= unpack {unpack}");
+    }
+
+    #[test]
+    fn iov_zero_bytes_cost_nothing() {
+        let p = skx();
+        assert_eq!(p.iov_wire_time(0, 0), 0.0);
+        assert_eq!(p.iov_scatter_time(0, 0, true), 0.0);
+        assert_eq!(p.iov_overhead(0), 0.0);
     }
 
     #[test]

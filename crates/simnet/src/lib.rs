@@ -27,7 +27,7 @@ pub use explain::{SendBreakdown, SendPath};
 pub use fault::{ChunkFault, CrashPoint, FaultPlan, LinkDegradation, PersistentFault, SendFault};
 pub use jitter::Jitter;
 pub use platform::{
-    CpuModel, MemModel, NetModel, Platform, PlatformId, ProtocolModel, RmaModel,
-    DEFAULT_DEADLOCK_TIMEOUT_S,
+    CpuModel, Datapath, MemModel, NetModel, PipelineSpec, Platform, PlatformId, ProtocolModel,
+    RmaModel, DEFAULT_DEADLOCK_TIMEOUT_S,
 };
 pub use spec::SpecError;

@@ -75,6 +75,69 @@ fn env_pipeline() -> PipelineSpec {
     })
 }
 
+/// Which engine a non-contiguous send routes through.
+///
+/// `Auto` defers to the adaptive selector, which predicts pack vs iovec
+/// vs element cost from the platform model and picks the cheapest; the
+/// other values force one engine unconditionally (used by calibration,
+/// differential tests, and the `NONCTG_DATAPATH` environment variable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Datapath {
+    /// Gather into a packed staging buffer through the compiled plan.
+    Pack,
+    /// Zero-copy iovec: ship the region list, scatter at the receiver.
+    Iov,
+    /// Naive per-segment element copies (no compiled plan).
+    Elem,
+    /// Pick per message from the measured cost model.
+    #[default]
+    Auto,
+}
+
+impl Datapath {
+    /// Canonical lowercase name (the `NONCTG_DATAPATH` vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            Datapath::Pack => "pack",
+            Datapath::Iov => "iov",
+            Datapath::Elem => "elem",
+            Datapath::Auto => "auto",
+        }
+    }
+}
+
+impl fmt::Display for Datapath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Datapath {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "pack" => Ok(Datapath::Pack),
+            "iov" | "iovec" => Ok(Datapath::Iov),
+            "elem" | "element" => Ok(Datapath::Elem),
+            "auto" => Ok(Datapath::Auto),
+            other => Err(format!("unknown datapath '{other}' (expected pack|iov|elem|auto)")),
+        }
+    }
+}
+
+/// The process-wide datapath override from `NONCTG_DATAPATH`, resolved
+/// once. Unset or unparseable means [`Datapath::Auto`].
+fn env_datapath() -> Datapath {
+    static V: OnceLock<Datapath> = OnceLock::new();
+    *V.get_or_init(|| {
+        std::env::var("NONCTG_DATAPATH")
+            .ok()
+            .and_then(|v| v.parse::<Datapath>().ok())
+            .unwrap_or(Datapath::Auto)
+    })
+}
+
 /// Identifier of a modeled installation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlatformId {
@@ -258,6 +321,12 @@ pub struct Platform {
     /// [`Platform::with_pipeline`]). Wall-clock only — virtual time is
     /// charged identically either way.
     pub pipeline: Option<PipelineSpec>,
+    /// Forced non-contiguous datapath engine. [`Datapath::Auto`] (all
+    /// presets) defers first to the `NONCTG_DATAPATH` environment
+    /// variable and then to the adaptive selector; any other value wins
+    /// over both (see [`Platform::with_datapath`] and
+    /// [`Platform::effective_datapath`]).
+    pub datapath: Datapath,
     /// How long a rank may block on one fabric wait (message match,
     /// barrier, rendezvous completion) before the watchdog declares a
     /// deadlock, seconds. Overridable per run via the
@@ -292,6 +361,25 @@ impl Platform {
     pub fn without_pipeline(mut self) -> Platform {
         self.pipeline = Some(PipelineSpec::disabled());
         self
+    }
+
+    /// Builder: force a non-contiguous datapath engine in-process,
+    /// overriding both the selector and the `NONCTG_DATAPATH`
+    /// environment variable (calibration and differential tests use this
+    /// to compare engines without re-spawning the process).
+    pub fn with_datapath(mut self, datapath: Datapath) -> Platform {
+        self.datapath = datapath;
+        self
+    }
+
+    /// The datapath policy in force: the explicit [`Platform::datapath`]
+    /// override when not `Auto`, else the `NONCTG_DATAPATH` environment
+    /// variable (which itself defaults to `Auto`, i.e. the selector).
+    pub fn effective_datapath(&self) -> Datapath {
+        if self.datapath != Datapath::Auto {
+            return self.datapath;
+        }
+        env_datapath()
     }
 
     /// The streaming spec in force: the explicit [`Platform::pipeline`]
@@ -365,6 +453,7 @@ impl Platform {
             jitter_sigma: 0.03,
             seed: 0x5b_1001,
             fault: None,
+            datapath: Datapath::Auto,
             pipeline: None,
             deadlock_timeout_s: DEFAULT_DEADLOCK_TIMEOUT_S,
         }
@@ -407,6 +496,7 @@ impl Platform {
             jitter_sigma: 0.03,
             seed: 0x5b_1002,
             fault: None,
+            datapath: Datapath::Auto,
             pipeline: None,
             deadlock_timeout_s: DEFAULT_DEADLOCK_TIMEOUT_S,
         }
@@ -451,6 +541,7 @@ impl Platform {
             jitter_sigma: 0.035,
             seed: 0x5b_1003,
             fault: None,
+            datapath: Datapath::Auto,
             pipeline: None,
             deadlock_timeout_s: DEFAULT_DEADLOCK_TIMEOUT_S,
         }
@@ -494,6 +585,7 @@ impl Platform {
             jitter_sigma: 0.04,
             seed: 0x5b_1004,
             fault: None,
+            datapath: Datapath::Auto,
             pipeline: None,
             deadlock_timeout_s: DEFAULT_DEADLOCK_TIMEOUT_S,
         }
@@ -542,6 +634,31 @@ mod tests {
             assert!(p.rma.large_penalty >= 1.0);
             assert!((0.0..0.5).contains(&p.jitter_sigma));
         }
+    }
+
+    #[test]
+    fn datapath_names_round_trip() {
+        for d in [Datapath::Pack, Datapath::Iov, Datapath::Elem, Datapath::Auto] {
+            assert_eq!(d.name().parse::<Datapath>().unwrap(), d);
+        }
+        assert_eq!("iovec".parse::<Datapath>().unwrap(), Datapath::Iov);
+        assert_eq!("element".parse::<Datapath>().unwrap(), Datapath::Elem);
+        assert!("zerocopy".parse::<Datapath>().is_err());
+    }
+
+    #[test]
+    fn presets_default_to_auto_datapath() {
+        for p in Platform::all() {
+            assert_eq!(p.datapath, Datapath::Auto);
+        }
+    }
+
+    #[test]
+    fn with_datapath_wins_over_environment() {
+        let p = Platform::skx_impi().with_datapath(Datapath::Iov);
+        assert_eq!(p.effective_datapath(), Datapath::Iov);
+        let q = Platform::skx_impi().with_datapath(Datapath::Pack);
+        assert_eq!(q.effective_datapath(), Datapath::Pack);
     }
 
     #[test]
