@@ -12,6 +12,12 @@
 //! `[1-tolerance, 1+tolerance]`. With `--phases` the inputs are
 //! phase-attribution CSVs and every phase column (pack/transfer/sync/
 //! unpack) is compared instead of just the total time.
+//!
+//! With `--guidelines` the inputs are `guidelines_*.csv` violation
+//! tables (as written by the `figures` bin) and the comparison is
+//! set-wise: any violation present in the new table but not the old is
+//! a regression and the exit code is nonzero; violations that
+//! disappeared are reported as fixed.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -49,11 +55,95 @@ fn load(path: &str, metrics: &[&'static str]) -> Result<BTreeMap<Key, f64>, Stri
     Ok(out)
 }
 
+/// One row of a `guidelines_*.csv` violation table, keyed by what was
+/// violated and where; the ratio is carried along for display.
+type GuidelineKey = (String, String, usize); // (platform, guideline, msg_bytes)
+
+fn load_guidelines(path: &str) -> Result<BTreeMap<GuidelineKey, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut rows = parse_csv(&text);
+    if rows.is_empty() {
+        return Err(format!("{path}: empty"));
+    }
+    let header = rows.remove(0);
+    let col = |name: &str| {
+        header
+            .iter()
+            .position(|h| h == name)
+            .ok_or_else(|| format!("{path}: missing column '{name}'"))
+    };
+    let (c_plat, c_guide, c_bytes, c_ratio) =
+        (col("platform")?, col("guideline")?, col("msg_bytes")?, col("ratio")?);
+    let mut out = BTreeMap::new();
+    for r in rows {
+        let bytes: usize = r[c_bytes].parse().map_err(|e| format!("{path}: {e}"))?;
+        let ratio: f64 = r[c_ratio].parse().map_err(|e| format!("{path}: {e}"))?;
+        out.insert((r[c_plat].clone(), r[c_guide].clone(), bytes), ratio);
+    }
+    Ok(out)
+}
+
+/// Set-diff two violation tables: new-only rows are regressions.
+fn compare_guidelines(files: &[String]) -> ExitCode {
+    let (old, new) = match (load_guidelines(&files[0]), load_guidelines(&files[1])) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut t = Table::new(["platform", "guideline", "size", "ratio", "change"]);
+    let mut introduced = 0usize;
+    let mut fixed = 0usize;
+    for (key, &ratio) in &new {
+        if !old.contains_key(key) {
+            introduced += 1;
+            t.row([
+                key.0.clone(),
+                key.1.clone(),
+                fmt_bytes(key.2),
+                format!("{ratio:.3}"),
+                "NEW".into(),
+            ]);
+        }
+    }
+    for (key, &ratio) in &old {
+        if !new.contains_key(key) {
+            fixed += 1;
+            t.row([
+                key.0.clone(),
+                key.1.clone(),
+                fmt_bytes(key.2),
+                format!("{ratio:.3}"),
+                "fixed".into(),
+            ]);
+        }
+    }
+    println!(
+        "guideline violations: {} old, {} new ({} introduced, {} fixed)",
+        old.len(),
+        new.len(),
+        introduced,
+        fixed
+    );
+    if introduced + fixed > 0 {
+        println!("{}", t.render());
+    }
+    if introduced > 0 {
+        return ExitCode::from(1);
+    }
+    println!("no new guideline violations");
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "usage: compare <old.csv> <new.csv> [--tolerance F] [--phases | --guidelines]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut tolerance = 0.05f64;
     let mut phases = false;
+    let mut guidelines = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -67,16 +157,20 @@ fn main() -> ExitCode {
                     })
             }
             "--phases" => phases = true,
+            "--guidelines" => guidelines = true,
             "--help" | "-h" => {
-                eprintln!("usage: compare <old.csv> <new.csv> [--tolerance F] [--phases]");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
             f => files.push(f.to_string()),
         }
     }
     if files.len() != 2 {
-        eprintln!("usage: compare <old.csv> <new.csv> [--tolerance F] [--phases]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
+    }
+    if guidelines {
+        return compare_guidelines(&files);
     }
     let metrics: &[&'static str] = if phases {
         &["time_s", "pack_s", "transfer_s", "sync_s", "unpack_s"]

@@ -244,6 +244,11 @@ fn main() {
          \"iov_crossover\": [\n{xover_json}\n  ]\n}}\n",
         serial.points.len()
     );
-    std::fs::write(&out_path, json).expect("write baseline json");
-    println!("wrote {out_path}");
+    let hist = nonctg_bench::history::write_bench_json(
+        "datapath",
+        std::path::Path::new(&out_path),
+        &json,
+    )
+    .expect("write baseline json");
+    println!("wrote {out_path} (history entry {})", hist.display());
 }

@@ -9,11 +9,14 @@
 
 use std::time::Instant;
 
-use nonctg_bench::{ascii_figure, write_figure, write_observability, write_phases, Options};
+use nonctg_bench::{
+    ascii_figure, guidelines_csv, write_figure, write_observability, write_phases, Options,
+    GUIDELINE_TOL,
+};
 use nonctg_report::{fmt_bytes, fmt_time, Table};
 use nonctg_schemes::{
     run_phase_sweep_with, run_sweep_parallel, run_sweep_resilient_with, run_sweep_sharded,
-    run_sweep_with, PointStatus, Resilience, Scheme, Sweep, SweepPoint,
+    run_sweep_with, CheckpointError, PointStatus, Resilience, Scheme, Sweep, SweepPoint,
 };
 
 fn progress_line(p: &SweepPoint) {
@@ -69,6 +72,13 @@ fn main() {
                         );
                         None
                     }
+                    // A schema mismatch is a user-facing error, not line
+                    // noise: silently restarting would discard the sweep
+                    // the user explicitly asked to resume.
+                    Err(e @ CheckpointError::VersionMismatch { .. }) => {
+                        eprintln!("error: cannot resume from {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
                     Err(e) => {
                         eprintln!("  ignoring unreadable checkpoint {}: {e}", path.display());
                         None
@@ -99,6 +109,14 @@ fn main() {
             svg.display(),
             wall.elapsed().as_secs_f64()
         );
+
+        // Self-consistency guideline check over the measured sweep; the
+        // CSV rides next to the figure so CI and the site can diff it.
+        let gpath = opts.out_dir.join(format!("guidelines_{stem}.csv"));
+        let gcsv = guidelines_csv(&sweep, GUIDELINE_TOL);
+        let violations = gcsv.lines().count().saturating_sub(1);
+        std::fs::write(&gpath, gcsv).expect("write guidelines csv");
+        eprintln!("  wrote {} ({} violation(s))", gpath.display(), violations);
 
         // Terminal summary table: slowdown per scheme at three sizes.
         let sizes = sweep.sizes();

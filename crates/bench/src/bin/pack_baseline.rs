@@ -6,6 +6,13 @@
 //! payloads, and writes bytes/sec per shape so later changes to the
 //! engine can be compared against a committed reference point.
 //!
+//! Each entry also carries a roofline attribution: a contiguous memcpy
+//! of the same packed payload is timed alongside, and `roofline_pct`
+//! records what share of that attainable copy bandwidth the gathering
+//! kernel achieved. The document is written through the bench-history
+//! helper, so every run is also appended to `BENCH_history/` (or
+//! `$NONCTG_BENCH_HISTORY`) for the regression sentinel.
+//!
 //! Usage: `pack_baseline [OUT.json]` (default `BENCH_pack.json`).
 
 use nonctg_datatype::{as_bytes, pack_into, pack_size, ArrayOrder, Datatype};
@@ -58,10 +65,9 @@ fn structure(packed: usize) -> Case {
     }
 }
 
-/// Mean seconds per pack over enough repetitions to fill ~0.3 s of
-/// wall-clock, after one untimed warm-up (which also compiles the plan).
-fn measure(case: &Case, out: &mut [u8]) -> f64 {
-    pack_into(&case.src, 0, &case.dtype, case.count, out).unwrap();
+/// Mean seconds per pack over enough repetitions to fill ~`target` s of
+/// wall-clock.
+fn timed_block(case: &Case, out: &mut [u8], target: f64) -> f64 {
     let mut iters = 1usize;
     loop {
         let t0 = Instant::now();
@@ -69,11 +75,22 @@ fn measure(case: &Case, out: &mut [u8]) -> f64 {
             black_box(pack_into(black_box(&case.src), 0, &case.dtype, case.count, out).unwrap());
         }
         let secs = t0.elapsed().as_secs_f64();
-        if secs >= 0.3 || iters >= 1 << 20 {
+        if secs >= target || iters >= 1 << 20 {
             return secs / iters as f64;
         }
-        iters = (iters * 2).max((iters as f64 * 0.35 / secs.max(1e-9)) as usize);
+        iters = (iters * 2).max((iters as f64 * 1.1 * target / secs.max(1e-9)) as usize);
     }
+}
+
+/// Seconds per pack: the minimum of three ~0.1 s timed blocks, after
+/// one untimed warm-up (which also compiles the plan). The minimum is
+/// far less sensitive to scheduler noise than a single long mean, which
+/// matters now that the regression sentinel compares runs across time.
+fn measure(case: &Case, out: &mut [u8]) -> f64 {
+    pack_into(&case.src, 0, &case.dtype, case.count, out).unwrap();
+    (0..3)
+        .map(|_| timed_block(case, out, 0.1))
+        .fold(f64::INFINITY, f64::min)
 }
 
 fn main() {
@@ -91,17 +108,20 @@ fn main() {
             let mut out = vec![0u8; packed];
             let secs = measure(&case, &mut out);
             let bps = packed as f64 / secs;
+            let memcpy_bps = nonctg_bench::memcpy_reference(packed, 0.2);
+            let roofline_pct = 100.0 * bps / memcpy_bps;
             println!(
-                "{:>8} {:>5}  {:>12} B packed  {:>10.3e} s/pack  {:>9.3} MB/s",
+                "{:>8} {:>5}  {:>12} B packed  {:>10.3e} s/pack  {:>9.3} MB/s  {:>5.1}% of memcpy",
                 case.shape,
                 label,
                 packed,
                 secs,
-                bps / 1e6
+                bps / 1e6,
+                roofline_pct
             );
             entries.push(format!(
-                "    {{\"shape\": \"{}\", \"payload\": \"{}\", \"packed_bytes\": {}, \"seconds_per_pack\": {:.6e}, \"bytes_per_sec\": {:.6e}}}",
-                case.shape, label, packed, secs, bps
+                "    {{\"shape\": \"{}\", \"payload\": \"{}\", \"packed_bytes\": {}, \"seconds_per_pack\": {:.6e}, \"bytes_per_sec\": {:.6e}, \"memcpy_bytes_per_sec\": {:.6e}, \"roofline_pct\": {:.2}}}",
+                case.shape, label, packed, secs, bps, memcpy_bps, roofline_pct
             ));
         }
     }
@@ -117,6 +137,8 @@ fn main() {
         cache.compile_nanos as f64 * 1e-9,
         entries.join(",\n")
     );
-    std::fs::write(&out_path, json).expect("write baseline json");
-    println!("wrote {out_path}");
+    let hist =
+        nonctg_bench::history::write_bench_json("pack", std::path::Path::new(&out_path), &json)
+            .expect("write baseline json");
+    println!("wrote {out_path} (history entry {})", hist.display());
 }

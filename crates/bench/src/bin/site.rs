@@ -146,6 +146,30 @@ fn main() {
             s.tables.push(table);
         }
         sections.push(s);
+
+        // Guideline violations for this platform's sweep, if the
+        // figures run wrote them (guidelines_<stem>.csv).
+        let gpath = dir.join(format!("guidelines_{stem}.csv"));
+        if let Some((header, rows)) = load_csv_table(&gpath, 200) {
+            let mut g = Section::new(
+                format!("Guideline violations — {}", id.name()),
+                "Hunold-style self-consistency guidelines checked over the measured \
+                 sweep: derived-vs-pack, subarray-vs-vector agreement, and the \
+                 contiguous reference floor. An empty table means every guideline \
+                 held within tolerance.",
+            );
+            if rows.is_empty() {
+                let width = header.len();
+                let mut none = vec![String::new(); width];
+                if let Some(first) = none.first_mut() {
+                    *first = "(none)".to_string();
+                }
+                g.tables.push((header, vec![none]));
+            } else {
+                g.tables.push((header, rows));
+            }
+            sections.push(g);
+        }
     }
 
     for (file, heading, intro) in [

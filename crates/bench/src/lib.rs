@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod history;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -252,6 +254,32 @@ pub fn write_figure(out_dir: &Path, stem: &str, title: &str, sweep: &Sweep) -> P
     svg_path
 }
 
+/// Wall-clock memcpy throughput (bytes/sec) for a contiguous copy of
+/// `bytes`, measured over roughly `target_secs` of repetitions after an
+/// untimed warm-up. This is the roofline every pack kernel is attributed
+/// against: a pack at 100% moves its packed payload as fast as a plain
+/// copy of the same size.
+pub fn memcpy_reference(bytes: usize, target_secs: f64) -> f64 {
+    use std::hint::black_box;
+    use std::time::Instant;
+    let bytes = bytes.max(1);
+    let src = vec![0x5Au8; bytes];
+    let mut dst = vec![0u8; bytes];
+    dst.copy_from_slice(&src); // warm pages
+    let mut iters = 1usize;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(&mut dst[..]).copy_from_slice(black_box(&src[..]));
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        if secs >= target_secs || iters >= 1 << 22 {
+            return (bytes * iters) as f64 / secs.max(1e-12);
+        }
+        iters = (iters * 2).max((iters as f64 * 1.1 * target_secs / secs.max(1e-9)) as usize);
+    }
+}
+
 /// Convert per-rank traced events (outer index = rank) into report
 /// spans: one track per rank, named by the operation's label.
 pub fn events_to_spans(events: &[Vec<TraceEvent>]) -> Vec<Span> {
@@ -266,6 +294,8 @@ pub fn events_to_spans(events: &[Vec<TraceEvent>]) -> Vec<Span> {
                 bytes: e.bytes,
                 peer: e.peer,
                 tag: e.tag.map(i64::from),
+                seq: e.seq,
+                depth: e.depth,
             });
         }
     }

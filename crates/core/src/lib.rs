@@ -56,7 +56,7 @@ pub use invariants::{oracle_checks_enabled, set_oracle_checks};
 pub use metrics::{Histogram, MetricsSnapshot};
 pub use nonblocking::{RecvRequest, SendRequest};
 pub use persistent::{PersistentRecv, PersistentSend};
-pub use p2p::{RecvStatus, BSEND_OVERHEAD_BYTES, MAX_SEND_ATTEMPTS};
+pub use p2p::{RecvStatus, BSEND_OVERHEAD_BYTES, CHUNK_RING_DEPTH, MAX_SEND_ATTEMPTS};
 pub use rma::{Window, WindowState};
 pub use selector::{
     iov_max_regions, reset_selector_counters, selector_counters, CrossoverTable,

@@ -26,6 +26,12 @@ use crate::trace::EventKind;
 /// Number of per-kind slots in a registry (one per [`EventKind`]).
 pub const N_KINDS: usize = EventKind::COUNT;
 
+/// Version stamp of the metrics JSON document layout. Bumped whenever a
+/// field is renamed, retyped, or removed (additions are compatible);
+/// external consumers should reject documents from a different major
+/// version rather than guessing.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
 /// Fixed-bucket histogram of durations on a log2-nanosecond scale.
 ///
 /// Bucket `i` counts observations in `[2^i, 2^(i+1))` nanoseconds
@@ -247,6 +253,7 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema_version\": {METRICS_SCHEMA_VERSION},");
         let _ = writeln!(s, "  \"ranks\": {},", self.ranks);
         s.push_str("  \"kinds\": {\n");
         let mut first = true;
@@ -409,6 +416,7 @@ mod tests {
         let mut r = MetricsRegistry::new();
         r.record(EventKind::Unpack, 1e-6, 64);
         let j = r.snapshot(FaultStats::default()).to_json();
+        assert!(j.contains(&format!("\"schema_version\": {METRICS_SCHEMA_VERSION}")), "{j}");
         assert!(j.contains("\"unpack\""));
         assert!(!j.contains("\"bsend\""));
         assert!(j.contains("\"plan_cache\""));

@@ -42,7 +42,7 @@ const SEND_BACKOFF_BASE_S: f64 = 2e-6;
 /// Chunks in flight on a pipelined rendezvous: the sender may run this
 /// many chunks ahead of the receiver before its ring push blocks. Depth 2
 /// is enough for full pack/unpack overlap; more only adds memory.
-const CHUNK_RING_DEPTH: usize = 2;
+pub const CHUNK_RING_DEPTH: usize = 2;
 
 /// Per-chunk faults forecast for one send at or above which the transfer
 /// is demoted from the pipelined chunk stream to the monolithic
@@ -689,8 +689,6 @@ impl Comm {
                     cbuf.poison();
                 }
             }
-            let t_now = self.clock.now();
-            self.trace(crate::trace::EventKind::Chunk, t_now, Some(dst), n, Some(tag));
             if let Some(a) = &audit {
                 a.emit(n);
             }
@@ -715,6 +713,19 @@ impl Comm {
                     }
                 }
             }
+            // Traced once the chunk is actually in the ring; the depth
+            // samples the occupancy including this chunk (the receiver may
+            // have drained it already, hence the floor at 1).
+            let t_now = self.clock.now();
+            self.trace_stream(
+                crate::trace::EventKind::Chunk,
+                t_now,
+                Some(dst),
+                n,
+                Some(tag),
+                Some(cidx as u32),
+                Some(chunk_tx.len().max(1) as u32),
+            );
             lo = hi;
             cidx += 1;
         };
@@ -1087,6 +1098,7 @@ impl Comm {
         let mut pos = 0usize;
         let mut carry: Vec<u8> = Vec::new();
         let mut received = 0usize;
+        let mut cseq: u32 = 0;
         let mut out: Result<()> = Ok(());
         'drain: while received < total {
             let cbuf = loop {
@@ -1120,9 +1132,41 @@ impl Comm {
             if let Some(a) = &audit {
                 a.drain(n);
             }
+            // Depth samples the ring occupancy at drain time including
+            // this chunk: 1 = the receiver caught the sender.
+            let ring_depth = rx.len() as u32 + 1;
             let t_now = self.clock.now();
-            self.trace(crate::trace::EventKind::Chunk, t_now, Some(src), n, Some(tag));
+            self.trace_stream(
+                crate::trace::EventKind::Chunk,
+                t_now,
+                Some(src),
+                n,
+                Some(tag),
+                Some(cseq),
+                Some(ring_depth),
+            );
+            let seq = cseq;
+            cseq += 1;
+            // Bytes that detour through the carry buffer (chunk cuts that
+            // fall mid-instance for the receive plan) are traced as a
+            // zero-width Copy so the analyzer can price the extra memcpy;
+            // no virtual time is charged, exactly like the Chunk marker.
+            let trace_carry = |me: &mut Self, carried: usize| {
+                if carried > 0 {
+                    let t = me.clock.now();
+                    me.trace_stream(
+                        crate::trace::EventKind::Copy,
+                        t,
+                        Some(src),
+                        carried,
+                        Some(tag),
+                        Some(seq),
+                        None,
+                    );
+                }
+            };
             let Some(pl) = &plan else { // no plan: assemble, unpack at the end
+                trace_carry(self, cbuf.len());
                 carry.extend_from_slice(&cbuf);
                 continue;
             };
@@ -1145,6 +1189,7 @@ impl Comm {
                     pos = aligned_end;
                 }
             } else {
+                trace_carry(self, take);
                 carry.extend_from_slice(&cbuf[..take]);
                 let hi = pl.align_chunk((pos + carry.len()) as u64) as usize;
                 if hi > pos {

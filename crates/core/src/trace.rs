@@ -132,6 +132,17 @@ pub struct TraceEvent {
     pub bytes: usize,
     /// Message tag, when applicable.
     pub tag: Option<i32>,
+    /// Position in an ordered stream: for [`EventKind::Chunk`] the chunk's
+    /// sequence number within its pipelined transfer (0-based, counted
+    /// independently on the sender and the receiver).
+    pub seq: Option<u32>,
+    /// Chunk-ring occupancy when the event was recorded, **including** the
+    /// chunk the event describes: on the sender, how many chunks sat in
+    /// the ring right after this one was posted; on the receiver, how many
+    /// were available right when this one was drained. A drain depth of 1
+    /// means the receiver caught the sender (no chunk was waiting behind
+    /// this one); a depth at ring capacity means the pipeline was full.
+    pub depth: Option<u32>,
 }
 
 impl TraceEvent {
@@ -361,7 +372,16 @@ mod tests {
     use super::*;
 
     fn ev(kind: EventKind, a: f64, b: f64) -> TraceEvent {
-        TraceEvent { kind, t_start: a, t_end: b, peer: None, bytes: 100, tag: None }
+        TraceEvent {
+            kind,
+            t_start: a,
+            t_end: b,
+            peer: None,
+            bytes: 100,
+            tag: None,
+            seq: None,
+            depth: None,
+        }
     }
 
     #[test]

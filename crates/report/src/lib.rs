@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod asciiplot;
 pub mod csv;
 pub mod heatmap;
@@ -17,6 +18,10 @@ mod svg;
 mod table;
 pub mod traceviz;
 
+pub use analysis::{
+    critical_path, gantt_ascii, gantt_svg, phase_of_name, pipeline_report, CriticalEdge,
+    CriticalPath, PipelineReport,
+};
 pub use series::{PlotSpec, Scale, Series, GLYPHS, PALETTE};
 pub use traceviz::{ascii_spans, chrome_trace_json, Span};
 pub use svg::{legend_group, panel_group, render_figure, render_svg, PanelGeom};

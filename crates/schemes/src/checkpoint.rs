@@ -24,6 +24,48 @@ use nonctg_simnet::{Datapath, PlatformId};
 use crate::scheme::Scheme;
 use crate::sweep::{PointStatus, Sweep, SweepFaults, SweepPoint};
 
+/// Version stamp of the checkpoint schema. Bumped on any incompatible
+/// layout change; a reader confronted with a different version refuses
+/// with [`CheckpointError::VersionMismatch`] instead of misparsing.
+/// Checkpoints without the stamp (written before versioning) read as
+/// version 1.
+pub const CHECKPOINT_SCHEMA_VERSION: u64 = 1;
+
+/// Why a checkpoint could not be read back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint declares a schema version this build cannot read.
+    VersionMismatch {
+        /// Version stamped into the file.
+        found: u64,
+        /// Version this build writes and reads.
+        supported: u64,
+    },
+    /// The document is not a checkpoint this parser understands.
+    Parse(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::VersionMismatch { found, supported } => write!(
+                f,
+                "checkpoint schema version {found} is not supported (this build reads \
+                 version {supported}); re-run without --resume to start fresh"
+            ),
+            CheckpointError::Parse(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<String> for CheckpointError {
+    fn from(msg: String) -> CheckpointError {
+        CheckpointError::Parse(msg)
+    }
+}
+
 fn num(x: f64) -> String {
     if x.is_finite() {
         format!("{x:?}")
@@ -35,7 +77,9 @@ fn num(x: f64) -> String {
 /// Serialize a sweep to checkpoint JSON.
 pub fn to_json(sweep: &Sweep) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"platform\": \"");
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {CHECKPOINT_SCHEMA_VERSION},\n"));
+    out.push_str("  \"platform\": \"");
     out.push_str(sweep.platform.name());
     out.push_str("\",\n  \"points\": [");
     for (i, p) in sweep.points.iter().enumerate() {
@@ -269,7 +313,7 @@ impl<'a> Parser<'a> {
 }
 
 /// Parse checkpoint JSON back into a [`Sweep`].
-pub fn from_json(s: &str) -> Result<Sweep, String> {
+pub fn from_json(s: &str) -> Result<Sweep, CheckpointError> {
     let mut p = Parser::new(s);
     p.expect(b'{')?;
     let mut platform = None;
@@ -280,6 +324,15 @@ pub fn from_json(s: &str) -> Result<Sweep, String> {
         let key = p.string()?;
         p.expect(b':')?;
         match key.as_str() {
+            "schema_version" => {
+                let found = p.counter()?;
+                if found != CHECKPOINT_SCHEMA_VERSION {
+                    return Err(CheckpointError::VersionMismatch {
+                        found,
+                        supported: CHECKPOINT_SCHEMA_VERSION,
+                    });
+                }
+            }
             "platform" => {
                 let v = p.string()?;
                 platform = Some(PlatformId::from_str(&v)?);
@@ -297,18 +350,18 @@ pub fn from_json(s: &str) -> Result<Sweep, String> {
                                 p.i += 1;
                                 break;
                             }
-                            _ => return Err(p.err("expected ',' or ']' in points")),
+                            _ => return Err(p.err("expected ',' or ']' in points").into()),
                         }
                     }
                 }
             }
             "fault_stats" => faults = p.fault_stats()?,
-            other => return Err(p.err(&format!("unknown top-level key '{other}'"))),
+            other => return Err(p.err(&format!("unknown top-level key '{other}'")).into()),
         }
         match p.peek() {
             Some(b',') => p.i += 1,
             Some(b'}') => break,
-            _ => return Err(p.err("expected ',' or '}' at top level")),
+            _ => return Err(p.err("expected ',' or '}' at top level").into()),
         }
     }
     Ok(Sweep {
@@ -409,7 +462,7 @@ mod tests {
             {\"scheme\": \"reference\", \"msg_bytes\": 8, \"time\": 1.0, \
              \"bandwidth\": 8.0, \"slowdown\": 1.0, \"status\": \"ok\", \
              \"selected\": \"warp\"}]}";
-        assert!(from_json(bad).unwrap_err().contains("warp"));
+        assert!(from_json(bad).unwrap_err().to_string().contains("warp"));
     }
 
     /// Points without per-point counters (fault-free, or written by the
@@ -459,6 +512,31 @@ mod tests {
         assert!(from_json("{\"platform\": \"mars\", \"points\": []}").is_err());
         let err = from_json("{\"platform\": \"skx-impi\", \"points\": [{\"bogus\": 1}]}")
             .unwrap_err();
-        assert!(err.contains("bogus"), "{err}");
+        assert!(err.to_string().contains("bogus"), "{err}");
+    }
+
+    /// New checkpoints carry the schema version; checkpoints written
+    /// before versioning (no stamp) still read, and a stamp from a
+    /// different version is a typed rejection, not a parse panic.
+    #[test]
+    fn schema_version_is_written_checked_and_optional() {
+        let json = to_json(&sample());
+        assert!(
+            json.contains(&format!("\"schema_version\": {CHECKPOINT_SCHEMA_VERSION}")),
+            "{json}"
+        );
+        // Unversioned (legacy) checkpoints parse as version 1.
+        let legacy = "{\"platform\": \"skx-impi\", \"points\": []}";
+        assert!(from_json(legacy).is_ok());
+        // A future version is rejected with the typed variant.
+        let future = "{\"schema_version\": 99, \"platform\": \"skx-impi\", \"points\": []}";
+        match from_json(future) {
+            Err(CheckpointError::VersionMismatch { found: 99, supported }) => {
+                assert_eq!(supported, CHECKPOINT_SCHEMA_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        let msg = from_json(future).unwrap_err().to_string();
+        assert!(msg.contains("99") && msg.contains("--resume"), "{msg}");
     }
 }

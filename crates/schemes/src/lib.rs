@@ -27,6 +27,7 @@ pub use pingpong::{
     try_run_scheme_pairs, MeasureError, Observe, ObservedRun, PingPongConfig, PingPongResult,
     PING_TAG, PONG_TAG,
 };
+pub use checkpoint::{CheckpointError, CHECKPOINT_SCHEMA_VERSION};
 pub use scheme::Scheme;
 pub use stats::Stats;
 pub use sweep::{

@@ -325,7 +325,16 @@ mod tests {
     use super::*;
 
     fn ev(kind: EventKind, a: f64, b: f64) -> TraceEvent {
-        TraceEvent { kind, t_start: a, t_end: b, peer: Some(1), bytes: 8, tag: None }
+        TraceEvent {
+            kind,
+            t_start: a,
+            t_end: b,
+            peer: Some(1),
+            bytes: 8,
+            tag: None,
+            seq: None,
+            depth: None,
+        }
     }
 
     #[test]

@@ -224,6 +224,37 @@ pub struct ObservedRun {
     pub metrics: Option<MetricsSnapshot>,
 }
 
+impl ObservedRun {
+    /// Earliest event start and latest event end across every rank's
+    /// trace, or `None` when no events were recorded. This is the
+    /// interval a whole-run critical path must tile.
+    pub fn trace_span(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for e in self.events.iter().flatten() {
+            lo = lo.min(e.t_start);
+            hi = hi.max(e.t_end);
+        }
+        (lo < hi).then_some((lo, hi))
+    }
+
+    /// Virtual elapsed time of the traced run: the width of
+    /// [`ObservedRun::trace_span`] (0.0 without a trace).
+    pub fn trace_elapsed(&self) -> f64 {
+        self.trace_span().map(|(lo, hi)| hi - lo).unwrap_or(0.0)
+    }
+
+    /// `(t_start, t_end)` of one rank's traced activity, or `None` when
+    /// that rank recorded nothing — e.g. the receiver's elapsed window
+    /// for pipeline bubble accounting.
+    pub fn rank_span(&self, rank: usize) -> Option<(f64, f64)> {
+        let evs = self.events.get(rank)?;
+        let lo = evs.iter().map(|e| e.t_start).fold(f64::INFINITY, f64::min);
+        let hi = evs.iter().map(|e| e.t_end).fold(f64::NEG_INFINITY, f64::max);
+        (lo < hi).then_some((lo, hi))
+    }
+}
+
 /// [`try_run_scheme`] with tracing and/or metrics enabled on every rank.
 ///
 /// Virtual-time results are identical to the unobserved run: recording

@@ -283,8 +283,10 @@ impl Sweep {
         checkpoint::to_json(self)
     }
 
-    /// Parse a checkpoint written by [`Sweep::to_checkpoint_json`].
-    pub fn from_checkpoint_json(s: &str) -> Result<Sweep, String> {
+    /// Parse a checkpoint written by [`Sweep::to_checkpoint_json`]. A
+    /// checkpoint stamped with an unsupported schema version is rejected
+    /// with [`checkpoint::CheckpointError::VersionMismatch`].
+    pub fn from_checkpoint_json(s: &str) -> Result<Sweep, checkpoint::CheckpointError> {
         checkpoint::from_json(s)
     }
 

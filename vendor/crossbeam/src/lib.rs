@@ -6,19 +6,22 @@
 //! same bounded-rendezvous behaviour the fabric's reply channels need.
 
 pub mod channel {
-    use std::sync::mpsc;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{mpsc, Arc};
     use std::time::{Duration, Instant};
 
     /// Sending half of a bounded channel.
     #[derive(Debug, Clone)]
     pub struct Sender<T> {
         inner: mpsc::SyncSender<T>,
+        count: Arc<AtomicUsize>,
     }
 
     /// Receiving half of a bounded channel.
     #[derive(Debug)]
     pub struct Receiver<T> {
         inner: mpsc::Receiver<T>,
+        count: Arc<AtomicUsize>,
     }
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
@@ -55,13 +58,37 @@ pub mod channel {
     /// Create a bounded channel with capacity `cap`.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender { inner: tx }, Receiver { inner: rx })
+        let count = Arc::new(AtomicUsize::new(0));
+        (
+            Sender { inner: tx, count: Arc::clone(&count) },
+            Receiver { inner: rx, count },
+        )
     }
 
     impl<T> Sender<T> {
         /// Block until the message is enqueued or the receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            // Count before enqueueing (and roll back on failure): a
+            // receiver can dequeue the instant the message lands, and
+            // its decrement must never precede our increment or the
+            // counter would transiently underflow.
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.inner.send(value).map_err(|mpsc::SendError(v)| {
+                self.count.fetch_sub(1, Ordering::Relaxed);
+                SendError(v)
+            })
+        }
+
+        /// Messages currently buffered (a racy snapshot, like the real
+        /// crossbeam `len`; may briefly overcount by in-flight sends,
+        /// never undercounts below zero).
+        pub fn len(&self) -> usize {
+            self.count.load(Ordering::Relaxed)
+        }
+
+        /// True when no message is buffered (same snapshot caveat).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         /// Block for at most `timeout` trying to enqueue the message.
@@ -76,9 +103,11 @@ pub mod channel {
             let mut value = value;
             let mut spins: u32 = 0;
             loop {
+                self.count.fetch_add(1, Ordering::Relaxed);
                 match self.inner.try_send(value) {
                     Ok(()) => return Ok(()),
                     Err(mpsc::TrySendError::Full(v)) => {
+                        self.count.fetch_sub(1, Ordering::Relaxed);
                         if Instant::now() >= deadline {
                             return Err(SendTimeoutError::Timeout(v));
                         }
@@ -93,6 +122,7 @@ pub mod channel {
                         }
                     }
                     Err(mpsc::TrySendError::Disconnected(v)) => {
+                        self.count.fetch_sub(1, Ordering::Relaxed);
                         return Err(SendTimeoutError::Disconnected(v));
                     }
                 }
@@ -103,23 +133,52 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Block for at most `timeout` waiting for a message.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.inner.recv_timeout(timeout).map_err(|e| match e {
-                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
-                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            self.inner
+                .recv_timeout(timeout)
+                .map(|v| {
+                    self.count.fetch_sub(1, Ordering::Relaxed);
+                    v
+                })
+                .map_err(|e| match e {
+                    mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                    mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+                })
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.inner.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            self.inner
+                .try_recv()
+                .map(|v| {
+                    self.count.fetch_sub(1, Ordering::Relaxed);
+                    v
+                })
+                .map_err(|e| match e {
+                    mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                    mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+                })
         }
 
         /// Block until a message arrives or all senders are gone.
         pub fn recv(&self) -> Result<T, RecvTimeoutError> {
-            self.inner.recv().map_err(|_| RecvTimeoutError::Disconnected)
+            self.inner
+                .recv()
+                .map(|v| {
+                    self.count.fetch_sub(1, Ordering::Relaxed);
+                    v
+                })
+                .map_err(|_| RecvTimeoutError::Disconnected)
+        }
+
+        /// Messages currently buffered (racy snapshot; see
+        /// [`Sender::len`]).
+        pub fn len(&self) -> usize {
+            self.count.load(Ordering::Relaxed)
+        }
+
+        /// True when no message is buffered (same snapshot caveat).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 }
@@ -133,8 +192,24 @@ mod tests {
     fn bounded_roundtrip() {
         let (tx, rx) = bounded(1);
         tx.send(41).unwrap();
+        assert_eq!(tx.len(), 1);
         assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(41));
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (tx, rx) = bounded(2);
+        assert!(tx.is_empty());
+        tx.send(1).unwrap();
+        tx.send_timeout(2, Duration::from_secs(1)).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.len(), 1);
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(tx.len(), 0);
     }
 
     #[test]
