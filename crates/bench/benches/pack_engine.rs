@@ -6,7 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nonctg_datatype::{
-    as_bytes, pack_into, pack_into_uncompiled, pack_threads, ArrayOrder, Datatype, PackPlan,
+    as_bytes, available_tiers, pack_into, pack_into_uncompiled, pack_threads, simd_tier,
+    ArrayOrder, Datatype, PackPlan,
 };
 use std::hint::black_box;
 
@@ -158,6 +159,80 @@ fn bench_pack_threads(c: &mut Criterion) {
     g.finish();
 }
 
+/// The runtime-dispatched kernel tiers head to head through the forced
+/// plan hook, on the shapes the SIMD kernels target: the 8-byte strided
+/// gather, the pshufb struct record, an odd-block (loose-16) vector,
+/// and streaming stores on vs. off at a past-LLC payload.
+fn bench_simd_tiers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simd_tiers");
+    g.sample_size(10);
+
+    let n = 1usize << 17; // 1 MB packed
+    let src: Vec<f64> = (0..2 * n).map(|i| i as f64).collect();
+    let vec_t = Datatype::vector(n, 1, 2, &Datatype::f64()).unwrap();
+    let plan = PackPlan::compile(&vec_t, 1).unwrap();
+    let mut out = vec![0u8; n * 8];
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    for tier in available_tiers() {
+        g.bench_with_input(BenchmarkId::new("strided8_1MB", tier.name()), &tier, |b, &t| {
+            b.iter(|| {
+                plan.pack_into_forced(black_box(as_bytes(&src)), 0, &mut out, 1, t, false)
+                    .unwrap()
+            });
+        });
+    }
+
+    let st_t = Datatype::structure(&[(1, 0, Datatype::i32()), (1, 8, Datatype::f64())]).unwrap();
+    let count = (1usize << 20) / 12;
+    let st_src: Vec<u8> = (0..count * 16).map(|i| i as u8).collect();
+    let st_plan = PackPlan::compile(&st_t, count).unwrap();
+    let mut st_out = vec![0u8; count * 12];
+    g.throughput(Throughput::Bytes((count * 12) as u64));
+    for tier in available_tiers() {
+        g.bench_with_input(BenchmarkId::new("struct_record_1MB", tier.name()), &tier, |b, &t| {
+            b.iter(|| {
+                st_plan.pack_into_forced(black_box(&st_src), 0, &mut st_out, 1, t, false).unwrap()
+            });
+        });
+    }
+
+    // 3-byte blocks at stride 7: the loose-16 overlapping-store kernel.
+    let nb = (1usize << 20) / 3;
+    let loose_t = Datatype::vector(nb, 3, 7, &Datatype::byte()).unwrap();
+    let loose_src: Vec<u8> = (0..nb * 7 + 16).map(|i| i as u8).collect();
+    let loose_plan = PackPlan::compile(&loose_t, 1).unwrap();
+    let mut loose_out = vec![0u8; nb * 3];
+    g.throughput(Throughput::Bytes((nb * 3) as u64));
+    for tier in available_tiers() {
+        g.bench_with_input(BenchmarkId::new("loose3_1MB", tier.name()), &tier, |b, &t| {
+            b.iter(|| {
+                loose_plan
+                    .pack_into_forced(black_box(&loose_src), 0, &mut loose_out, 1, t, false)
+                    .unwrap()
+            });
+        });
+    }
+
+    // Streaming stores on vs. off at 64 MB (past any LLC) on the
+    // process-selected tier; identical on tiers without NT kernels.
+    let nbig = 8usize << 20;
+    let big: Vec<f64> = (0..2 * nbig).map(|i| i as f64).collect();
+    let big_plan = PackPlan::compile(&Datatype::vector(nbig, 1, 2, &Datatype::f64()).unwrap(), 1)
+        .unwrap();
+    let mut big_out = vec![0u8; nbig * 8];
+    g.throughput(Throughput::Bytes((nbig * 8) as u64));
+    for stream in [false, true] {
+        g.bench_function(format!("strided8_64MB_stream_{stream}"), |b| {
+            b.iter(|| {
+                big_plan
+                    .pack_into_forced(black_box(as_bytes(&big)), 0, &mut big_out, 1, simd_tier(), stream)
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_unpack(c: &mut Criterion) {
     let mut g = c.benchmark_group("unpack");
     g.sample_size(20);
@@ -180,6 +255,7 @@ criterion_group!(
     bench_pack_paths,
     bench_plan_vs_uncompiled,
     bench_pack_threads,
+    bench_simd_tiers,
     bench_unpack
 );
 criterion_main!(benches);

@@ -186,6 +186,18 @@ fn main() {
     }
     println!("sharded sweep bit-identical to serial: ok");
 
+    // On a 1-thread host the sharded path degenerates to the caller
+    // running every slice inline, so its overhead over serial must be
+    // noise-level. (Multi-core speedup is asserted in CI, where cores
+    // exist; 0.95 leaves room for timer jitter on shared runners.)
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if host_threads == 1 {
+        assert!(
+            sweep_speedup >= 0.95,
+            "sharded sweep {sweep_speedup:.3}x on a 1-thread host: shard overhead regressed"
+        );
+    }
+
     // -- experiment 3: pack vs iovec crossover, every platform --------
     let mut xover_json = String::new();
     for p in Platform::all() {
@@ -234,7 +246,6 @@ fn main() {
     }
     println!("selector agrees with measured winner at every decisive point: ok");
 
-    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"datapath_baseline\",\n  \"host_threads\": {host_threads},\n  \
          \"pingpong\": {{\"bytes\": {PING_BYTES}, \"reps\": 3, \"monolithic_s\": {mono_s:.6e}, \

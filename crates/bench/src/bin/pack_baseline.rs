@@ -9,13 +9,17 @@
 //! Each entry also carries a roofline attribution: a contiguous memcpy
 //! of the same packed payload is timed alongside, and `roofline_pct`
 //! records what share of that attainable copy bandwidth the gathering
-//! kernel achieved. The document is written through the bench-history
-//! helper, so every run is also appended to `BENCH_history/` (or
-//! `$NONCTG_BENCH_HISTORY`) for the regression sentinel.
+//! kernel achieved. The document also records the selected SIMD kernel
+//! tier and streaming-store threshold, and a `threaded` section timing
+//! the 64 MB strided pack serial vs. `pack_threads()`-wide (the CI
+//! multi-core job asserts that speedup exceeds 1). It is written
+//! through the bench-history helper, so every run is also appended to
+//! `BENCH_history/` (or `$NONCTG_BENCH_HISTORY`) for the regression
+//! sentinel.
 //!
 //! Usage: `pack_baseline [OUT.json]` (default `BENCH_pack.json`).
 
-use nonctg_datatype::{as_bytes, pack_into, pack_size, ArrayOrder, Datatype};
+use nonctg_datatype::{as_bytes, pack_into, pack_size, ArrayOrder, Datatype, PackPlan};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -93,6 +97,54 @@ fn measure(case: &Case, out: &mut [u8]) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Min-of-3 seconds per call of `f` (same protocol as [`measure`]).
+fn measure_fn(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    (0..3)
+        .map(|_| {
+            let mut iters = 1usize;
+            loop {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                let secs = t0.elapsed().as_secs_f64();
+                if secs >= 0.1 || iters >= 1 << 20 {
+                    break secs / iters as f64;
+                }
+                iters = (iters * 2).max((iters as f64 * 1.1 * 0.1 / secs.max(1e-9)) as usize);
+            }
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Serial-vs-threaded comparison on the 64 MB strided shape through the
+/// plan-level API (the public path picks its own thread count); the CI
+/// multi-core job asserts `speedup > 1` under `NONCTG_PACK_THREADS=4`.
+fn threaded_section() -> String {
+    let threads = nonctg_datatype::pack_threads();
+    let case = strided(64 << 20);
+    let packed = pack_size(&case.dtype, case.count).unwrap();
+    let plan = PackPlan::compile(&case.dtype, case.count).expect("strided vector is plannable");
+    let mut out = vec![0u8; packed];
+    let serial_s = measure_fn(|| {
+        black_box(plan.pack_into_with(black_box(&case.src), 0, &mut out, 1).unwrap());
+    });
+    let threaded_s = measure_fn(|| {
+        black_box(plan.pack_into_with(black_box(&case.src), 0, &mut out, threads).unwrap());
+    });
+    let speedup = serial_s / threaded_s;
+    println!(
+        "threaded strided 64MB: serial {serial_s:.3e}s  {threads} threads {threaded_s:.3e}s  \
+         speedup {speedup:.2}x"
+    );
+    format!(
+        "{{\"threads\": {threads}, \"shape\": \"strided\", \"payload\": \"64MB\", \
+         \"serial_s\": {serial_s:.6e}, \"threaded_s\": {threaded_s:.6e}, \
+         \"speedup\": {speedup:.3}}}"
+    )
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pack.json".into());
     let sizes = [("1KB", 1usize << 10), ("1MB", 1 << 20), ("64MB", 64 << 20)];
@@ -126,15 +178,19 @@ fn main() {
         }
     }
 
+    let threaded = threaded_section();
     let cache = nonctg_datatype::cache_stats();
     let json = format!(
-        "{{\n  \"bench\": \"pack_baseline\",\n  \"engine\": \"compiled-plan\",\n  \"threads\": {},\n  \"plan_cache\": {{\"size\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"compile_s\": {:.6e}}},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"pack_baseline\",\n  \"engine\": \"compiled-plan\",\n  \"threads\": {},\n  \"simd\": \"{}\",\n  \"llc_bytes\": {},\n  \"plan_cache\": {{\"size\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"compile_s\": {:.6e}}},\n  \"threaded\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
         nonctg_datatype::pack_threads(),
+        nonctg_datatype::simd_tier().name(),
+        nonctg_datatype::llc_threshold(),
         cache.size,
         cache.hits,
         cache.misses,
         cache.evictions,
         cache.compile_nanos as f64 * 1e-9,
+        threaded,
         entries.join(",\n")
     );
     let hist =

@@ -175,6 +175,13 @@ pub struct GuidelineViolation {
 ///   internal buffer) — the checker reports those as findings.
 /// * `subarray-vs-vector` — subarray and vector describe the same
 ///   layout, so their times must agree within tolerance (both ways).
+/// * `bsend-vs-send` — a buffered send (`Bsend`) of the derived type
+///   adds an attach-buffer staging copy on top of the plain derived
+///   send, so `send ≤ Bsend`: the plain send being slower than its
+///   buffered variant is a violation.
+/// * `packing-e-vs-v` — packing the whole vector with one `Pack` call
+///   cannot be slower than issuing one `Pack` call per element over the
+///   same layout, so `packing(v) ≤ packing(e)`.
 /// * `reference-floor` — no non-contiguous scheme beats the contiguous
 ///   reference send of the same payload.
 ///
@@ -210,6 +217,13 @@ pub fn guideline_violations(sweep: &Sweep, tol: f64) -> Vec<GuidelineViolation> 
         if let (Some(v), Some(s)) = (vec_t, ok_time(Scheme::Subarray, bytes)) {
             check("subarray-vs-vector", bytes, "subarray", s, "vector type", v);
             check("subarray-vs-vector", bytes, "vector type", v, "subarray", s);
+        }
+        if let (Some(v), Some(b)) = (vec_t, ok_time(Scheme::Buffered, bytes)) {
+            check("bsend-vs-send", bytes, "vector type (send)", v, "buffered (bsend)", b);
+        }
+        let pv_t = ok_time(Scheme::PackingVector, bytes);
+        if let (Some(pv), Some(pe)) = (pv_t, ok_time(Scheme::PackingElement, bytes)) {
+            check("packing-e-vs-v", bytes, "packing(v)", pv, "packing(e)", pe);
         }
         if let Some(r) = ok_time(Scheme::Reference, bytes) {
             for scheme in Scheme::NON_CONTIGUOUS {

@@ -7,6 +7,11 @@
 //! derived type goes rendezvous). The acceptance criterion for the
 //! adaptive engine selector is therefore relative: automatic datapath
 //! selection must add no violations over the forced-pack baseline.
+//!
+//! The `bsend-vs-send` and `packing-e-vs-v` pairs, by contrast, hold
+//! unconditionally on quiet sweeps — both sides of each pair share a
+//! protocol at every size, so no window inverts them — and the tests
+//! assert exactly that, plus that doctoring either side is detected.
 
 use nonctg_bench::{guideline_violations, guidelines_csv, GUIDELINE_TOL};
 use nonctg_schemes::{run_sweep, PingPongConfig, Scheme, Sweep, SweepConfig};
@@ -26,8 +31,10 @@ fn cfg() -> SweepConfig {
     SweepConfig {
         schemes: vec![
             Scheme::Reference,
+            Scheme::Buffered,
             Scheme::VectorType,
             Scheme::Subarray,
+            Scheme::PackingElement,
             Scheme::PackingVector,
         ],
         min_bytes: 1 << 10,
@@ -62,6 +69,21 @@ fn quiet_sweeps_obey_guidelines_outside_protocol_windows() {
             assert_ne!(
                 v.guideline, "subarray-vs-vector",
                 "{id:?}: subarray/vector disagreement: {}",
+                v.detail
+            );
+            // Bsend always adds its staging copy on top of the plain
+            // derived send, and per-element packing always issues more
+            // calls than one whole-vector pack, so these orderings hold
+            // at every size on every platform — protocol windows don't
+            // invert them (both sides of each pair share a protocol).
+            assert_ne!(
+                v.guideline, "bsend-vs-send",
+                "{id:?}: plain send slower than bsend: {}",
+                v.detail
+            );
+            assert_ne!(
+                v.guideline, "packing-e-vs-v",
+                "{id:?}: whole-vector pack slower than per-element: {}",
                 v.detail
             );
             let b = v.msg_bytes as u64;
@@ -118,7 +140,7 @@ fn checker_detects_doctored_violations() {
     let platform = quiet(PlatformId::SkxImpi);
     let mut sweep = run_sweep(&platform, &cfg());
     let sizes = sweep.sizes();
-    let (a, b, c) = (sizes[0], sizes[1], sizes[2]);
+    let (a, b, c, d, e) = (sizes[0], sizes[1], sizes[2], sizes[3], sizes[4]);
     for p in &mut sweep.points {
         // Derived type 10x slower than pack+send at size `a`.
         if p.scheme == Scheme::VectorType && p.msg_bytes == a {
@@ -132,6 +154,14 @@ fn checker_detects_doctored_violations() {
         if p.scheme == Scheme::PackingVector && p.msg_bytes == c {
             p.time /= 100.0;
         }
+        // Bsend "beats" the plain derived send at size `d`.
+        if p.scheme == Scheme::Buffered && p.msg_bytes == d {
+            p.time /= 100.0;
+        }
+        // Per-element packing "beats" the whole-vector pack at size `e`.
+        if p.scheme == Scheme::PackingElement && p.msg_bytes == e {
+            p.time /= 100.0;
+        }
     }
     let violations = guideline_violations(&sweep, GUIDELINE_TOL);
     let has = |g: &str, bytes: usize| {
@@ -140,6 +170,8 @@ fn checker_detects_doctored_violations() {
     assert!(has("derived-vs-pack", a), "doctored derived-vs-pack at {a} not detected");
     assert!(has("subarray-vs-vector", b), "doctored subarray mismatch at {b} not detected");
     assert!(has("reference-floor", c), "doctored reference-floor at {c} not detected");
+    assert!(has("bsend-vs-send", d), "doctored bsend-vs-send at {d} not detected");
+    assert!(has("packing-e-vs-v", e), "doctored packing-e-vs-v at {e} not detected");
 
     let csv = guidelines_csv(&sweep, GUIDELINE_TOL);
     let mut lines = csv.lines();

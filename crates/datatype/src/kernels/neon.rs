@@ -1,0 +1,49 @@
+//! aarch64 NEON kernels. Deliberately minimal: the fixed-block scalar
+//! kernels already autovectorize well on aarch64, so this tier only adds
+//! the 16-byte-vector gather for small odd block lengths (the same
+//! overlapping-store scheme as the x86 version; see
+//! `x86::gather_loose16` for the guard proof). aarch64 has no
+//! non-temporal store hint worth special-casing here, so `ex.stream` is
+//! ignored.
+
+use super::scalar;
+use std::arch::aarch64::{vld1q_u8, vst1q_u8};
+
+/// Strided gather dispatch for the NEON tier.
+///
+/// # Safety
+/// Every source byte of every block lies within `src` (plan-level
+/// `validate_user`); vector overreads beyond a block are guarded against
+/// `src.len()` internally.
+pub(crate) unsafe fn gather(src: &[u8], first: i64, stride: i64, bl: usize, out: &mut [u8]) {
+    if bl < 16 && !matches!(bl, 4 | 8) && stride > 0 {
+        let n = out.len() / bl;
+        let total = n * bl;
+        let max_src = if first >= 0 && first as usize + 16 <= src.len() {
+            ((src.len() - 16 - first as usize) as i64 / stride + 1) as usize
+        } else {
+            0
+        };
+        let max_dst = if total >= 16 { (total - 16) / bl + 1 } else { 0 };
+        let m = n.min(max_src).min(max_dst);
+        // SAFETY: loads/stores guarded above; tail repairs the final
+        // store's spill exactly as in the x86 variant.
+        unsafe {
+            let dst = out.as_mut_ptr();
+            for j in 0..m {
+                let v = vld1q_u8(src.as_ptr().add((first + j as i64 * stride) as usize));
+                vst1q_u8(dst.add(j * bl), v);
+            }
+            for j in m..n {
+                std::ptr::copy_nonoverlapping(
+                    src.as_ptr().add((first + j as i64 * stride) as usize),
+                    dst.add(j * bl),
+                    bl,
+                );
+            }
+        }
+        return;
+    }
+    // SAFETY: per contract.
+    unsafe { scalar::gather(src.as_ptr(), first, stride, bl, out) }
+}

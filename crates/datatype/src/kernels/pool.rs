@@ -1,0 +1,222 @@
+//! Persistent pack worker pool.
+//!
+//! The parallel pack path used to spawn fresh `thread::scope` workers on
+//! every call, so thread spawn/join cost (~tens of microseconds) was
+//! paid per pack — enough to erase the parallel win for all but huge
+//! messages. This pool spawns `pack_threads() - 1` workers once, on
+//! first parallel pack, and keeps them parked on a condvar.
+//!
+//! A job is a count of *chunks* plus a closure mapping a chunk index to
+//! work; workers and the submitting caller all claim chunk indices from
+//! a shared atomic counter, so load-balancing is dynamic (a worker stuck
+//! on a slow chunk doesn't strand the rest). Multiple callers (rank
+//! threads packing concurrently) may have jobs queued at once; workers
+//! drain the queue front-first.
+//!
+//! Lifetime safety: the job closure borrows the caller's stack (source
+//! and destination buffers). Its lifetime is erased to put it in the
+//! queue, which is sound because the submitting caller does not return
+//! until every chunk has *finished* (`done == total`), and a worker
+//! whose stale claim sees `next >= total` never touches the closure.
+//! Worker panics are caught per chunk (so `done` always advances — the
+//! caller can't deadlock on a panicked chunk) and re-raised on the
+//! caller's thread after the job completes.
+//!
+//! Under Miri the pool would leak its detached workers, so `cfg(miri)`
+//! builds run every job inline on the caller.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One submitted job: `total` chunks, dispatched through `f`.
+struct Task {
+    /// Lifetime-erased chunk closure; valid until `done == total`, which
+    /// the submitting caller blocks on.
+    f: *const (dyn Fn(usize) + Sync),
+    total: usize,
+    /// Next chunk index to claim (may overshoot `total`).
+    next: AtomicUsize,
+    /// Chunks fully finished (incremented even when the chunk panicked).
+    done: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+// SAFETY: `f` is only dereferenced for chunk indices < total, and the
+// submitting caller keeps the referent alive until done == total (see
+// module docs); the atomics are inherently thread-safe.
+unsafe impl Send for Task {}
+// SAFETY: as above.
+unsafe impl Sync for Task {}
+
+struct Pool {
+    q: Mutex<VecDeque<Arc<Task>>>,
+    /// Signalled when a job is pushed.
+    work: Condvar,
+    /// Signalled when a job completes.
+    idle: Condvar,
+    workers: usize,
+}
+
+fn pool() -> &'static Pool {
+    static P: OnceLock<&'static Pool> = OnceLock::new();
+    P.get_or_init(|| {
+        let workers = if cfg!(miri) { 0 } else { crate::plan::pack_threads().saturating_sub(1) };
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            q: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            workers,
+        }));
+        for _ in 0..workers {
+            // A failed spawn just leaves the pool smaller; jobs still
+            // complete through caller participation.
+            let _ = std::thread::Builder::new()
+                .name("nonctg-pack".into())
+                .spawn(move || worker_loop(pool));
+        }
+        pool
+    })
+}
+
+/// Claim and run chunks of `task` until its counter is exhausted.
+fn run_chunks(pool: &Pool, task: &Arc<Task>) {
+    loop {
+        let i = task.next.fetch_add(1, Ordering::Relaxed);
+        if i >= task.total {
+            // Exhausted: drop it from the queue so workers stop
+            // re-selecting it (it may already be gone).
+            let mut q = pool.q.lock().unwrap();
+            q.retain(|t| t.next.load(Ordering::Relaxed) < t.total);
+            return;
+        }
+        // SAFETY: i < total, so the caller is still blocked in
+        // `run` keeping the closure alive (module-docs argument).
+        let f = unsafe { &*task.f };
+        if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+            task.panicked.store(true, Ordering::Relaxed);
+        }
+        if task.done.fetch_add(1, Ordering::AcqRel) + 1 == task.total {
+            // Last chunk: wake the submitting caller. Taking the queue
+            // lock orders this with the caller's predicate check, so the
+            // wakeup cannot be lost.
+            drop(pool.q.lock().unwrap());
+            pool.idle.notify_all();
+        }
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let task = {
+            let mut q = pool.q.lock().unwrap();
+            loop {
+                if let Some(t) = q.front() {
+                    break t.clone();
+                }
+                q = pool.work.wait(q).unwrap();
+            }
+        };
+        run_chunks(pool, &task);
+    }
+}
+
+/// Run `f(0..total)` across the pool, blocking until every chunk has
+/// finished. The closure may borrow the caller's stack. Panics from
+/// chunks are re-raised here after completion.
+pub(crate) fn run(total: usize, f: &(dyn Fn(usize) + Sync)) {
+    if total == 0 {
+        return;
+    }
+    let pool = pool();
+    if pool.workers == 0 || total == 1 {
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+    // SAFETY: same-layout fat-pointer transmute erasing the borrow's
+    // lifetime. Sound because `run` does not return until done == total,
+    // so the referent outlives every dereference (module-docs argument).
+    let f_erased: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), *const (dyn Fn(usize) + Sync)>(f)
+    };
+    let task = Arc::new(Task {
+        f: f_erased,
+        total,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+    });
+    pool.q.lock().unwrap().push_back(task.clone());
+    pool.work.notify_all();
+    // The caller works too — it would otherwise just block.
+    run_chunks(pool, &task);
+    let mut q = pool.q.lock().unwrap();
+    while task.done.load(Ordering::Acquire) < total {
+        q = pool.idle.wait(q).unwrap();
+    }
+    drop(q);
+    if task.panicked.load(Ordering::Relaxed) {
+        panic!("pack pool chunk panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        run(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_sequential_jobs_complete() {
+        for round in 0..50 {
+            let sum = AtomicUsize::new(0);
+            run(round + 1, &|i| {
+                sum.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), (round + 1) * (round + 2) / 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_submitters_all_complete() {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let sum = AtomicUsize::new(0);
+                    run(64, &|i| {
+                        sum.fetch_add(i, Ordering::Relaxed);
+                    });
+                    assert_eq!(sum.load(Ordering::Relaxed), 63 * 64 / 2);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn chunk_panic_propagates_without_deadlock() {
+        let r = std::panic::catch_unwind(|| {
+            run(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+        // Pool still functional afterwards.
+        let sum = AtomicUsize::new(0);
+        run(8, &|_| {
+            sum.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,281 @@
+//! x86_64 kernels: non-temporal (streaming) gathers for the huge-pack
+//! regime and a 16-byte-vector gather for small odd block lengths.
+//!
+//! Streaming stores (`movnti`/`movntdq`) bypass the cache hierarchy on
+//! the write side. For a pack whose output exceeds the last-level cache,
+//! regular stores trigger read-for-ownership traffic and evict the very
+//! source lines the gather is about to read — the measured 64 MB
+//! strided-pack cliff. NT stores eliminate both effects. Each NT kernel
+//! issues its own `sfence` before returning, so packed data is globally
+//! visible to any thread that later observes the pack's completion.
+//!
+//! Alignment strategy: NT stores require 16/32-byte-aligned
+//! destinations. Destinations here are packed buffers cut at block
+//! boundaries, so the head is aligned with whole-block scalar copies
+//! when the block size allows it (8-byte blocks to 32, 4-byte blocks to
+//! 16); a destination whose address cannot be reached that way falls
+//! back to the scalar tier for this call.
+
+use super::{scalar, Exec, SimdTier};
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+/// Strided gather dispatch for the SSE2/AVX2 tiers. `ex.stream` engages
+/// the non-temporal kernels where block size and destination alignment
+/// permit; otherwise the best cached-store kernel for `bl` runs.
+///
+/// # Safety
+/// Every source byte of every block lies within `src` (plan-level
+/// `validate_user`); vector overreads beyond a block are guarded against
+/// `src.len()` internally.
+pub(crate) unsafe fn gather(
+    ex: Exec,
+    src: &[u8],
+    first: i64,
+    stride: i64,
+    bl: usize,
+    out: &mut [u8],
+) {
+    let dst_addr = out.as_mut_ptr() as usize;
+    if ex.stream {
+        // SAFETY (all arms): per contract; alignment checked here.
+        unsafe {
+            match bl {
+                8 if dst_addr.is_multiple_of(8) => {
+                    if ex.tier == SimdTier::Avx2 {
+                        nt_gather8_avx2(src.as_ptr(), first, stride, out);
+                    } else {
+                        nt_gather8_sse2(src.as_ptr(), first, stride, out);
+                    }
+                    return;
+                }
+                4 if dst_addr.is_multiple_of(4) => {
+                    nt_gather4_sse2(src.as_ptr(), first, stride, out);
+                    return;
+                }
+                _ if bl >= 16 && bl.is_multiple_of(16) && dst_addr.is_multiple_of(16) => {
+                    nt_gather16x_sse2(src.as_ptr(), first, stride, bl, out);
+                    return;
+                }
+                _ => {}
+            }
+        }
+    }
+    if bl < 16 && !matches!(bl, 4 | 8) && stride > 0 {
+        // SAFETY: per contract; overreads guarded inside.
+        unsafe { gather_loose16(src, first, stride, bl, out) };
+        return;
+    }
+    // SAFETY: per contract.
+    unsafe { scalar::gather(src.as_ptr(), first, stride, bl, out) }
+}
+
+/// NT gather of 8-byte blocks, four per 32-byte streaming store.
+/// Caller guarantees `out` is 8-byte aligned; the head is walked with
+/// whole-block scalar copies up to 32-byte alignment.
+///
+/// # Safety
+/// As [`gather`]; additionally requires AVX2 (checked by tier dispatch).
+#[target_feature(enable = "avx2")]
+unsafe fn nt_gather8_avx2(src: *const u8, first: i64, stride: i64, out: &mut [u8]) {
+    let n = out.len() / 8;
+    let mut dst = out.as_mut_ptr();
+    let mut j = 0usize;
+    // SAFETY: whole-block copies within `out` and validated src blocks.
+    unsafe {
+        while !(dst as usize).is_multiple_of(32) && j < n {
+            let p = src.add((first + j as i64 * stride) as usize) as *const u64;
+            (dst as *mut u64).write_unaligned(p.read_unaligned());
+            dst = dst.add(8);
+            j += 1;
+        }
+        // Eight blocks per iteration: the two adjacent 32-byte NT stores
+        // complete a full 64-byte line back-to-back, so the
+        // write-combining buffer closes promptly instead of being flushed
+        // half-full by the interleaved loads.
+        while j + 8 <= n {
+            let at = |k: usize| -> i64 {
+                (src.add((first + (j + k) as i64 * stride) as usize) as *const i64)
+                    .read_unaligned()
+            };
+            // Prefetch a few lines ahead of the read stream. wrapping_add:
+            // the address may run past `src`, which is fine for a prefetch
+            // hint (never faults, never dereferenced).
+            _mm_prefetch(
+                src.wrapping_add((first + (j + 32) as i64 * stride) as usize) as *const i8,
+                _MM_HINT_NTA,
+            );
+            let v0 = _mm256_set_epi64x(at(3), at(2), at(1), at(0));
+            let v1 = _mm256_set_epi64x(at(7), at(6), at(5), at(4));
+            _mm256_stream_si256(dst as *mut __m256i, v0);
+            _mm256_stream_si256(dst.add(32) as *mut __m256i, v1);
+            dst = dst.add(64);
+            j += 8;
+        }
+        while j + 4 <= n {
+            let at = |k: usize| -> i64 {
+                (src.add((first + (j + k) as i64 * stride) as usize) as *const i64)
+                    .read_unaligned()
+            };
+            let v = _mm256_set_epi64x(at(3), at(2), at(1), at(0));
+            _mm256_stream_si256(dst as *mut __m256i, v);
+            dst = dst.add(32);
+            j += 4;
+        }
+        while j < n {
+            let p = src.add((first + j as i64 * stride) as usize) as *const u64;
+            (dst as *mut u64).write_unaligned(p.read_unaligned());
+            dst = dst.add(8);
+            j += 1;
+        }
+        _mm_sfence();
+    }
+}
+
+/// NT gather of 8-byte blocks, two per 16-byte streaming store (SSE2
+/// tier). Caller guarantees `out` is 8-byte aligned.
+///
+/// # Safety
+/// As [`gather`].
+unsafe fn nt_gather8_sse2(src: *const u8, first: i64, stride: i64, out: &mut [u8]) {
+    let n = out.len() / 8;
+    let mut dst = out.as_mut_ptr();
+    let mut j = 0usize;
+    // SAFETY: whole-block copies within `out` and validated src blocks.
+    unsafe {
+        while !(dst as usize).is_multiple_of(16) && j < n {
+            let p = src.add((first + j as i64 * stride) as usize) as *const u64;
+            (dst as *mut u64).write_unaligned(p.read_unaligned());
+            dst = dst.add(8);
+            j += 1;
+        }
+        while j + 2 <= n {
+            let at = |k: usize| -> i64 {
+                (src.add((first + (j + k) as i64 * stride) as usize) as *const i64)
+                    .read_unaligned()
+            };
+            let v = _mm_set_epi64x(at(1), at(0));
+            _mm_stream_si128(dst as *mut __m128i, v);
+            dst = dst.add(16);
+            j += 2;
+        }
+        if j < n {
+            let p = src.add((first + j as i64 * stride) as usize) as *const u64;
+            (dst as *mut u64).write_unaligned(p.read_unaligned());
+        }
+        _mm_sfence();
+    }
+}
+
+/// NT gather of 4-byte blocks, four per 16-byte streaming store.
+/// Caller guarantees `out` is 4-byte aligned.
+///
+/// # Safety
+/// As [`gather`].
+unsafe fn nt_gather4_sse2(src: *const u8, first: i64, stride: i64, out: &mut [u8]) {
+    let n = out.len() / 4;
+    let mut dst = out.as_mut_ptr();
+    let mut j = 0usize;
+    // SAFETY: whole-block copies within `out` and validated src blocks.
+    unsafe {
+        while !(dst as usize).is_multiple_of(16) && j < n {
+            let p = src.add((first + j as i64 * stride) as usize) as *const u32;
+            (dst as *mut u32).write_unaligned(p.read_unaligned());
+            dst = dst.add(4);
+            j += 1;
+        }
+        while j + 4 <= n {
+            let at = |k: usize| -> i32 {
+                (src.add((first + (j + k) as i64 * stride) as usize) as *const i32)
+                    .read_unaligned()
+            };
+            let v = _mm_set_epi32(at(3), at(2), at(1), at(0));
+            _mm_stream_si128(dst as *mut __m128i, v);
+            dst = dst.add(16);
+            j += 4;
+        }
+        while j < n {
+            let p = src.add((first + j as i64 * stride) as usize) as *const u32;
+            (dst as *mut u32).write_unaligned(p.read_unaligned());
+            dst = dst.add(4);
+            j += 1;
+        }
+        _mm_sfence();
+    }
+}
+
+/// NT gather for blocks that are whole multiples of 16 bytes (e.g. the
+/// 512-byte subarray rows): each block streams out as 16-byte chunks.
+/// Caller guarantees `out` is 16-byte aligned, which `bl % 16 == 0`
+/// then preserves block to block.
+///
+/// # Safety
+/// As [`gather`].
+unsafe fn nt_gather16x_sse2(src: *const u8, first: i64, stride: i64, bl: usize, out: &mut [u8]) {
+    let n = out.len() / bl;
+    let mut dst = out.as_mut_ptr();
+    // SAFETY: whole-block copies within `out` and validated src blocks.
+    unsafe {
+        for j in 0..n {
+            let mut p = src.add((first + j as i64 * stride) as usize);
+            for _ in 0..bl / 16 {
+                let v = _mm_loadu_si128(p as *const __m128i);
+                _mm_stream_si128(dst as *mut __m128i, v);
+                p = p.add(16);
+                dst = dst.add(16);
+            }
+        }
+        _mm_sfence();
+    }
+}
+
+/// Gather for small odd block lengths (1..16, excluding the scalar fast
+/// paths 4 and 8): one unaligned 16-byte load + 16-byte store per block.
+/// Consecutive stores overlap by `16 - bl` bytes, but they are issued in
+/// ascending destination order, so each store's first `bl` bytes are
+/// final and the spill is rewritten by the next block. The final spill
+/// is repaired by the scalar tail, which always rewrites at least the
+/// last vector block's trailing bytes.
+///
+/// Vector-eligible count is the minimum of three guards: blocks whose
+/// 16-byte load stays within `src`, blocks whose 16-byte store stays
+/// within the first `n*bl` destination bytes (computed from `n*bl`, not
+/// `out.len()`, so bytes past the last block are never clobbered), and
+/// `n` itself. Everything past that runs scalar.
+///
+/// # Safety
+/// As [`gather`]; requires `stride > 0` and `0 < bl < 16`.
+unsafe fn gather_loose16(src: &[u8], first: i64, stride: i64, bl: usize, out: &mut [u8]) {
+    debug_assert!(stride > 0 && bl > 0 && bl < 16);
+    let n = out.len() / bl;
+    let total = n * bl;
+    // Blocks whose 16-byte source load is in-bounds.
+    let max_src = if first >= 0 && first as usize + 16 <= src.len() {
+        ((src.len() - 16 - first as usize) as i64 / stride + 1) as usize
+    } else {
+        0
+    };
+    // Blocks whose 16-byte destination store stays within `total`.
+    let max_dst = if total >= 16 { (total - 16) / bl + 1 } else { 0 };
+    let m = n.min(max_src).min(max_dst);
+    // SAFETY: loads/stores guarded above; `out` exclusive.
+    unsafe {
+        let dst = out.as_mut_ptr();
+        for j in 0..m {
+            let v = _mm_loadu_si128(src.as_ptr().add((first + j as i64 * stride) as usize)
+                as *const __m128i);
+            _mm_storeu_si128(dst.add(j * bl) as *mut __m128i, v);
+        }
+        // Scalar tail. It also repairs the last vector store's spill:
+        // max_dst guarantees (m-1)*bl + 16 <= n*bl, and with bl < 16
+        // that forces m < n, so the tail always runs and rewrites every
+        // spilled byte in [m*bl, (m-1)*bl + 16).
+        for j in m..n {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr().add((first + j as i64 * stride) as usize),
+                dst.add(j * bl),
+                bl,
+            );
+        }
+    }
+}

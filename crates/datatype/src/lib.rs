@@ -38,12 +38,17 @@ mod primitive;
 mod segiter;
 mod signature;
 
+pub mod kernels;
 pub mod normalize;
 pub mod oracle;
 pub mod pack;
 pub mod plan;
 
 pub use error::{DatatypeError, Result};
+pub use kernels::{
+    available_tiers, detected_tier, gather_checked, llc_threshold, scatter_checked, simd_tier,
+    RecordField, RecordKernel, SimdTier,
+};
 pub use node::{ArrayOrder, Block, Datatype, Kind, StructField};
 pub use pack::{
     pack, pack_into, pack_into_serial, pack_into_uncompiled, pack_size, pack_with_position,

@@ -7,24 +7,30 @@
 //! strided descriptor for runs of equal-length blocks, plain copies for
 //! the rest — plus instance-tiling metadata `(count, extent)` so a plan
 //! for `(datatype, count)` stays O(segments-per-instance) in memory no
-//! matter how large `count` is. Execution dispatches unrolled fixed-block
-//! kernels for block lengths {4, 8, 16, 32, 64} and a generic coalesced
-//! kernel otherwise.
+//! matter how large `count` is. Execution hands each op to the
+//! runtime-dispatched kernel tier in [`crate::kernels`] (AVX2/SSE2/NEON/
+//! scalar, selected once per process, `NONCTG_SIMD` to override), which
+//! also supplies non-temporal streaming stores for packs larger than the
+//! last-level cache and a `pshufb` record-transpose kernel for small
+//! all-`Copy` struct plans.
 //!
 //! Plans for committed types live behind a bounded LRU cache keyed by
 //! [`Datatype::type_id`] (see [`plan_for`]), so the sweep's
 //! commit-once-pack-repeatedly pattern never re-walks the tree.
 //!
 //! Payloads at or above [`parallel_threshold`] bytes are partitioned at
-//! segment boundaries and packed by scoped worker threads into disjoint
-//! destination slices. This is a pure **wall-clock** optimization: the
-//! virtual-time cost model in `core::packbuf` / `simnet::cost` charges for
-//! packed bytes exactly as before and is unaffected by the thread count.
+//! segment boundaries into chunks claimed dynamically by the persistent
+//! worker pool in `kernels::pool` (plus the calling thread), each writing
+//! a disjoint destination slice. This is a pure **wall-clock**
+//! optimization: the virtual-time cost model in `core::packbuf` /
+//! `simnet::cost` charges for packed bytes exactly as before and is
+//! unaffected by the thread count or kernel tier.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::error::{DatatypeError, Result};
+use crate::kernels::{self, Exec, RecordField, RecordKernel, SimdTier};
 use crate::node::Datatype;
 use crate::pack::{strided_form, Strided};
 use crate::segiter::SegIter;
@@ -85,6 +91,10 @@ pub struct PackPlan {
     /// buffer, making partitioned parallel *unpack* safe. Parallel pack is
     /// always safe (workers write disjoint packed slices).
     par_safe: bool,
+    /// Whole-instance transpose kernel, compiled when the plan is a
+    /// small all-`Copy` record (interleaved struct); lifts the
+    /// per-instance op-walk overhead that floors struct pack bandwidth.
+    record: Option<RecordKernel>,
 }
 
 /// Accumulates blocks into a canonical op program.
@@ -226,6 +236,27 @@ impl Builder {
         // instance's true span fits within the extent.
         let span_fits = self.hi.checked_sub(self.lo)? <= extent;
         let par_safe = self.par_safe && (count <= 1 || span_fits);
+        // Small all-`Copy` multi-instance plans (interleaved structs)
+        // additionally compile to a whole-instance record kernel.
+        let record = if count > 1
+            && extent > 0
+            && inst_size <= RecordKernel::MAX_INST as u64
+            && self.ops.len() <= RecordKernel::MAX_FIELDS
+        {
+            self.ops
+                .iter()
+                .zip(dst_off.iter())
+                .map(|(op, &d)| match *op {
+                    PlanOp::Copy { src, len } => {
+                        Some(RecordField { src, dst: d as u32, len: len as u32 })
+                    }
+                    PlanOp::Strided { .. } => None,
+                })
+                .collect::<Option<Vec<_>>>()
+                .and_then(|fields| RecordKernel::new(fields, inst_size as usize, extent))
+        } else {
+            None
+        };
         Some(PackPlan {
             ops: self.ops,
             dst_off,
@@ -235,6 +266,7 @@ impl Builder {
             user_lo: self.lo,
             user_hi: self.hi,
             par_safe,
+            record,
         })
     }
 }
@@ -259,6 +291,7 @@ impl PackPlan {
                 user_lo: 0,
                 user_hi: 0,
                 par_safe: true,
+                record: None,
             });
         }
         let extent = dtype.ub().checked_sub(dtype.lb())?;
@@ -390,6 +423,34 @@ impl PackPlan {
         dst: &mut [u8],
         threads: usize,
     ) -> Result<usize> {
+        self.pack_into_exec(src, origin, dst, threads, Exec::for_pack(self.packed_len()))
+    }
+
+    /// [`Self::pack_into_with`] under an explicit kernel tier and
+    /// streaming-store choice, bypassing the process-wide `NONCTG_SIMD`
+    /// selection — the hook the differential tests use to prove every
+    /// tier packs byte-identically.
+    pub fn pack_into_forced(
+        &self,
+        src: &[u8],
+        origin: usize,
+        dst: &mut [u8],
+        threads: usize,
+        tier: SimdTier,
+        stream: bool,
+    ) -> Result<usize> {
+        let ex = Exec { tier, stream: stream && tier.has_streaming() };
+        self.pack_into_exec(src, origin, dst, threads, ex)
+    }
+
+    fn pack_into_exec(
+        &self,
+        src: &[u8],
+        origin: usize,
+        dst: &mut [u8],
+        threads: usize,
+        ex: Exec,
+    ) -> Result<usize> {
         let total = self.packed_len();
         if dst.len() < total {
             return Err(DatatypeError::BufferTooSmall { needed: total, available: dst.len() });
@@ -399,24 +460,23 @@ impl PackPlan {
         }
         self.validate_user(src.len(), origin)?;
         let dst = &mut dst[..total];
-        let cuts = self.split_points(threads);
+        let cuts = self.split_points(chunk_parts(threads));
         if cuts.len() <= 2 {
             // SAFETY: `validate_user` succeeded above, so every plan block
             // lies within `src`.
-            unsafe { self.pack_range(src, origin as i64, dst, 0, total as u64) };
+            unsafe { self.pack_range(src, origin as i64, dst, 0, total as u64, ex) };
             return Ok(total);
         }
-        std::thread::scope(|scope| {
-            let mut rest = dst;
-            for w in cuts.windows(2) {
-                let (lo, hi) = (w[0], w[1]);
-                let (chunk, tail) = rest.split_at_mut((hi - lo) as usize);
-                rest = tail;
-                // SAFETY: as the sequential branch; reads may overlap
-                // between workers but each writes a disjoint `chunk`.
-                scope.spawn(move || unsafe {
-                    self.pack_range(src, origin as i64, chunk, lo, hi)
-                });
+        let base = SendPtr(dst.as_mut_ptr());
+        kernels::pool::run(cuts.len() - 1, &|k| {
+            let (lo, hi) = (cuts[k], cuts[k + 1]);
+            // SAFETY: chunk windows are disjoint, so each pool worker
+            // writes a disjoint slice of `dst`; reads of `src` may
+            // overlap. Bounds per `validate_user` above.
+            unsafe {
+                let chunk =
+                    std::slice::from_raw_parts_mut(base.get().add(lo as usize), (hi - lo) as usize);
+                self.pack_range(src, origin as i64, chunk, lo, hi, ex);
             }
         });
         Ok(total)
@@ -439,6 +499,30 @@ impl PackPlan {
         origin: usize,
         threads: usize,
     ) -> Result<usize> {
+        self.unpack_from_exec(packed, dst, origin, threads, Exec::no_stream(kernels::simd_tier()))
+    }
+
+    /// [`Self::unpack_from_with`] under an explicit kernel tier (scatter
+    /// never streams); the differential-test hook for the unpack side.
+    pub fn unpack_from_forced(
+        &self,
+        packed: &[u8],
+        dst: &mut [u8],
+        origin: usize,
+        threads: usize,
+        tier: SimdTier,
+    ) -> Result<usize> {
+        self.unpack_from_exec(packed, dst, origin, threads, Exec::no_stream(tier))
+    }
+
+    fn unpack_from_exec(
+        &self,
+        packed: &[u8],
+        dst: &mut [u8],
+        origin: usize,
+        threads: usize,
+        ex: Exec,
+    ) -> Result<usize> {
         let total = self.packed_len();
         if packed.len() < total {
             return Err(DatatypeError::BufferTooSmall { needed: total, available: packed.len() });
@@ -449,32 +533,30 @@ impl PackPlan {
         self.validate_user(dst.len(), origin)?;
         let packed = &packed[..total];
         let threads = if self.par_safe { threads } else { 1 };
-        let cuts = self.split_points(threads);
+        let cuts = self.split_points(chunk_parts(threads));
         if cuts.len() <= 2 {
             // SAFETY: exclusive access via `&mut dst`; all offsets were
             // validated against `dst.len()` above.
-            unsafe { self.unpack_range(packed, dst.as_mut_ptr(), origin as i64, 0, total as u64) };
+            unsafe {
+                self.unpack_range(packed, dst.as_mut_ptr(), origin as i64, 0, total as u64, ex)
+            };
             return Ok(total);
         }
         let base = SendPtr(dst.as_mut_ptr());
-        std::thread::scope(|scope| {
-            for w in cuts.windows(2) {
-                let (lo, hi) = (w[0], w[1]);
-                let p = base;
-                scope.spawn(move || {
-                    // SAFETY: `par_safe` (checked above) guarantees distinct
-                    // packed ranges scatter to pairwise-disjoint user bytes,
-                    // so concurrent writes never alias; bounds validated.
-                    unsafe {
-                        self.unpack_range(
-                            &packed[lo as usize..hi as usize],
-                            p.get(),
-                            origin as i64,
-                            lo,
-                            hi,
-                        )
-                    }
-                });
+        kernels::pool::run(cuts.len() - 1, &|k| {
+            let (lo, hi) = (cuts[k], cuts[k + 1]);
+            // SAFETY: `par_safe` (checked above) guarantees distinct
+            // packed ranges scatter to pairwise-disjoint user bytes,
+            // so concurrent writes never alias; bounds validated.
+            unsafe {
+                self.unpack_range(
+                    &packed[lo as usize..hi as usize],
+                    base.get(),
+                    origin as i64,
+                    lo,
+                    hi,
+                    ex,
+                )
             }
         });
         Ok(total)
@@ -552,24 +634,25 @@ impl PackPlan {
         }
         self.validate_user(src.len(), origin)?;
         let dst = &mut dst[..n];
-        let cuts = self.split_range(lo, hi, threads);
+        let ex = Exec::for_pack(n);
+        let cuts = self.split_range(lo, hi, chunk_parts(threads));
         if cuts.len() <= 2 {
             // SAFETY: `validate_user` succeeded above, so every plan block
             // lies within `src`; bounds are block-aligned per check_range.
-            unsafe { self.pack_range(src, origin as i64, dst, lo, hi) };
+            unsafe { self.pack_range(src, origin as i64, dst, lo, hi, ex) };
             return Ok(n);
         }
-        std::thread::scope(|scope| {
-            let mut rest = dst;
-            for w in cuts.windows(2) {
-                let (l, h) = (w[0], w[1]);
-                let (chunk, tail) = rest.split_at_mut((h - l) as usize);
-                rest = tail;
-                // SAFETY: as the sequential branch; each worker writes a
-                // disjoint `chunk`.
-                scope.spawn(move || unsafe {
-                    self.pack_range(src, origin as i64, chunk, l, h)
-                });
+        let base = SendPtr(dst.as_mut_ptr());
+        kernels::pool::run(cuts.len() - 1, &|k| {
+            let (l, h) = (cuts[k], cuts[k + 1]);
+            // SAFETY: as the sequential branch; each pool worker writes a
+            // disjoint slice of `dst`.
+            unsafe {
+                let chunk = std::slice::from_raw_parts_mut(
+                    base.get().add((l - lo) as usize),
+                    (h - l) as usize,
+                );
+                self.pack_range(src, origin as i64, chunk, l, h, ex);
             }
         });
         Ok(n)
@@ -597,22 +680,23 @@ impl PackPlan {
             return Ok(0);
         }
         self.validate_user(dst.len(), origin)?;
+        let ex = Exec::no_stream(kernels::simd_tier());
         // SAFETY: exclusive access via `&mut dst`; all offsets validated
         // against `dst.len()` above; bounds block-aligned per check_range.
-        unsafe { self.unpack_range(&packed[..n], dst.as_mut_ptr(), origin as i64, lo, hi) };
+        unsafe { self.unpack_range(&packed[..n], dst.as_mut_ptr(), origin as i64, lo, hi, ex) };
         Ok(n)
     }
 
-    /// Packed-byte positions to cut the message at for `threads` workers:
+    /// Packed-byte positions to cut the message at for `parts` chunks:
     /// evenly spaced targets rounded down to segment boundaries.
-    fn split_points(&self, threads: usize) -> Vec<u64> {
-        self.split_range(0, self.packed_len() as u64, threads)
+    fn split_points(&self, parts: usize) -> Vec<u64> {
+        self.split_range(0, self.packed_len() as u64, parts)
     }
 
     /// As [`Self::split_points`], but over the sub-range `[lo, hi)` (whose
     /// bounds must themselves be aligned).
-    fn split_range(&self, lo: u64, hi: u64, threads: usize) -> Vec<u64> {
-        let parts = threads.clamp(1, 64) as u64;
+    fn split_range(&self, lo: u64, hi: u64, parts: usize) -> Vec<u64> {
+        let parts = parts.clamp(1, 256) as u64;
         let mut cuts = vec![lo];
         for k in 1..parts {
             let target = lo + (((hi - lo) as u128 * k as u128) / parts as u128) as u64;
@@ -652,7 +736,7 @@ impl PackPlan {
     /// # Safety
     /// Caller must have run [`Self::validate_user`] against this `src`
     /// length and `origin`: the kernels elide per-block bounds checks.
-    unsafe fn pack_range(&self, src: &[u8], origin: i64, dst: &mut [u8], lo: u64, hi: u64) {
+    unsafe fn pack_range(&self, src: &[u8], origin: i64, dst: &mut [u8], lo: u64, hi: u64, ex: Exec) {
         debug_assert_eq!(dst.len() as u64, hi - lo);
         let mut out = dst;
         let mut pos = lo;
@@ -664,25 +748,43 @@ impl PackPlan {
             let base = origin + inst as i64 * self.extent;
             let (chunk, rest) = out.split_at_mut((seg_hi - pos) as usize);
             // SAFETY: forwarded caller contract.
-            unsafe { self.pack_instance_range(src, base, chunk, pos - inst_lo, seg_hi - inst_lo) };
+            unsafe {
+                self.pack_instance_range(src, base, chunk, pos - inst_lo, seg_hi - inst_lo, ex)
+            };
             out = rest;
             pos = seg_hi;
         }
-        // Whole instances: straight op walk, no searches, no clamping.
-        while pos + self.inst_size <= hi {
-            let base = origin + (pos / self.inst_size) as i64 * self.extent;
-            let (chunk, rest) = out.split_at_mut(self.inst_size as usize);
-            // SAFETY: forwarded caller contract.
-            unsafe { self.pack_instance_full(src, base, chunk) };
-            out = rest;
-            pos += self.inst_size;
+        // Whole instances.
+        let whole = (hi - pos) / self.inst_size;
+        if whole > 0 {
+            if let Some(rk) = record_for(self, ex) {
+                // Record plans transpose every whole instance in one
+                // kernel call: no per-instance op walk or slicing.
+                let nbytes = (whole * self.inst_size) as usize;
+                let (chunk, rest) = out.split_at_mut(nbytes);
+                let base = origin + (pos / self.inst_size) as i64 * self.extent;
+                // SAFETY: forwarded caller contract.
+                unsafe { rk.gather(ex, src, base, whole as usize, chunk) };
+                out = rest;
+                pos += whole * self.inst_size;
+            } else {
+                // Straight op walk, no searches, no clamping.
+                while pos + self.inst_size <= hi {
+                    let base = origin + (pos / self.inst_size) as i64 * self.extent;
+                    let (chunk, rest) = out.split_at_mut(self.inst_size as usize);
+                    // SAFETY: forwarded caller contract.
+                    unsafe { self.pack_instance_full(src, base, chunk, ex) };
+                    out = rest;
+                    pos += self.inst_size;
+                }
+            }
         }
         // Partial tail instance.
         if pos < hi {
             let inst = pos / self.inst_size;
             let base = origin + inst as i64 * self.extent;
             // SAFETY: forwarded caller contract.
-            unsafe { self.pack_instance_range(src, base, out, 0, hi - inst * self.inst_size) };
+            unsafe { self.pack_instance_range(src, base, out, 0, hi - inst * self.inst_size, ex) };
         }
     }
 
@@ -690,7 +792,7 @@ impl PackPlan {
     ///
     /// # Safety
     /// As [`Self::pack_range`].
-    unsafe fn pack_instance_full(&self, src: &[u8], base: i64, out: &mut [u8]) {
+    unsafe fn pack_instance_full(&self, src: &[u8], base: i64, out: &mut [u8], ex: Exec) {
         let mut out = out;
         for (i, op) in self.ops.iter().enumerate() {
             let n = (self.dst_off[i + 1] - self.dst_off[i]) as usize;
@@ -698,10 +800,10 @@ impl PackPlan {
             // SAFETY (both arms): every block was validated in-bounds.
             match *op {
                 PlanOp::Copy { src: s, .. } => unsafe {
-                    copy_run(src.as_ptr().add((base + s) as usize), chunk.as_mut_ptr(), n);
+                    kernels::copy_run(src.as_ptr().add((base + s) as usize), chunk.as_mut_ptr(), n);
                 },
                 PlanOp::Strided { base: b, block_len, stride, .. } => unsafe {
-                    gather_blocks(src.as_ptr(), base + b, stride, block_len as usize, chunk);
+                    kernels::gather_blocks(ex, src, base + b, stride, block_len as usize, chunk);
                 },
             }
             out = rest;
@@ -713,7 +815,15 @@ impl PackPlan {
     ///
     /// # Safety
     /// As [`Self::pack_range`].
-    unsafe fn pack_instance_range(&self, src: &[u8], base: i64, out: &mut [u8], ilo: u64, ihi: u64) {
+    unsafe fn pack_instance_range(
+        &self,
+        src: &[u8],
+        base: i64,
+        out: &mut [u8],
+        ilo: u64,
+        ihi: u64,
+        ex: Exec,
+    ) {
         let mut i = match self.dst_off.binary_search(&ilo) {
             Ok(i) => i,
             Err(i) => i - 1,
@@ -729,13 +839,15 @@ impl PackPlan {
             match self.ops[i] {
                 PlanOp::Copy { src: s, .. } => {
                     let from = (base + s) as usize + (pos - op_lo) as usize;
-                    unsafe { copy_run(src.as_ptr().add(from), chunk.as_mut_ptr(), n) };
+                    unsafe { kernels::copy_run(src.as_ptr().add(from), chunk.as_mut_ptr(), n) };
                 }
                 PlanOp::Strided { base: b, block_len, stride, .. } => {
                     // Cuts are block-aligned, so this range is whole blocks.
                     let j0 = (pos - op_lo) / block_len;
                     let first = base + b + j0 as i64 * stride;
-                    unsafe { gather_blocks(src.as_ptr(), first, stride, block_len as usize, chunk) };
+                    unsafe {
+                        kernels::gather_blocks(ex, src, first, stride, block_len as usize, chunk)
+                    };
                 }
             }
             out = rest;
@@ -751,7 +863,15 @@ impl PackPlan {
     /// Caller guarantees every scattered byte lies within the allocation
     /// at `dst` (validated against the buffer length) and that no other
     /// thread concurrently writes any byte this range touches.
-    unsafe fn unpack_range(&self, packed: &[u8], dst: *mut u8, origin: i64, lo: u64, hi: u64) {
+    unsafe fn unpack_range(
+        &self,
+        packed: &[u8],
+        dst: *mut u8,
+        origin: i64,
+        lo: u64,
+        hi: u64,
+        ex: Exec,
+    ) {
         debug_assert_eq!(packed.len() as u64, hi - lo);
         let mut input = packed;
         let mut pos = lo;
@@ -763,25 +883,41 @@ impl PackPlan {
             let base = origin + inst as i64 * self.extent;
             let (chunk, rest) = input.split_at((seg_hi - pos) as usize);
             // SAFETY: forwarded caller contract.
-            unsafe { self.unpack_instance_range(chunk, dst, base, pos - inst_lo, seg_hi - inst_lo) };
+            unsafe {
+                self.unpack_instance_range(chunk, dst, base, pos - inst_lo, seg_hi - inst_lo, ex)
+            };
             input = rest;
             pos = seg_hi;
         }
-        // Whole instances: straight op walk, no searches, no clamping.
-        while pos + self.inst_size <= hi {
-            let base = origin + (pos / self.inst_size) as i64 * self.extent;
-            let (chunk, rest) = input.split_at(self.inst_size as usize);
-            // SAFETY: forwarded caller contract.
-            unsafe { self.unpack_instance_full(chunk, dst, base) };
-            input = rest;
-            pos += self.inst_size;
+        // Whole instances.
+        let whole = (hi - pos) / self.inst_size;
+        if whole > 0 {
+            if let Some(rk) = record_for(self, ex) {
+                let nbytes = (whole * self.inst_size) as usize;
+                let (chunk, rest) = input.split_at(nbytes);
+                let base = origin + (pos / self.inst_size) as i64 * self.extent;
+                // SAFETY: forwarded caller contract.
+                unsafe { rk.scatter(chunk, dst, base, whole as usize) };
+                input = rest;
+                pos += whole * self.inst_size;
+            } else {
+                // Straight op walk, no searches, no clamping.
+                while pos + self.inst_size <= hi {
+                    let base = origin + (pos / self.inst_size) as i64 * self.extent;
+                    let (chunk, rest) = input.split_at(self.inst_size as usize);
+                    // SAFETY: forwarded caller contract.
+                    unsafe { self.unpack_instance_full(chunk, dst, base, ex) };
+                    input = rest;
+                    pos += self.inst_size;
+                }
+            }
         }
         // Partial tail instance.
         if pos < hi {
             let inst = pos / self.inst_size;
             let base = origin + inst as i64 * self.extent;
             // SAFETY: forwarded caller contract.
-            unsafe { self.unpack_instance_range(input, dst, base, 0, hi - inst * self.inst_size) };
+            unsafe { self.unpack_instance_range(input, dst, base, 0, hi - inst * self.inst_size, ex) };
         }
     }
 
@@ -789,7 +925,7 @@ impl PackPlan {
     ///
     /// # Safety
     /// As [`Self::unpack_range`].
-    unsafe fn unpack_instance_full(&self, input: &[u8], dst: *mut u8, base: i64) {
+    unsafe fn unpack_instance_full(&self, input: &[u8], dst: *mut u8, base: i64, ex: Exec) {
         let mut input = input;
         for (i, op) in self.ops.iter().enumerate() {
             let n = (self.dst_off[i + 1] - self.dst_off[i]) as usize;
@@ -798,10 +934,10 @@ impl PackPlan {
             // dst allocations are distinct.
             match *op {
                 PlanOp::Copy { src: s, .. } => unsafe {
-                    copy_run(chunk.as_ptr(), dst.add((base + s) as usize), n);
+                    kernels::copy_run(chunk.as_ptr(), dst.add((base + s) as usize), n);
                 },
                 PlanOp::Strided { base: b, block_len, stride, .. } => unsafe {
-                    scatter_blocks(chunk, dst, base + b, stride, block_len as usize);
+                    kernels::scatter_blocks(ex, chunk, dst, base + b, stride, block_len as usize);
                 },
             }
             input = rest;
@@ -819,6 +955,7 @@ impl PackPlan {
         base: i64,
         ilo: u64,
         ihi: u64,
+        ex: Exec,
     ) {
         let mut i = match self.dst_off.binary_search(&ilo) {
             Ok(i) => i,
@@ -836,14 +973,16 @@ impl PackPlan {
                     let to = (base + s) as usize + (pos - op_lo) as usize;
                     // SAFETY: in-bounds per caller contract; src and dst
                     // allocations are distinct.
-                    unsafe { copy_run(chunk.as_ptr(), dst.add(to), n) };
+                    unsafe { kernels::copy_run(chunk.as_ptr(), dst.add(to), n) };
                 }
                 PlanOp::Strided { base: b, block_len, stride, .. } => {
                     let j0 = (pos - op_lo) / block_len;
                     let first = base + b + j0 as i64 * stride;
                     // SAFETY: as above; blocks within one op are disjoint
                     // (uniform stride) and cuts are block-aligned.
-                    unsafe { scatter_blocks(chunk, dst, first, stride, block_len as usize) };
+                    unsafe {
+                        kernels::scatter_blocks(ex, chunk, dst, first, stride, block_len as usize)
+                    };
                 }
             }
             input = rest;
@@ -853,12 +992,14 @@ impl PackPlan {
     }
 }
 
-/// A raw pointer that may cross scoped-thread boundaries. Safety of the
-/// writes it enables is argued at each spawn site.
+/// A raw pointer that may cross pool/worker-thread boundaries. Safety of
+/// the writes it enables is argued at each submission site.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut u8);
-// SAFETY: sending the address is safe; dereferences justify themselves.
+// SAFETY: sharing the address is safe; dereferences justify themselves.
 unsafe impl Send for SendPtr {}
+// SAFETY: as above — pool chunk closures capture it by shared reference.
+unsafe impl Sync for SendPtr {}
 
 impl SendPtr {
     /// Accessor (rather than field access) so closures capture the whole
@@ -868,96 +1009,25 @@ impl SendPtr {
     }
 }
 
-/// memcpy with small constant-size fast paths: the tiny runs common in
-/// struct plans compile to one or two moves instead of a libcall.
-///
-/// # Safety
-/// `n` bytes readable at `src`, writable at `dst`, non-overlapping.
+/// The plan's record kernel, when the execution context lets it run
+/// (`NONCTG_SIMD=off` disables the whole kernel layer, including this).
 #[inline]
-unsafe fn copy_run(src: *const u8, dst: *mut u8, n: usize) {
-    use std::ptr::copy_nonoverlapping as cp;
-    // SAFETY: per contract; the match only pins `n` to a constant.
-    unsafe {
-        match n {
-            1 => cp(src, dst, 1),
-            2 => cp(src, dst, 2),
-            4 => cp(src, dst, 4),
-            8 => cp(src, dst, 8),
-            12 => cp(src, dst, 12),
-            16 => cp(src, dst, 16),
-            _ => cp(src, dst, n),
-        }
+fn record_for(plan: &PackPlan, ex: Exec) -> Option<&RecordKernel> {
+    if ex.tier == SimdTier::Off {
+        None
+    } else {
+        plan.record.as_ref()
     }
 }
 
-/// Gather whole blocks of `bl` bytes at constant `stride` starting at
-/// byte `first` of `src` into `out` (whose length selects the count).
-///
-/// # Safety
-/// Every source byte must lie within the allocation at `src` — callers
-/// rely on the plan-level `validate_user` hull check.
-unsafe fn gather_blocks(src: *const u8, first: i64, stride: i64, bl: usize, out: &mut [u8]) {
-    // SAFETY: per contract.
-    unsafe {
-        match bl {
-            4 => gather_fixed::<4>(src, first, stride, out),
-            8 => gather_fixed::<8>(src, first, stride, out),
-            16 => gather_fixed::<16>(src, first, stride, out),
-            32 => gather_fixed::<32>(src, first, stride, out),
-            64 => gather_fixed::<64>(src, first, stride, out),
-            _ => {
-                for (j, chunk) in out.chunks_exact_mut(bl).enumerate() {
-                    let off = first + j as i64 * stride;
-                    std::ptr::copy_nonoverlapping(src.add(off as usize), chunk.as_mut_ptr(), bl);
-                }
-            }
-        }
-    }
-}
-
-/// Fixed-block gather: the constant length lets the compiler emit
-/// straight-line (vectorized) copies per block.
-///
-/// # Safety
-/// See [`gather_blocks`].
-unsafe fn gather_fixed<const BL: usize>(src: *const u8, first: i64, stride: i64, out: &mut [u8]) {
-    for (j, chunk) in out.chunks_exact_mut(BL).enumerate() {
-        let off = first + j as i64 * stride;
-        // SAFETY: per gather_blocks contract.
-        unsafe { std::ptr::copy_nonoverlapping(src.add(off as usize), chunk.as_mut_ptr(), BL) };
-    }
-}
-
-/// Scatter whole blocks of `bl` bytes from `input` to constant-stride
-/// positions starting at absolute byte `first`.
-///
-/// # Safety
-/// Every target byte must lie within the allocation at `dst`, and no
-/// other thread may concurrently write those bytes.
-unsafe fn scatter_blocks(input: &[u8], dst: *mut u8, first: i64, stride: i64, bl: usize) {
-    unsafe {
-        match bl {
-            4 => scatter_fixed::<4>(input, dst, first, stride),
-            8 => scatter_fixed::<8>(input, dst, first, stride),
-            16 => scatter_fixed::<16>(input, dst, first, stride),
-            32 => scatter_fixed::<32>(input, dst, first, stride),
-            64 => scatter_fixed::<64>(input, dst, first, stride),
-            _ => {
-                for (j, chunk) in input.chunks_exact(bl).enumerate() {
-                    let off = (first + j as i64 * stride) as usize;
-                    std::ptr::copy_nonoverlapping(chunk.as_ptr(), dst.add(off), bl);
-                }
-            }
-        }
-    }
-}
-
-/// Fixed-block scatter; see [`scatter_blocks`] for the safety contract.
-unsafe fn scatter_fixed<const BL: usize>(input: &[u8], dst: *mut u8, first: i64, stride: i64) {
-    for (j, chunk) in input.chunks_exact(BL).enumerate() {
-        let off = (first + j as i64 * stride) as usize;
-        // SAFETY: per scatter_blocks contract.
-        unsafe { std::ptr::copy_nonoverlapping(chunk.as_ptr(), dst.add(off), BL) };
+/// Chunks to split a parallel pack into: oversplit ~4x relative to the
+/// worker count so the pool's dynamic claiming load-balances, capped so
+/// per-chunk overhead stays negligible. `threads <= 1` stays sequential.
+fn chunk_parts(threads: usize) -> usize {
+    if threads <= 1 {
+        1
+    } else {
+        threads.saturating_mul(4).min(256)
     }
 }
 

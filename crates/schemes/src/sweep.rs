@@ -516,23 +516,47 @@ pub fn run_sweep_sharded(platform: &Platform, cfg: &SweepConfig, shards: usize) 
     let results: Vec<PointSlot> =
         (0..work.len()).map(|_| std::sync::Mutex::new(None)).collect();
 
-    std::thread::scope(|scope| {
-        for shard in 0..shards {
-            let work = &work;
-            let results = &results;
-            scope.spawn(move || {
-                // Round-robin slice: spreads every message size across all
-                // shards, so no shard ends up with only the largest sizes.
-                let mut i = shard;
-                while i < work.len() {
-                    let (bytes, scheme) = work[i];
-                    *results[i].lock().unwrap() =
-                        Some(measure_point(platform, cfg, bytes, scheme));
-                    i += shards;
-                }
-            });
+    // Shard *slices* are a partitioning contract, not a thread count:
+    // spawning more threads than cores oversubscribes the host (each
+    // measured point spins up its own universe with per-rank threads),
+    // which is how 4-way sharding measured 0.84x serial on a 1-core CI
+    // host. Run the `shards` fixed slices on at most
+    // `available_parallelism` threads; on a 1-core host that degenerates
+    // to the caller's thread processing every slice in order, i.e.
+    // serial execution with zero spawn or contention overhead. Which
+    // thread runs a slice never affects its measurements (each point is
+    // its own deterministically-seeded universe), so the merge stays
+    // bit-identical to the serial sweep.
+    let conc = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(shards);
+    let run_slice = |shard: usize| {
+        // Round-robin slice: spreads every message size across all
+        // shards, so no shard ends up with only the largest sizes.
+        let mut i = shard;
+        while i < work.len() {
+            let (bytes, scheme) = work[i];
+            *results[i].lock().unwrap() = Some(measure_point(platform, cfg, bytes, scheme));
+            i += shards;
         }
-    });
+    };
+    if conc <= 1 {
+        for shard in 0..shards {
+            run_slice(shard);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for t in 0..conc {
+                let run_slice = &run_slice;
+                scope.spawn(move || {
+                    // Thread t owns slices t, t+conc, t+2*conc, ...
+                    let mut shard = t;
+                    while shard < shards {
+                        run_slice(shard);
+                        shard += conc;
+                    }
+                });
+            }
+        });
+    }
 
     assemble_in_order(platform, &work, &results)
 }
