@@ -27,6 +27,7 @@ fn main() {
         "blocksize",
         "procs_per_node",
         "cost_table",
+        "ddtbench",
         "site",
     ];
     for bin in bins {

@@ -1,0 +1,94 @@
+//! ddtbench application-kernel sweeps: the four ported application
+//! access patterns (LAMMPS atom exchange, MILC su3 zdown, NAS MG/LU face
+//! exchange, WRF x-halo), each measured under the contiguous reference,
+//! explicit pack, derived-datatype send, and pack-then-send, across the
+//! modeled platforms.
+//!
+//! ```text
+//! cargo run --release -p nonctg-bench --bin ddtbench -- --quick
+//! cargo run --release -p nonctg-bench --bin ddtbench -- --platform knl-impi
+//! ```
+//!
+//! Writes `ddtbench_<kernel>_<platform>.svg/.csv` plus a
+//! `guidelines_ddtbench_<kernel>_<platform>.csv` violation table per
+//! sweep (the Hunold-style self-consistency checks, applied to the
+//! kernel's scheme subset).
+
+use std::time::Instant;
+
+use nonctg_bench::{ascii_figure, guidelines_csv, write_figure, Options, GUIDELINE_TOL};
+use nonctg_report::{fmt_bytes, fmt_time, Table};
+use nonctg_schemes::{run_kernel_sweep, AppKernel, KERNEL_SCHEMES};
+
+fn main() {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = opts.sweep_config();
+    for platform in opts.platforms() {
+        for kernel in AppKernel::ALL {
+            let title = format!("{} on {}", kernel.label(), platform.id);
+            eprintln!("== {title} ==");
+            let wall = Instant::now();
+            let sweep = run_kernel_sweep(&platform, kernel, &cfg);
+            for p in &sweep.points {
+                eprintln!(
+                    "  {:>10}  {:<12} {:>12}  slowdown {:>6.2}  [{}]",
+                    fmt_bytes(p.msg_bytes),
+                    p.scheme.key(),
+                    fmt_time(p.time),
+                    p.slowdown,
+                    p.selected.name(),
+                );
+            }
+            let stem = format!("ddtbench_{}_{}", kernel.key(), platform.id);
+            let svg = write_figure(&opts.out_dir, &stem, &title, &sweep);
+            eprintln!(
+                "  wrote {} (+ .csv) in {:.1}s wall",
+                svg.display(),
+                wall.elapsed().as_secs_f64()
+            );
+
+            let gpath = opts.out_dir.join(format!("guidelines_{stem}.csv"));
+            let gcsv = guidelines_csv(&sweep, GUIDELINE_TOL);
+            let violations = gcsv.lines().count().saturating_sub(1);
+            std::fs::write(&gpath, gcsv).expect("write guidelines csv");
+            eprintln!("  wrote {} ({} violation(s))", gpath.display(), violations);
+
+            // Terminal summary: slowdown per kernel scheme at the
+            // smallest, middle, and largest realized size.
+            let sizes = sweep.sizes();
+            if sizes.is_empty() {
+                continue;
+            }
+            let picks: Vec<usize> = [0usize, sizes.len() / 2, sizes.len() - 1]
+                .iter()
+                .map(|&i| sizes[i])
+                .collect();
+            let mut t = Table::new(
+                std::iter::once("scheme".to_string())
+                    .chain(picks.iter().map(|&b| format!("slowdown @{}", fmt_bytes(b)))),
+            );
+            for scheme in KERNEL_SCHEMES {
+                let mut row = vec![scheme.label().to_string()];
+                for &b in &picks {
+                    row.push(
+                        sweep
+                            .get(scheme, b)
+                            .map(|p| format!("{:.2}", p.slowdown))
+                            .unwrap_or_default(),
+                    );
+                }
+                t.row(row);
+            }
+            println!("{}", t.render());
+            if opts.ascii {
+                println!("{}", ascii_figure(&sweep));
+            }
+        }
+    }
+}

@@ -10,13 +10,13 @@
 use std::time::Instant;
 
 use nonctg_bench::{
-    ascii_figure, guidelines_csv, write_figure, write_observability, write_phases, Options,
-    GUIDELINE_TOL,
+    ascii_figure, guidelines_csv, load_resume_checkpoint, write_figure, write_observability,
+    write_phases, Options, ResumeLoad, GUIDELINE_TOL,
 };
 use nonctg_report::{fmt_bytes, fmt_time, Table};
 use nonctg_schemes::{
     run_phase_sweep_with, run_sweep_parallel, run_sweep_resilient_with, run_sweep_sharded,
-    run_sweep_with, CheckpointError, PointStatus, Resilience, Scheme, Sweep, SweepPoint,
+    run_sweep_with, PointStatus, Resilience, Scheme, SweepPoint,
 };
 
 fn progress_line(p: &SweepPoint) {
@@ -57,31 +57,19 @@ fn main() {
         let wall = Instant::now();
         let sweep = if opts.resilient() {
             let resume = opts.resume.as_ref().and_then(|path| {
-                let text = std::fs::read_to_string(path).ok()?;
-                match Sweep::from_checkpoint_json(&text) {
-                    Ok(s) if s.platform == platform.id => {
+                match load_resume_checkpoint(path, platform.id) {
+                    ResumeLoad::Resumed(s) => {
                         eprintln!("  resuming from {} ({} points)", path.display(), s.points.len());
                         Some(s)
                     }
-                    Ok(s) => {
-                        eprintln!(
-                            "  ignoring checkpoint {}: platform {} != {}",
-                            path.display(),
-                            s.platform,
-                            platform.id
-                        );
+                    ResumeLoad::Fresh => None,
+                    ResumeLoad::FreshWithWarning(msg) => {
+                        eprintln!("{msg}");
                         None
                     }
-                    // A schema mismatch is a user-facing error, not line
-                    // noise: silently restarting would discard the sweep
-                    // the user explicitly asked to resume.
-                    Err(e @ CheckpointError::VersionMismatch { .. }) => {
-                        eprintln!("error: cannot resume from {}: {e}", path.display());
+                    ResumeLoad::Fatal(msg) => {
+                        eprintln!("error: {msg}");
                         std::process::exit(2);
-                    }
-                    Err(e) => {
-                        eprintln!("  ignoring unreadable checkpoint {}: {e}", path.display());
-                        None
                     }
                 }
             });

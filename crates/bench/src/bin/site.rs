@@ -13,6 +13,7 @@ use nonctg_bench::Options;
 use nonctg_report::csv::parse_csv;
 use nonctg_report::heatmap::{render_heatmap, HeatmapData};
 use nonctg_report::html::{render_page, Section};
+use nonctg_schemes::AppKernel;
 use nonctg_simnet::PlatformId;
 
 fn load_csv_table(path: &Path, max_rows: usize) -> Option<(Vec<String>, Vec<Vec<String>>)> {
@@ -169,6 +170,37 @@ fn main() {
                 g.tables.push((header, rows));
             }
             sections.push(g);
+        }
+    }
+
+    // ddtbench application-kernel sweeps, one figure per kernel x platform.
+    for id in PlatformId::ALL {
+        for kernel in AppKernel::ALL {
+            let stem = format!("ddtbench_{}_{}", kernel.key(), id.name());
+            let svg_path = dir.join(format!("{stem}.svg"));
+            let csv_path = dir.join(format!("{stem}.csv"));
+            if !svg_path.exists() {
+                continue;
+            }
+            let mut s = Section::new(
+                format!("ddtbench: {} — {}", kernel.label(), id.name()),
+                "Application access pattern ported from ddtbench, measured under the \
+                 contiguous reference, explicit pack, derived-datatype send, and \
+                 pack-then-send schemes.",
+            );
+            if let Ok(svg) = fs::read_to_string(&svg_path) {
+                s.svgs.push(svg);
+            }
+            if let Some(table) = figure_summary(&csv_path) {
+                s.tables.push(table);
+            }
+            let gpath = dir.join(format!("guidelines_{stem}.csv"));
+            if let Some((header, rows)) = load_csv_table(&gpath, 200) {
+                if !rows.is_empty() {
+                    s.tables.push((header, rows));
+                }
+            }
+            sections.push(s);
         }
     }
 

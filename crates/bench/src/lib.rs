@@ -15,10 +15,10 @@ use std::path::{Path, PathBuf};
 use nonctg_core::TraceEvent;
 use nonctg_report::{chrome_trace_json, render_figure, PanelGeom, PlotSpec, Series, Span};
 use nonctg_schemes::{
-    try_run_scheme_observed, Observe, PhaseSweep, PingPongConfig, Scheme, Sweep, SweepPoint,
-    Workload,
+    try_run_scheme_observed, CheckpointError, Observe, PhaseSweep, PingPongConfig, Scheme, Sweep,
+    SweepPoint, Workload,
 };
-use nonctg_simnet::{Datapath, Platform};
+use nonctg_simnet::{Datapath, Platform, PlatformId};
 
 pub use cli::Options;
 
@@ -142,6 +142,66 @@ pub fn sweep_csv(sweep: &Sweep) -> String {
         ],
         &rows,
     )
+}
+
+/// How loading a `--resume` checkpoint turned out (see
+/// [`load_resume_checkpoint`]).
+#[derive(Debug)]
+pub enum ResumeLoad {
+    /// The checkpoint parsed and matches the requested platform; its Ok
+    /// points will be reused.
+    Resumed(Sweep),
+    /// No checkpoint exists yet — a first run. Start fresh, quietly.
+    Fresh,
+    /// A checkpoint exists but cannot be used (unreadable file, corrupt
+    /// contents, or a different platform). Start fresh, but only after
+    /// the caller prints this warning: silently discarding a file the
+    /// user explicitly passed to `--resume` hides data loss.
+    FreshWithWarning(String),
+    /// The checkpoint declares a schema version this build cannot read.
+    /// The caller must abort (exit 2) instead of guessing.
+    Fatal(String),
+}
+
+/// Load the `--resume` checkpoint at `path` for a sweep on `platform`.
+///
+/// Distinguishes the four outcomes the figures driver must handle
+/// differently: a missing file is a normal first run; a corrupt or
+/// mismatched checkpoint starts fresh **with a loud warning naming the
+/// file and the parse error** (regression guard: `CheckpointError::Parse`
+/// used to be swallowed silently); a schema-version mismatch is fatal.
+pub fn load_resume_checkpoint(path: &Path, platform: PlatformId) -> ResumeLoad {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return ResumeLoad::Fresh,
+        Err(e) => {
+            return ResumeLoad::FreshWithWarning(format!(
+                "warning: cannot read checkpoint {}: {e}; starting a fresh sweep",
+                path.display()
+            ))
+        }
+    };
+    match Sweep::from_checkpoint_json(&text) {
+        Ok(s) if s.platform == platform => ResumeLoad::Resumed(s),
+        Ok(s) => ResumeLoad::FreshWithWarning(format!(
+            "warning: checkpoint {} is for platform {}, not {}; starting a fresh sweep \
+             (it will be overwritten)",
+            path.display(),
+            s.platform,
+            platform
+        )),
+        // A schema mismatch is a user-facing error, not line noise:
+        // silently restarting would discard the sweep the user
+        // explicitly asked to resume.
+        Err(e @ CheckpointError::VersionMismatch { .. }) => {
+            ResumeLoad::Fatal(format!("cannot resume from {}: {e}", path.display()))
+        }
+        Err(CheckpointError::Parse(msg)) => ResumeLoad::FreshWithWarning(format!(
+            "warning: corrupt checkpoint {}: {msg}; starting a fresh sweep \
+             (it will be overwritten)",
+            path.display()
+        )),
+    }
 }
 
 /// Default relative tolerance of the guideline checks: two point means

@@ -59,7 +59,7 @@ pub use persistent::{PersistentRecv, PersistentSend};
 pub use p2p::{RecvStatus, BSEND_OVERHEAD_BYTES, CHUNK_RING_DEPTH, MAX_SEND_ATTEMPTS};
 pub use rma::{Window, WindowState};
 pub use selector::{
-    iov_max_regions, reset_selector_counters, selector_counters, CrossoverTable,
+    iov_max_regions, reset_selector_counters, selector_counters, CrossoverTable, RegionShape,
     SelectorCounters, DEFAULT_IOV_MAX_REGIONS,
 };
 pub use trace::{EventKind, TraceConfig, TraceEvent, TraceStats};

@@ -390,19 +390,28 @@ impl Comm {
             let iov_eligible = !eager
                 && !plan_failed
                 && matches!(mode, SendMode::Standard | SendMode::Synchronous);
+            // `capped` distinguishes "plan lowers to more regions than
+            // the iovec cap" (ddtbench WRF halos routinely do) from "no
+            // compiled plan at all": a capped list must *deterministically*
+            // demote a forced-iov send to pack, visibly.
+            let mut capped = false;
             let regions = if iov_eligible {
-                dt::plan_for(dtype, count)
-                    .and_then(|pl| pl.regions(crate::selector::iov_max_regions()))
+                dt::plan_for(dtype, count).and_then(|pl| {
+                    let r = pl.regions(crate::selector::iov_max_regions());
+                    capped = r.is_none();
+                    r
+                })
             } else {
                 None
             };
+            // Region-length shape for the selector and the cost model:
+            // sub-cacheline regions pay a full descriptor overhead.
+            let shape = regions
+                .as_ref()
+                .map(|r| crate::selector::RegionShape::of(r, p.mem.cacheline));
             let choice = match p.effective_datapath() {
                 Datapath::Auto => {
-                    let c = crate::selector::choose(
-                        p.id,
-                        bytes,
-                        regions.as_ref().map(|r| r.len() as u64),
-                    );
+                    let c = crate::selector::choose_shape(p.id, bytes, shape);
                     crate::selector::record(c);
                     let t = self.clock.now();
                     self.trace(
@@ -434,6 +443,28 @@ impl Comm {
                     } else {
                         iov_regions = regions;
                         stream_plan = None;
+                    }
+                }
+                Datapath::Iov => {
+                    // Forced iovec without a bounded region list. When
+                    // the plan lowered to more than `iov_max_regions()`
+                    // descriptors this is the region-cap overflow rung of
+                    // the degradation ladder: count it and trace it like
+                    // every other iovec demotion instead of silently
+                    // packing. (Eager-protocol and plan-failure
+                    // fall-throughs stay silent: the former never was
+                    // iovec-eligible, the latter already counts
+                    // `plan_fallbacks`.)
+                    if capped {
+                        sup.with_faults(me, |s| s.iovec_demotions += 1);
+                        let t = self.clock.now();
+                        self.trace(
+                            crate::trace::EventKind::Demote,
+                            t,
+                            Some(dst),
+                            bytes as usize,
+                            Some(tag),
+                        );
                     }
                 }
                 Datapath::Elem => {
@@ -756,8 +787,9 @@ impl Comm {
         corrupt_idx: Option<usize>,
     ) -> Result<SendRequest> {
         let n = regions.len() as u64;
+        let shape = crate::selector::RegionShape::of(&regions, p.mem.cacheline);
         self.charge_exact(p.send_overhead(false));
-        self.charge_exact(p.iov_overhead(n));
+        self.charge_exact(p.iov_overhead_shaped(n, shape.subline));
         self.cache = CacheState::Warm;
         let wire = p.iov_wire_time(bytes, n) * self.jitter.factor();
 
@@ -963,10 +995,10 @@ impl Comm {
         } else {
             total / dtype.size() as usize
         };
-        // `Some(n)` once the payload was delivered by a direct iovec
-        // scatter into `n` receiver regions; governs the scatter charge
-        // below.
-        let mut iov_scattered: Option<u64> = None;
+        // `Some(shape)` once the payload was delivered by a direct iovec
+        // scatter into the receiver's regions; governs the scatter charge
+        // below (sub-cacheline regions pay the full descriptor cost).
+        let mut iov_scattered: Option<crate::selector::RegionShape> = None;
         match env.payload {
             Payload::Whole(data) => {
                 let consumed = dt::unpack_from(&data, dtype, incoming_count, buf, origin)?;
@@ -1021,7 +1053,8 @@ impl Comm {
                             pos,
                             dtype.size() as usize,
                         );
-                        iov_scattered = Some(rr.len() as u64);
+                        iov_scattered =
+                            Some(crate::selector::RegionShape::of(&rr, p.mem.cacheline));
                     }
                     None => {
                         let consumed =
@@ -1038,11 +1071,16 @@ impl Comm {
         if !dtype.is_contiguous_run(incoming_count as u64) {
             let t_scatter = self.clock.now();
             match iov_scattered {
-                Some(n) => {
+                Some(shape) => {
                     // Direct placement: exact per-region charges, no
                     // jitter — the iovec clock is a pure function of the
                     // region list.
-                    self.charge_exact(p.iov_scatter_time(total as u64, n, self.is_warm()));
+                    self.charge_exact(p.iov_scatter_time_shaped(
+                        total as u64,
+                        shape.n,
+                        shape.subline,
+                        self.is_warm(),
+                    ));
                 }
                 None => {
                     let access = Access::classify(dtype);

@@ -106,25 +106,77 @@ impl CrossoverTable {
     }
 }
 
-/// Pick the engine for one non-contiguous send of `bytes` payload.
+/// Shape summary of an iovec region list: the descriptor count plus how
+/// many of those regions are shorter than one cacheline. Sub-line
+/// descriptors fall off the NIC's batched fast path and each cost a full
+/// per-call overhead instead of the batched quarter (see
+/// `Platform::iov_overhead`), so a skewed layout mixing a few long
+/// regions with many tiny ones is far more expensive than its *mean*
+/// region length suggests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionShape {
+    /// Total regions in the list.
+    pub n: u64,
+    /// Regions shorter than the platform cacheline.
+    pub subline: u64,
+}
+
+impl RegionShape {
+    /// Summarize a concrete `(offset, len)` region list against a
+    /// platform's cacheline size.
+    pub fn of(regions: &[(i64, u64)], cacheline: u64) -> RegionShape {
+        let subline = regions.iter().filter(|&&(_, len)| len < cacheline).count() as u64;
+        RegionShape { n: regions.len() as u64, subline }
+    }
+
+    /// A list of `n` regions all at or above the cacheline — the shape
+    /// the calibration probe sweeps and the legacy mean-length rule
+    /// assumed for everything.
+    pub fn uniform(n: u64) -> RegionShape {
+        RegionShape { n, subline: 0 }
+    }
+
+    /// Descriptor-cost-weighted region count: a sub-line region costs a
+    /// full per-call overhead, 4x the batched fraction a cacheline-sized
+    /// one pays, so it counts as 4 descriptors. This is the per-region
+    /// model the cost tables charge; dividing `bytes` by it replaces the
+    /// variance-blind mean.
+    pub fn weighted(&self) -> u64 {
+        self.n + 3 * self.subline
+    }
+}
+
+/// Pick the engine for one non-contiguous send of `bytes` payload, given
+/// the [`RegionShape`] of its bounded region list (`None` = no compiled
+/// plan or the list blew the [`iov_max_regions`] cap, which rules iovec
+/// out). Pure in its inputs: the same `(platform id, bytes, shape)`
+/// always selects the same engine, so recorded selections are
+/// reproducible across runs and sharding.
 ///
-/// `nregions` is the iovec region count when a bounded region list
-/// exists (`None` = no compiled plan or the list blew the
-/// [`iov_max_regions`] cap, which rules iovec out). Pure in its inputs:
-/// the same `(platform id, bytes, nregions)` always selects the same
-/// engine, so recorded selections are reproducible across runs and
-/// sharding.
-pub fn choose(id: PlatformId, bytes: u64, nregions: Option<u64>) -> Datapath {
+/// The iovec rule charges by the descriptor model rather than the naive
+/// mean region length: `bytes / shape.weighted()` must clear the
+/// platform crossover. For uniform lists the two agree; on high-variance
+/// layouts (LAMMPS mixes 24 B and 4 KiB regions) the weighted statistic
+/// correctly prices the swarm of tiny descriptors the mean hides.
+pub fn choose_shape(id: PlatformId, bytes: u64, shape: Option<RegionShape>) -> Datapath {
     let table = CrossoverTable::effective(id);
     if bytes <= table.elem_max_bytes {
         return Datapath::Elem;
     }
-    if let Some(n) = nregions {
-        if n > 0 && bytes / n >= table.iov_min_region_bytes {
+    if let Some(s) = shape {
+        let w = s.weighted();
+        if w > 0 && bytes / w >= table.iov_min_region_bytes {
             return Datapath::Iov;
         }
     }
     Datapath::Pack
+}
+
+/// [`choose_shape`] for a uniform region list of `nregions` regions —
+/// the calibration probe's shape, kept as the stable entry point for
+/// callers that only know a count.
+pub fn choose(id: PlatformId, bytes: u64, nregions: Option<u64>) -> Datapath {
+    choose_shape(id, bytes, nregions.map(RegionShape::uniform))
 }
 
 static SEL_PACK: AtomicU64 = AtomicU64::new(0);
@@ -215,6 +267,43 @@ mod tests {
             // No bounded region list at all.
             assert_eq!(choose(id, 1 << 20, None), Datapath::Pack);
         }
+    }
+
+    #[test]
+    fn skewed_layouts_price_subline_descriptors() {
+        // LAMMPS-shaped skew: 6 x 16 KiB blocks + 700 x 24 B records.
+        // The mean region length (163 B) clears the skx crossover (160),
+        // but 700 sub-line descriptors each cost a full call overhead —
+        // the weighted statistic keeps the send on the pack path.
+        let bytes = 6 * 16384u64 + 700 * 24;
+        let shape = RegionShape { n: 706, subline: 700 };
+        assert_eq!(choose_shape(PlatformId::SkxImpi, bytes, Some(shape)), Datapath::Pack);
+        // A uniform list of the same total and count (the mean-length
+        // view of the same message) would take iovec.
+        assert_eq!(choose(PlatformId::SkxImpi, bytes, Some(706)), Datapath::Iov);
+    }
+
+    #[test]
+    fn uniform_shapes_match_legacy_choose() {
+        for id in PlatformId::ALL {
+            for bytes in [300u64, 1 << 12, 1 << 20] {
+                for n in [1u64, 64, 4096] {
+                    assert_eq!(
+                        choose(id, bytes, Some(n)),
+                        choose_shape(id, bytes, Some(RegionShape::uniform(n)))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_shape_of_counts_sublines() {
+        let regions = [(0i64, 24u64), (64, 4096), (8192, 63), (16384, 64)];
+        let s = RegionShape::of(&regions, 64);
+        assert_eq!(s, RegionShape { n: 4, subline: 2 });
+        assert_eq!(s.weighted(), 4 + 3 * 2);
+        assert_eq!(RegionShape::uniform(9).weighted(), 9);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! ddtbench application layouts — the four access patterns the DDT
+//! literature actually benchmarks (Schneider/Gerstenberger/Hoefler's
+//! ddtbench, revisited by Adefemi 2025 and measured against the
+//! Hunold/Carpen-Amarie/Träff performance guidelines).
+//!
+//! Unlike the paper's single synthetic stride pattern, these layouts are
+//! shaped like real application exchanges:
+//!
+//! * [`lammps_exchange`] — LAMMPS atom exchange: indexed blocks of
+//!   **mixed-size** per-atom records (small position records interleaved
+//!   with occasional large per-atom payloads), the canonical
+//!   high-variance region-length distribution.
+//! * [`milc_su3_zdown`] — MILC su3 zdown: a 4-D lattice of 3×3 complex
+//!   matrix structs, face-selected along the z axis. Few large regions.
+//! * [`nas_face`] — NAS MG/LU face exchange: a 3-D subarray face with
+//!   large strides. Many equal mid-size regions.
+//! * [`wrf_halo`] — WRF halo: a 4-D `f32` halo built from **nested
+//!   vectors** (x-runs × y × z × variable). Very many tiny regions —
+//!   region counts routinely exceed the iovec descriptor cap.
+//!
+//! Every builder returns a committed type with lower bound 0, so a
+//! source buffer of `extent()` bytes at origin 0 covers it. The
+//! [`region_lengths`]/[`region_histogram`] helpers expose the flattened
+//! per-instance region structure for cost-model work and for the
+//! MODEL.md tables.
+
+use crate::error::Result;
+use crate::node::Datatype;
+use crate::plan;
+
+/// Elements per small LAMMPS record (a position: 3 doubles = 24 B).
+pub const LAMMPS_SMALL_ELEMS: usize = 3;
+/// Elements per large LAMMPS record (accumulated per-atom payload,
+/// 512 doubles = 4 KiB).
+pub const LAMMPS_BIG_ELEMS: usize = 512;
+/// Every `LAMMPS_BIG_PERIOD`-th atom carries the large record.
+pub const LAMMPS_BIG_PERIOD: usize = 64;
+
+/// The `(blocklen, element displacement)` pairs of a LAMMPS exchange of
+/// `natoms` atoms: atom `i` contributes [`LAMMPS_BIG_ELEMS`] doubles when
+/// `i % LAMMPS_BIG_PERIOD == 0`, else [`LAMMPS_SMALL_ELEMS`], with a
+/// one-element gap after every record so no two regions coalesce.
+pub fn lammps_blocks(natoms: usize) -> Vec<(usize, i64)> {
+    let mut blocks = Vec::with_capacity(natoms);
+    let mut disp: i64 = 0;
+    for i in 0..natoms {
+        let len = if i % LAMMPS_BIG_PERIOD == 0 { LAMMPS_BIG_ELEMS } else { LAMMPS_SMALL_ELEMS };
+        blocks.push((len, disp));
+        disp += len as i64 + 1; // skipped ghost flag keeps regions apart
+    }
+    blocks
+}
+
+/// LAMMPS atom exchange: an indexed type over `f64` selecting the
+/// mixed-size per-atom records of [`lammps_blocks`].
+pub fn lammps_exchange(natoms: usize) -> Result<Datatype> {
+    Ok(Datatype::indexed(&lammps_blocks(natoms), &Datatype::f64())?.commit())
+}
+
+/// One su3 lattice site: a 3×3 complex-double matrix struct (144 B).
+pub fn milc_su3_site() -> Result<Datatype> {
+    let complex = Datatype::contiguous(2, &Datatype::f64())?;
+    let row = Datatype::contiguous(3, &complex)?;
+    Datatype::structure(&[(3, 0, row)])
+}
+
+/// MILC su3 zdown face: the `z == 0` hyperplane of a C-order
+/// `[nt][nz][ny][nx]` lattice of su3 sites — `nt` regions of
+/// `ny * nx * 144` bytes each, `nz * ny * nx * 144` bytes apart.
+pub fn milc_su3_zdown(nt: usize, nz: usize, ny: usize, nx: usize) -> Result<Datatype> {
+    let site = milc_su3_site()?;
+    Ok(Datatype::subarray(
+        &[nt, nz, ny, nx],
+        &[nt, 1, ny, nx],
+        &[0, 0, 0, 0],
+        crate::node::ArrayOrder::C,
+        &site,
+    )?
+    .commit())
+}
+
+/// NAS MG/LU face exchange: the `y == 0` face of a C-order
+/// `[nz][ny][nx]` array of doubles — `nz` regions of `nx * 8` bytes at a
+/// large stride of `ny * nx * 8` bytes.
+pub fn nas_face(nz: usize, ny: usize, nx: usize) -> Result<Datatype> {
+    Ok(Datatype::subarray(
+        &[nz, ny, nx],
+        &[nz, 1, nx],
+        &[0, 0, 0],
+        crate::node::ArrayOrder::C,
+        &Datatype::f64(),
+    )?
+    .commit())
+}
+
+/// WRF halo: an x-boundary halo of width `halo` cells over a C-order
+/// `[nvar][nz][ny][nx]` array of `f32`, built the way the WRF ddtbench
+/// kernel builds it — nested vectors: an x-run vector per plane, an
+/// hvector of planes per variable, an hvector of variables. Flattens to
+/// `nvar * nz * ny` regions of `halo * 4` bytes.
+pub fn wrf_halo(nvar: usize, nz: usize, ny: usize, nx: usize, halo: usize) -> Result<Datatype> {
+    let f32_t = Datatype::f32();
+    let plane_bytes = (nx * ny * 4) as i64;
+    let runs = Datatype::vector(ny, halo, nx as i64, &f32_t)?;
+    let planes = Datatype::hvector(nz, 1, plane_bytes, &runs)?;
+    Ok(Datatype::hvector(nvar, 1, plane_bytes * nz as i64, &planes)?.commit())
+}
+
+/// The flattened, merge-coalesced region lengths (bytes) of `count`
+/// instances of a committed type, in pack order. `None` when the type
+/// has no compiled plan (zero count or uncommitted).
+pub fn region_lengths(t: &Datatype, count: usize) -> Option<Vec<u64>> {
+    let pl = plan::plan_for(t, count)?;
+    let regions = pl.regions(usize::MAX)?;
+    Some(regions.into_iter().map(|(_, len)| len).collect())
+}
+
+/// Histogram of region lengths: distinct `(length, occurrences)` pairs,
+/// increasing in length. The layouts above have 1–2 distinct lengths, so
+/// this is the exact region-length distribution, not a bucketing.
+pub fn region_histogram(lengths: &[u64]) -> Vec<(u64, usize)> {
+    let mut sorted = lengths.to_vec();
+    sorted.sort_unstable();
+    let mut out: Vec<(u64, usize)> = Vec::new();
+    for len in sorted {
+        match out.last_mut() {
+            Some((l, n)) if *l == len => *n += 1,
+            _ => out.push((len, 1)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lammps_mixes_region_lengths() {
+        let natoms = 3 * LAMMPS_BIG_PERIOD;
+        let t = lammps_exchange(natoms).unwrap();
+        let lens = region_lengths(&t, 1).unwrap();
+        assert_eq!(lens.len(), natoms, "one region per atom (no coalescing)");
+        let hist = region_histogram(&lens);
+        assert_eq!(
+            hist,
+            vec![
+                ((LAMMPS_SMALL_ELEMS * 8) as u64, natoms - 3),
+                ((LAMMPS_BIG_ELEMS * 8) as u64, 3),
+            ]
+        );
+        let payload: u64 = lens.iter().sum();
+        assert_eq!(payload, t.size());
+    }
+
+    #[test]
+    fn milc_zdown_selects_one_face() {
+        let (nt, nz, ny, nx) = (4, 8, 4, 4);
+        let t = milc_su3_zdown(nt, nz, ny, nx).unwrap();
+        assert_eq!(t.size(), (nt * ny * nx * 144) as u64);
+        assert_eq!(t.extent(), (nt * nz * ny * nx * 144) as u64);
+        let lens = region_lengths(&t, 1).unwrap();
+        assert_eq!(lens.len(), nt, "one contiguous region per t-slice");
+        assert!(lens.iter().all(|&l| l == (ny * nx * 144) as u64));
+    }
+
+    #[test]
+    fn nas_face_has_large_strides() {
+        let (nz, ny, nx) = (16, 32, 8);
+        let t = nas_face(nz, ny, nx).unwrap();
+        assert_eq!(t.size(), (nz * nx * 8) as u64);
+        let lens = region_lengths(&t, 1).unwrap();
+        assert_eq!(lens, vec![(nx * 8) as u64; nz]);
+    }
+
+    #[test]
+    fn wrf_halo_flattens_to_many_tiny_regions() {
+        let (nvar, nz, ny, nx, halo) = (4, 8, 8, 16, 2);
+        let t = wrf_halo(nvar, nz, ny, nx, halo).unwrap();
+        assert_eq!(t.size(), (nvar * nz * ny * halo * 4) as u64);
+        let lens = region_lengths(&t, 1).unwrap();
+        assert_eq!(lens, vec![(halo * 4) as u64; nvar * nz * ny]);
+    }
+
+    #[test]
+    fn layouts_have_zero_lower_bound() {
+        for t in [
+            lammps_exchange(130).unwrap(),
+            milc_su3_zdown(2, 4, 4, 4).unwrap(),
+            nas_face(4, 8, 8).unwrap(),
+            wrf_halo(2, 4, 4, 8, 2).unwrap(),
+        ] {
+            assert_eq!(t.lb(), 0, "{}", t.describe());
+            assert!(t.size() > 0 && t.extent() >= t.size());
+        }
+    }
+}

@@ -39,6 +39,7 @@ mod segiter;
 mod signature;
 
 pub mod kernels;
+pub mod layouts;
 pub mod normalize;
 pub mod oracle;
 pub mod pack;

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+mod appkernel;
 pub mod checkpoint;
 mod phases;
 mod pingpong;
@@ -18,6 +19,10 @@ pub mod stats;
 mod sweep;
 mod workload;
 
+pub use appkernel::{
+    kernel_selected_for, run_kernel_scheme, run_kernel_sweep, AppKernel, KernelWorkload,
+    KERNEL_SCHEMES,
+};
 pub use phases::{
     attribute, run_phase_sweep, run_phase_sweep_with, run_scheme_phases, Phase, PhasePoint,
     PhaseSweep, PhaseTimes,

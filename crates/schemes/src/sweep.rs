@@ -351,7 +351,7 @@ impl std::fmt::Display for SweepHealth {
 /// group's own measured Reference point (wherever it sits in legend
 /// order), so slowdowns never depend on scheme ordering or on a stale
 /// reference from an earlier size.
-fn apply_slowdowns(group: &mut [SweepPoint]) {
+pub(crate) fn apply_slowdowns(group: &mut [SweepPoint]) {
     let ref_time = group
         .iter()
         .find(|p| p.scheme == Scheme::Reference && p.status == PointStatus::Ok)

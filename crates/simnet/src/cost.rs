@@ -189,7 +189,20 @@ impl Platform {
     /// building one DMA descriptor per region is a fraction of a full
     /// library call, paid on top of the usual protocol overhead.
     pub fn iov_overhead(&self, nregions: u64) -> f64 {
-        self.cpu.per_call_overhead * IOV_REGION_CALL_FRACTION * nregions as f64
+        self.iov_overhead_shaped(nregions, 0)
+    }
+
+    /// [`Self::iov_overhead`] with the region-length shape priced in:
+    /// `subline` of the `nregions` descriptors cover less than one cache
+    /// line. Sub-line regions fall off the NIC's batched descriptor fast
+    /// path (the doorbell coalescer only chains line-aligned gather
+    /// entries), so each costs a **full** per-call overhead instead of
+    /// the batched [`IOV_REGION_CALL_FRACTION`]. For `subline == 0` this
+    /// is exactly the legacy uniform charge.
+    pub fn iov_overhead_shaped(&self, nregions: u64, subline: u64) -> f64 {
+        let subline = subline.min(nregions);
+        let batched = (nregions - subline) as f64 * IOV_REGION_CALL_FRACTION;
+        self.cpu.per_call_overhead * (batched + subline as f64)
     }
 
     /// Wire time of an iovec send: the NIC DMA-gathers the user regions
@@ -210,6 +223,20 @@ impl Platform {
     /// copy's two) plus the same per-region descriptor bookkeeping as the
     /// sender.
     pub fn iov_scatter_time(&self, bytes: u64, nregions: u64, warm: bool) -> f64 {
+        self.iov_scatter_time_shaped(bytes, nregions, 0, warm)
+    }
+
+    /// [`Self::iov_scatter_time`] with the region-length shape priced in:
+    /// like [`Self::iov_overhead_shaped`], each of the `subline`
+    /// under-one-cacheline regions pays a full per-call overhead for its
+    /// scatter descriptor instead of the batched fraction.
+    pub fn iov_scatter_time_shaped(
+        &self,
+        bytes: u64,
+        nregions: u64,
+        subline: u64,
+        warm: bool,
+    ) -> f64 {
         if bytes == 0 {
             return 0.0;
         }
@@ -218,8 +245,9 @@ impl Platform {
         } else {
             self.mem.copy_bw
         };
-        bytes as f64 / (2.0 * bw)
-            + nregions as f64 * self.cpu.per_call_overhead * IOV_REGION_CALL_FRACTION
+        let subline = subline.min(nregions);
+        let batched = (nregions - subline) as f64 * IOV_REGION_CALL_FRACTION;
+        bytes as f64 / (2.0 * bw) + self.cpu.per_call_overhead * (batched + subline as f64)
     }
 
     /// Additional cost `MPI_Bsend` pays on top of a regular send of the
@@ -459,6 +487,26 @@ mod tests {
         assert_eq!(p.iov_wire_time(0, 0), 0.0);
         assert_eq!(p.iov_scatter_time(0, 0, true), 0.0);
         assert_eq!(p.iov_overhead(0), 0.0);
+    }
+
+    #[test]
+    fn subline_regions_pay_full_descriptor_cost() {
+        let p = skx();
+        let n = 1000u64;
+        // All regions at or over a line: shaped == legacy, bit for bit.
+        assert_eq!(p.iov_overhead_shaped(n, 0), p.iov_overhead(n));
+        assert_eq!(
+            p.iov_scatter_time_shaped(1 << 20, n, 0, false),
+            p.iov_scatter_time(1 << 20, n, false)
+        );
+        // Every sub-line region costs 4x its batched descriptor price.
+        let full = p.iov_overhead_shaped(n, n);
+        assert!((full - 4.0 * p.iov_overhead(n)).abs() <= 1e-18, "{full}");
+        // Mixed lists sit strictly between.
+        let mixed = p.iov_overhead_shaped(n, n / 2);
+        assert!(p.iov_overhead(n) < mixed && mixed < full);
+        // A subline count above n clamps instead of underflowing.
+        assert_eq!(p.iov_overhead_shaped(4, 9), p.iov_overhead_shaped(4, 4));
     }
 
     #[test]
